@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a table, a figure,
+or an ablation) and both prints it and writes it to
+``benchmarks/results/<name>.txt`` so the output survives pytest's
+capture.  Run with ``pytest benchmarks/ --benchmark-only -s`` to watch
+live.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """emit(name, text): print an artifact and persist it."""
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n===== {name} =====")
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,41 @@
+"""Figure 5 — phase portrait with the certified barrier level set.
+
+Regenerates the figure's content: verified ellipsoid between X0 and U,
+sample trajectories, and the geometric claims the figure makes visually:
+
+* every X0 corner lies inside the level set (X0 ⊂ L);
+* the level set never touches the unsafe region (L ∩ U = ∅);
+* sampled trajectories converge toward the origin (the blue curves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_figure5, render_ascii, run_figure5
+
+
+def test_figure5_phase_portrait(benchmark, emit):
+    def run():
+        return run_figure5(hidden_neurons=10, seed=0, num_trajectories=12)
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("figure5", format_figure5(data) + "\n\n" + render_ascii(data))
+
+    assert data.report.verified
+    assert data.x0_corners_inside
+    assert data.level_set_clear_of_unsafe
+
+    # The certified ellipse must sit strictly between X0 and U:
+    # wider than X0 in at least one direction, inside the safe envelope.
+    boundary = data.ellipse_boundary
+    assert np.abs(boundary[:, 0]).max() > 1.0  # beyond X0's derr extent
+    assert np.abs(boundary[:, 0]).max() < 5.0  # inside U's derr bound
+    assert np.abs(boundary[:, 1]).max() < np.pi / 2 - 0.1
+
+    # All three SMT conditions were UNSAT.
+    report = data.report
+    assert report.final_check5.is_unsat
+    assert report.final_check6.is_unsat
+    assert report.final_check7.is_unsat

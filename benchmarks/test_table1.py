@@ -1,0 +1,63 @@
+"""Table 1 — timing analysis of safety verification vs controller width.
+
+Regenerates the paper's Table 1: for every hidden-layer size, run the
+complete Figure-1 verification procedure and report average candidate
+iterations and the LP / SMT-query / other / total time split.
+
+Paper-vs-ours expectations (see EXPERIMENTS.md):
+
+* every width verifies (the paper's 100% success across rows);
+* candidate iterations stay small (paper: 1.0-3.0);
+* the SMT query dominates the LP time, and total time grows with width
+  (the paper's qualitative scaling), with absolute numbers reflecting
+  our Python ICP rather than the authors' MATLAB + dReal stack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.barrier import SynthesisConfig, verify_system
+from repro.experiments import (
+    PAPER_NEURON_COUNTS,
+    case_study_controller,
+    format_table1,
+    paper_problem,
+    run_table1,
+)
+
+#: single-run widths benchmarked individually (full paper list)
+BENCH_WIDTHS = PAPER_NEURON_COUNTS
+
+
+@pytest.mark.parametrize("neurons", BENCH_WIDTHS)
+def test_verify_width(benchmark, neurons):
+    """One full verification per width (Table 1, one cell of one row)."""
+    network = case_study_controller(neurons)
+    problem = paper_problem(network)
+
+    def run():
+        return verify_system(problem, config=SynthesisConfig(seed=0))
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.verified, f"width {neurons} failed: {report.status}"
+    assert report.candidate_iterations <= 5
+
+
+def test_table1_full(benchmark, emit):
+    """The complete Table 1 (all widths, averaged over seeds)."""
+
+    def run():
+        return run_table1(neuron_counts=PAPER_NEURON_COUNTS, seeds=(0, 1))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table1", format_table1(rows))
+
+    # Shape assertions mirroring the paper's claims.
+    assert all(row.verified_fraction == 1.0 for row in rows)
+    assert all(1.0 <= row.avg_iterations <= 4.0 for row in rows)
+    # Query time dominates LP time in every row (paper's cost profile).
+    assert all(row.query_seconds > row.lp_seconds for row in rows)
+    # Cost grows with width at the extremes (paper's scaling trend).
+    first, last = rows[0], rows[-1]
+    assert last.query_seconds > first.query_seconds

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate Figure 5's phase portrait as ASCII art + numeric summary.
+
+Runs the complete verification for a 10-neuron controller, samples
+trajectories across the search domain, and renders the initial set,
+unsafe-set boundary, certified ellipsoid, and trajectories in the
+(d_err, theta_err) plane — the content of the paper's Figure 5.
+
+Run:  python examples/phase_portrait.py [--neurons N] [--trained]
+"""
+
+import argparse
+
+from repro.experiments import format_figure5, render_ascii, run_figure5
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--neurons", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trained",
+        action="store_true",
+        help="train the controller with CMA-ES first (slower)",
+    )
+    args = parser.parse_args()
+
+    data = run_figure5(
+        hidden_neurons=args.neurons,
+        seed=args.seed,
+        num_trajectories=12,
+        trained=args.trained,
+    )
+    print(format_figure5(data))
+    print()
+    print("legend: # X0 corners   @ barrier level set   = | safe envelope")
+    print("        . trajectory   * start   o end")
+    print()
+    print(render_ascii(data))
+
+
+if __name__ == "__main__":
+    main()

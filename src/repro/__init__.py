@@ -1,0 +1,66 @@
+"""repro — simulation-guided barrier certificates for NN-controlled CPS.
+
+A from-scratch reproduction of *"Reasoning about Safety of
+Learning-Enabled Components in Autonomous Cyber-physical Systems"*
+(Tuncali, Kapinski, Ito, Deshmukh — DAC 2018): train a neural-network
+path-following controller with CMA-ES, then *prove* unbounded-time
+safety of the closed loop by synthesizing a barrier certificate from
+simulations (LP) and verifying it with a δ-SAT interval solver.
+
+Subpackages
+-----------
+``repro.expr``       symbolic expressions (eval / intervals / autodiff / tapes)
+``repro.intervals``  sound interval arithmetic
+``repro.smt``        branch-and-prune δ-SAT solver (the dReal stand-in)
+``repro.nn``         feedforward networks with dual numeric/symbolic semantics
+``repro.sim``        ODE integrators, traces, samplers
+``repro.dynamics``   plants, paths, Dubins car, closed-loop composition
+``repro.learning``   CMA-ES and direct policy search
+``repro.barrier``    the paper's synthesis + verification procedure
+``repro.experiments`` drivers regenerating every table and figure
+"""
+
+from . import barrier, dynamics, expr, intervals, learning, nn, reach, sim, smt
+from .barrier import (
+    BarrierCertificate,
+    Rectangle,
+    RectangleComplement,
+    SynthesisConfig,
+    SynthesisReport,
+    SynthesisStatus,
+    VerificationProblem,
+    verify_system,
+)
+from .dynamics import error_dynamics_system
+from .errors import ReproError
+from .learning import proportional_controller_network, train_paper_controller
+from .nn import FeedforwardNetwork, controller_network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BarrierCertificate",
+    "FeedforwardNetwork",
+    "Rectangle",
+    "RectangleComplement",
+    "ReproError",
+    "SynthesisConfig",
+    "SynthesisReport",
+    "SynthesisStatus",
+    "VerificationProblem",
+    "__version__",
+    "barrier",
+    "controller_network",
+    "dynamics",
+    "error_dynamics_system",
+    "expr",
+    "intervals",
+    "learning",
+    "nn",
+    "reach",
+    "proportional_controller_network",
+    "sim",
+    "smt",
+    "train_paper_controller",
+    "verify_system",
+]

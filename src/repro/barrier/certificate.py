@@ -1,0 +1,260 @@
+"""Barrier certificates and their verification conditions.
+
+A :class:`BarrierCertificate` packages the verified artifact: the
+generator function ``W``, the level ``l``, and ``B(x) = W(x) - l``,
+together with the machinery to (re-)check the paper's three conditions
+
+(5) ``∃x ∈ D \\ X0 : ∇W(x)·f(x) >= -gamma``      — must be UNSAT
+(6) ``∃x ∈ X0 : W(x) > l``                        — must be UNSAT
+(7) ``∃x : W(x) <= l ∧ x ∈ U``                    — must be UNSAT
+
+against the δ-SAT solver.  :meth:`BarrierCertificate.verify` re-runs all
+three and returns a :class:`CertificateCheck` report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..dynamics import ContinuousSystem
+from ..errors import GeometryError
+from ..expr import Expr, compile_expression, gradient, simplify, sum_expr
+from ..smt import (
+    IcpConfig,
+    SmtResult,
+    Subproblem,
+    check_exists_on_boxes,
+    ge,
+    gt,
+    le,
+)
+from .levelset import ellipsoid_bounding_rectangle, quadratic_forms
+from .sets import Halfspace, Rectangle, RectangleComplement, box_difference
+from .templates import QuadraticTemplate
+
+__all__ = [
+    "VerificationProblem",
+    "lie_derivative_expr",
+    "condition5_subproblems",
+    "condition6_subproblems",
+    "condition7_subproblems",
+    "CertificateCheck",
+    "BarrierCertificate",
+]
+
+
+@dataclass
+class VerificationProblem:
+    """The safety question: system + initial set + unsafe set + domain.
+
+    ``domain`` is the rectangle whose interior (minus ``X0`` and ``U``)
+    is the paper's search region ``D``.  In the case study it equals the
+    unsafe set's inner rectangle, so ``D = (X0 ∪ U)'`` exactly.
+    """
+
+    system: ContinuousSystem
+    initial_set: Rectangle
+    unsafe_set: RectangleComplement
+    domain: Rectangle | None = None
+
+    def __post_init__(self) -> None:
+        n = self.system.dimension
+        if self.initial_set.dimension != n or self.unsafe_set.dimension != n:
+            raise GeometryError("set dimensions do not match the system")
+        if self.domain is None:
+            self.domain = self.unsafe_set.safe_rectangle
+        if self.domain.dimension != n:
+            raise GeometryError("domain dimension does not match the system")
+        inner = self.unsafe_set.safe_rectangle
+        if not (
+            inner.contains(self.initial_set.lower)
+            and inner.contains(self.initial_set.upper)
+        ):
+            raise GeometryError("the initial set must lie inside the safe rectangle")
+
+    @property
+    def state_names(self) -> list[str]:
+        """State variable names (column order everywhere)."""
+        return self.system.state_names
+
+
+def lie_derivative_expr(w_expr: Expr, system: ContinuousSystem) -> Expr:
+    """Symbolic ``∇W(x) · f(x)``."""
+    grads = gradient(w_expr, system.state_names)
+    terms = [g * f for g, f in zip(grads, system.field_exprs)]
+    return simplify(sum_expr(terms))
+
+
+def condition5_subproblems(
+    w_expr: Expr,
+    problem: VerificationProblem,
+    gamma: float,
+) -> list[Subproblem]:
+    """Eq. (5): ``∇W·f >= -gamma`` somewhere in ``D \\ X0``.
+
+    The search region ``domain \\ X0`` is covered exactly by boxes, so
+    the membership constraints reduce to the single Lie-derivative
+    inequality per box.
+    """
+    lie = lie_derivative_expr(w_expr, problem.system)
+    constraint = ge(lie, -float(gamma), name="lie-derivative")
+    regions = box_difference(problem.domain, problem.initial_set)
+    return [
+        Subproblem([constraint], region, label=f"eq5-box{i}")
+        for i, region in enumerate(regions)
+    ]
+
+
+def condition6_subproblems(
+    w_expr: Expr, problem: VerificationProblem, level: float
+) -> list[Subproblem]:
+    """Eq. (6): some point of ``X0`` escapes the level set (``W > l``)."""
+    constraint = gt(w_expr, float(level), name="outside-level-set")
+    return [Subproblem([constraint], problem.initial_set.to_box(), label="eq6")]
+
+
+def condition7_subproblems(
+    w_expr: Expr,
+    problem: VerificationProblem,
+    level: float,
+    level_region: Rectangle,
+) -> list[Subproblem]:
+    """Eq. (7): the level set meets the unsafe set.
+
+    ``level_region`` is a bounding rectangle of ``{W <= l}`` (for
+    quadratic ``W``, the exact ellipsoid bounding box); each unsafe
+    halfspace contributes one bounded subproblem: the part of the level
+    region on the unsafe side of the facet.
+    """
+    inside = le(w_expr, float(level), name="inside-level-set")
+    subproblems: list[Subproblem] = []
+    names = problem.state_names
+    for i, halfspace in enumerate(problem.unsafe_set.halfspaces()):
+        region = _clip_to_halfspace(level_region, halfspace)
+        if region is None:
+            continue  # level region provably clear of this facet
+        membership = halfspace.membership_constraint(names)
+        subproblems.append(
+            Subproblem([inside, membership], region.to_box(), label=f"eq7-hs{i}")
+        )
+    return subproblems
+
+
+def _clip_to_halfspace(region: Rectangle, halfspace: Halfspace) -> Rectangle | None:
+    """Intersect a rectangle with an *axis-aligned* halfspace.
+
+    Unsafe sets built from rectangle complements always have axis-aligned
+    facets; general halfspaces fall back to the whole rectangle (sound,
+    just less tight).
+    """
+    normal = halfspace.normal
+    nonzero = np.flatnonzero(normal)
+    if len(nonzero) != 1:
+        return region
+    axis = int(nonzero[0])
+    coefficient = normal[axis]
+    bound = halfspace.offset / coefficient
+    lower = region.lower.copy()
+    upper = region.upper.copy()
+    if coefficient > 0:  # x_axis >= bound
+        lower[axis] = max(lower[axis], bound)
+    else:  # x_axis <= bound
+        upper[axis] = min(upper[axis], bound)
+    if lower[axis] >= upper[axis]:
+        return None
+    return Rectangle(lower, upper)
+
+
+@dataclass
+class CertificateCheck:
+    """Verdicts of the three conditions for one certificate."""
+
+    condition5: SmtResult
+    condition6: SmtResult
+    condition7: SmtResult
+
+    @property
+    def all_unsat(self) -> bool:
+        """True when all three checks prove their condition."""
+        return (
+            self.condition5.is_unsat
+            and self.condition6.is_unsat
+            and self.condition7.is_unsat
+        )
+
+
+class BarrierCertificate:
+    """A proven (or candidate) barrier ``B(x) = W(x) - l``."""
+
+    def __init__(
+        self,
+        w_expr: Expr,
+        level: float,
+        problem: VerificationProblem,
+        gamma: float,
+        template: QuadraticTemplate | None = None,
+        coefficients: np.ndarray | None = None,
+    ):
+        self.w_expr = w_expr
+        self.level = float(level)
+        self.problem = problem
+        self.gamma = float(gamma)
+        self.template = template
+        self.coefficients = (
+            None if coefficients is None else np.asarray(coefficients, dtype=float)
+        )
+        self._w_tape = compile_expression(w_expr, problem.state_names)
+
+    @property
+    def barrier_expr(self) -> Expr:
+        """``B(x) = W(x) - l``."""
+        return self.w_expr - self.level
+
+    def w_values(self, points: np.ndarray) -> np.ndarray:
+        """Numeric ``W`` at points."""
+        return self._w_tape.eval_points(np.atleast_2d(points))
+
+    def barrier_values(self, points: np.ndarray) -> np.ndarray:
+        """Numeric ``B = W - l`` at points."""
+        return self.w_values(points) - self.level
+
+    def level_set_contains(self, point: Sequence[float]) -> bool:
+        """True when the point lies in ``L = {W <= l}`` (certified safe)."""
+        return float(self.w_values(np.asarray(point)[None, :])[0]) <= self.level
+
+    def level_region(self, padding: float = 1e-9) -> Rectangle:
+        """Bounding rectangle of the level set (quadratic templates only)."""
+        if self.template is None or self.coefficients is None:
+            raise GeometryError(
+                "level_region requires the quadratic template and coefficients"
+            )
+        p_matrix, q_vector = quadratic_forms(self.template, self.coefficients)
+        return ellipsoid_bounding_rectangle(p_matrix, q_vector, self.level, padding)
+
+    def verify(self, icp_config: IcpConfig | None = None) -> CertificateCheck:
+        """Re-run the three SMT conditions from scratch."""
+        names = self.problem.state_names
+        result5 = check_exists_on_boxes(
+            condition5_subproblems(self.w_expr, self.problem, self.gamma),
+            names,
+            icp_config,
+        )
+        result6 = check_exists_on_boxes(
+            condition6_subproblems(self.w_expr, self.problem, self.level),
+            names,
+            icp_config,
+        )
+        result7 = check_exists_on_boxes(
+            condition7_subproblems(
+                self.w_expr, self.problem, self.level, self.level_region()
+            ),
+            names,
+            icp_config,
+        )
+        return CertificateCheck(result5, result6, result7)
+
+    def __repr__(self) -> str:
+        return f"<BarrierCertificate level={self.level:.6g} gamma={self.gamma:g}>"

@@ -1,0 +1,149 @@
+"""Level-set selection for quadratic generator functions (Section 3).
+
+For quadratic ``W(x) = x^T P x + q^T x`` the sublevel set
+``L = {x : W(x) <= l}`` is an ellipsoid, and the paper's two geometric
+requirements have closed forms:
+
+* ``X0 ⊂ L``   ⇔   ``l >= max over X0 vertices of W`` (a convex function
+  attains its maximum over a polytope at a vertex);
+* ``L ∩ U = ∅`` ⇔ ``l < min over U's halfspace boundaries of W``
+  (the minimum of ``W`` on ``a·x = b`` solved by one KKT system).
+
+The resulting interval ``(l_lo, l_hi)`` is the exact feasible range in
+real arithmetic; the synthesis loop still confirms the chosen ``l`` with
+the paper's SMT queries (6)–(7) and binary-searches inside the interval
+if floating-point slack makes an endpoint fail.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import LevelSetError
+from .sets import Halfspace, Rectangle
+from .templates import QuadraticTemplate
+
+__all__ = [
+    "quadratic_forms",
+    "min_on_hyperplane",
+    "level_bounds",
+    "ellipsoid_bounding_rectangle",
+]
+
+
+def quadratic_forms(
+    template: QuadraticTemplate, coefficients: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(P, q)`` of the fitted quadratic."""
+    return template.p_matrix(coefficients), template.q_vector(coefficients)
+
+
+def min_on_hyperplane(
+    p_matrix: np.ndarray, q_vector: np.ndarray, normal: np.ndarray, offset: float
+) -> float:
+    """Minimum of ``x^T P x + q^T x`` subject to ``normal · x = offset``.
+
+    Solved via the KKT system; returns ``-inf`` when the restriction of
+    ``P`` to the hyperplane is not positive semidefinite (the quadratic
+    is unbounded below there).
+    """
+    n = p_matrix.shape[0]
+    normal = np.asarray(normal, dtype=float)
+    # Check curvature on the hyperplane's tangent space: P restricted to
+    # the orthogonal complement of `normal` must be PSD for a finite min.
+    basis = _null_space(normal)
+    if basis.size:
+        restricted = basis.T @ p_matrix @ basis
+        eigenvalues = np.linalg.eigvalsh(0.5 * (restricted + restricted.T))
+        if eigenvalues.min() < -1e-12:
+            return -math.inf
+    kkt = np.zeros((n + 1, n + 1))
+    kkt[:n, :n] = 2.0 * p_matrix
+    kkt[:n, n] = normal
+    kkt[n, :n] = normal
+    rhs = np.concatenate([-q_vector, [offset]])
+    try:
+        solution = np.linalg.solve(kkt, rhs)
+    except np.linalg.LinAlgError:
+        solution, *_ = np.linalg.lstsq(kkt, rhs, rcond=None)
+    x_star = solution[:n]
+    return float(x_star @ p_matrix @ x_star + q_vector @ x_star)
+
+
+def _null_space(normal: np.ndarray) -> np.ndarray:
+    """Orthonormal basis of the hyperplane through the origin."""
+    n = normal.size
+    q, _ = np.linalg.qr(
+        np.hstack([normal[:, None], np.eye(n)]), mode="complete"
+    )
+    return q[:, 1:]
+
+
+def level_bounds(
+    template: QuadraticTemplate,
+    coefficients: np.ndarray,
+    initial_set: Rectangle,
+    unsafe_halfspaces: Sequence[Halfspace],
+) -> tuple[float, float]:
+    """Feasible level interval ``(l_lo, l_hi)``.
+
+    Raises
+    ------
+    LevelSetError
+        When no level separates the sets (``l_lo >= l_hi``) — the fitted
+        ``W`` cannot serve as a barrier generator for this geometry.
+    """
+    p_matrix, q_vector = quadratic_forms(template, coefficients)
+    vertices = initial_set.vertices()
+    w_vertices = template.evaluate(coefficients, vertices)
+    l_lo = float(w_vertices.max())
+
+    if not unsafe_halfspaces:
+        raise LevelSetError("the unsafe set has no halfspaces")
+    l_hi = math.inf
+    for halfspace in unsafe_halfspaces:
+        value = min_on_hyperplane(
+            p_matrix, q_vector, halfspace.normal, halfspace.offset
+        )
+        l_hi = min(l_hi, value)
+
+    if not math.isfinite(l_hi) or l_hi <= l_lo:
+        raise LevelSetError(
+            f"no separating level: initial set needs l > {l_lo:.6g} but the "
+            f"unsafe set allows l < {l_hi:.6g}"
+        )
+    return l_lo, l_hi
+
+
+def ellipsoid_bounding_rectangle(
+    p_matrix: np.ndarray,
+    q_vector: np.ndarray,
+    level: float,
+    padding: float = 1e-9,
+) -> Rectangle:
+    """Tight axis-aligned bounding rectangle of ``{x : x^T P x + q^T x <= level}``.
+
+    Requires ``P`` positive definite.  Completing the square, the set is
+    ``(x - x_c)^T P (x - x_c) <= r`` with ``x_c = -P^{-1} q / 2`` and
+    ``r = level + x_c^T P x_c``; the half-width along axis ``i`` is
+    ``sqrt(r * (P^{-1})_{ii})``.
+    """
+    eigenvalues = np.linalg.eigvalsh(0.5 * (p_matrix + p_matrix.T))
+    if eigenvalues.min() <= 0.0:
+        raise LevelSetError(
+            "ellipsoid bounding box needs positive-definite P; smallest "
+            f"eigenvalue is {eigenvalues.min():.3e}"
+        )
+    p_inv = np.linalg.inv(p_matrix)
+    center = -0.5 * p_inv @ q_vector
+    w_center = float(center @ p_matrix @ center + q_vector @ center)
+    radius = level - w_center
+    if radius <= 0.0:
+        raise LevelSetError(
+            f"level {level:.6g} is below the quadratic's minimum {w_center:.6g}"
+        )
+    half_widths = np.sqrt(radius * np.diag(p_inv)) + padding
+    return Rectangle(center - half_widths, center + half_widths)

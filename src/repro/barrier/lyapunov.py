@@ -1,0 +1,107 @@
+"""Lyapunov-equation candidate seeding.
+
+An alternative to the trace-driven LP: linearize the closed loop at its
+equilibrium (symbolic Jacobian through :func:`repro.expr.differentiate`),
+solve the Lyapunov equation ``A^T P + P A = -Q``, and use ``W = x^T P x``
+as the generator candidate.  For systems whose nonlinearity is mild over
+the domain this skips simulation entirely; when the linearization is too
+local the SMT check (5) refutes the candidate and the main loop falls
+back to the simulation-guided LP — the two generators compose cleanly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from ..dynamics import ContinuousSystem
+from ..errors import SynthesisError
+from ..expr import differentiate, evaluate
+from .lp import GeneratorCandidate
+from .templates import QuadraticTemplate
+
+__all__ = ["symbolic_jacobian", "linearize", "lyapunov_candidate"]
+
+
+def symbolic_jacobian(system: ContinuousSystem) -> list[list]:
+    """Symbolic Jacobian matrix ``J[i][j] = d f_i / d x_j``."""
+    return [
+        [differentiate(expr, name) for name in system.state_names]
+        for expr in system.field_exprs
+    ]
+
+
+def linearize(
+    system: ContinuousSystem, equilibrium: "np.ndarray | None" = None
+) -> np.ndarray:
+    """Numeric Jacobian ``A`` of the vector field at an equilibrium.
+
+    Defaults to the origin.  Raises when the given point is not an
+    equilibrium (the linear model would be meaningless for Lyapunov
+    analysis).
+    """
+    n = system.dimension
+    x0 = np.zeros(n) if equilibrium is None else np.asarray(equilibrium, float)
+    residual = system.f(x0)
+    if np.linalg.norm(residual) > 1e-6:
+        raise SynthesisError(
+            f"{x0} is not an equilibrium: |f| = {np.linalg.norm(residual):.3g}"
+        )
+    env = dict(zip(system.state_names, (float(v) for v in x0)))
+    jac = symbolic_jacobian(system)
+    return np.array(
+        [[float(evaluate(entry, env)) for entry in row] for row in jac]
+    )
+
+
+def lyapunov_candidate(
+    system: ContinuousSystem,
+    q_matrix: "np.ndarray | None" = None,
+    equilibrium: "np.ndarray | None" = None,
+) -> GeneratorCandidate:
+    """Quadratic generator from the linearization's Lyapunov equation.
+
+    Solves ``A^T P + P A = -Q`` (``Q = I`` by default) and packages
+    ``W(x) = x^T P x`` as a :class:`GeneratorCandidate` with coefficients
+    normalized into the LP's unit box, so it is interchangeable with an
+    LP-fitted candidate everywhere downstream.
+
+    Raises
+    ------
+    SynthesisError
+        When the linearization is not Hurwitz (no quadratic Lyapunov
+        function exists even locally).
+    """
+    a_matrix = linearize(system, equilibrium)
+    eigenvalues = np.linalg.eigvals(a_matrix)
+    if eigenvalues.real.max() >= 0.0:
+        raise SynthesisError(
+            "linearization is not Hurwitz (max Re lambda = "
+            f"{eigenvalues.real.max():.3g}); no local quadratic Lyapunov "
+            "function exists"
+        )
+    n = system.dimension
+    q_matrix = np.eye(n) if q_matrix is None else np.asarray(q_matrix, float)
+    p_matrix = scipy.linalg.solve_lyapunov(a_matrix.T, -q_matrix)
+    p_matrix = 0.5 * (p_matrix + p_matrix.T)
+
+    template = QuadraticTemplate(n)
+    coefficients = np.empty(template.basis_size)
+    index = 0
+    for i in range(n):
+        for j in range(i, n):
+            coefficients[index] = (
+                p_matrix[i, i] if i == j else 2.0 * p_matrix[i, j]
+            )
+            index += 1
+    scale = np.abs(coefficients).max()
+    if scale > 0:
+        coefficients = coefficients / scale
+
+    # The "margin" of an analytic candidate: the certified linear decay
+    # rate lambda_min(Q) / (2 lambda_max(P)), scale-invariant.
+    margin = float(
+        np.linalg.eigvalsh(q_matrix).min()
+        / (2.0 * np.linalg.eigvalsh(p_matrix).max())
+    )
+    return GeneratorCandidate(template, coefficients, margin, system.state_names)

@@ -1,0 +1,219 @@
+"""State-space set geometry for barrier synthesis.
+
+The paper's case study uses three kinds of sets:
+
+* the initial set ``X0`` — an axis-aligned rectangle;
+* the unsafe set ``U`` — the *complement* of a rectangle, i.e. a union
+  of axis-aligned halfspaces;
+* the search domain ``D = (X0 ∪ U)'`` — the region between them, which
+  for ICP purposes is covered exactly by a finite set of boxes
+  (:func:`box_difference`).
+
+All sets know how to express membership as SMT constraints over the
+state variables, which is how the three barrier conditions are posed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import GeometryError
+from ..expr import Expr, dot, var
+from ..intervals import Box
+from ..smt import Atom, Constraint, Formula, Or, ge, gt, le, lt
+
+__all__ = [
+    "Rectangle",
+    "Halfspace",
+    "RectangleComplement",
+    "box_difference",
+]
+
+
+class Rectangle:
+    """Axis-aligned rectangle ``[lower, upper]`` in state space."""
+
+    def __init__(self, lower: Sequence[float], upper: Sequence[float]):
+        self.lower = np.asarray(lower, dtype=float)
+        self.upper = np.asarray(upper, dtype=float)
+        if self.lower.shape != self.upper.shape or self.lower.ndim != 1:
+            raise GeometryError("lower/upper must be vectors of equal length")
+        if self.lower.size == 0:
+            raise GeometryError("rectangle needs at least one dimension")
+        if np.any(self.lower >= self.upper):
+            raise GeometryError(
+                f"degenerate rectangle: lower {self.lower} not strictly below "
+                f"upper {self.upper}"
+            )
+
+    @property
+    def dimension(self) -> int:
+        """Number of state dimensions."""
+        return self.lower.size
+
+    def contains(self, point: Sequence[float], tol: float = 0.0) -> bool:
+        """Membership test, optionally relaxed outward by ``tol``."""
+        point = np.asarray(point, dtype=float)
+        return bool(
+            np.all(point >= self.lower - tol) and np.all(point <= self.upper + tol)
+        )
+
+    def vertices(self) -> np.ndarray:
+        """All ``2^n`` corner points, shape ``(2^n, n)``."""
+        corners = itertools.product(*zip(self.lower, self.upper))
+        return np.array(list(corners))
+
+    def center(self) -> np.ndarray:
+        """Geometric center."""
+        return 0.5 * (self.lower + self.upper)
+
+    def to_box(self) -> Box:
+        """Interval-box view (for ICP regions)."""
+        return Box.from_bounds(self.lower, self.upper)
+
+    def membership_constraints(self, state_names: Sequence[str]) -> list[Constraint]:
+        """Conjunction expressing ``x ∈ rectangle``."""
+        self._check_names(state_names)
+        constraints = []
+        for name, lo, hi in zip(state_names, self.lower, self.upper):
+            x = var(name)
+            constraints.append(ge(x, float(lo), name=f"{name}>=lo"))
+            constraints.append(le(x, float(hi), name=f"{name}<=hi"))
+        return constraints
+
+    def complement_formula(self, state_names: Sequence[str]) -> Formula:
+        """Disjunction expressing ``x ∉ rectangle`` (strict outside)."""
+        self._check_names(state_names)
+        parts = []
+        for name, lo, hi in zip(state_names, self.lower, self.upper):
+            x = var(name)
+            parts.append(Atom(lt(x, float(lo), name=f"{name}<lo")))
+            parts.append(Atom(gt(x, float(hi), name=f"{name}>hi")))
+        return Or(parts)
+
+    def halfspaces(self) -> list["Halfspace"]:
+        """The ``2n`` facet halfspaces whose union is the complement."""
+        spaces = []
+        n = self.dimension
+        for axis in range(n):
+            normal = np.zeros(n)
+            normal[axis] = -1.0
+            spaces.append(Halfspace(normal, -float(self.lower[axis])))
+            normal = np.zeros(n)
+            normal[axis] = 1.0
+            spaces.append(Halfspace(normal, float(self.upper[axis])))
+        return spaces
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform samples inside the rectangle."""
+        return rng.uniform(self.lower, self.upper, size=(count, self.dimension))
+
+    def inflate(self, amount: float) -> "Rectangle":
+        """Rectangle widened by ``amount`` on every side."""
+        return Rectangle(self.lower - amount, self.upper + amount)
+
+    def _check_names(self, state_names: Sequence[str]) -> None:
+        if len(state_names) != self.dimension:
+            raise GeometryError(
+                f"{len(state_names)} names for a {self.dimension}-D rectangle"
+            )
+
+    def __repr__(self) -> str:
+        return f"Rectangle({self.lower.tolist()}, {self.upper.tolist()})"
+
+
+class Halfspace:
+    """The halfspace ``normal · x >= offset``."""
+
+    def __init__(self, normal: Sequence[float], offset: float):
+        self.normal = np.asarray(normal, dtype=float)
+        self.offset = float(offset)
+        if self.normal.ndim != 1 or np.allclose(self.normal, 0.0):
+            raise GeometryError("halfspace normal must be a nonzero vector")
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension."""
+        return self.normal.size
+
+    def contains(self, point: Sequence[float], tol: float = 0.0) -> bool:
+        """Membership test ``normal·x >= offset - tol``."""
+        return float(self.normal @ np.asarray(point, dtype=float)) >= self.offset - tol
+
+    def membership_constraint(self, state_names: Sequence[str]) -> Constraint:
+        """SMT atom for ``normal · x >= offset``."""
+        if len(state_names) != self.dimension:
+            raise GeometryError(
+                f"{len(state_names)} names for a {self.dimension}-D halfspace"
+            )
+        expr: Expr = dot(self.normal, [var(n) for n in state_names])
+        return ge(expr, self.offset, name="halfspace")
+
+    def __repr__(self) -> str:
+        return f"Halfspace({self.normal.tolist()} . x >= {self.offset:g})"
+
+
+class RectangleComplement:
+    """The unsafe set of the case study: everything outside a rectangle."""
+
+    def __init__(self, safe_rectangle: Rectangle):
+        self.safe_rectangle = safe_rectangle
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension."""
+        return self.safe_rectangle.dimension
+
+    def contains(self, point: Sequence[float], tol: float = 0.0) -> bool:
+        """True when the point is outside the safe rectangle (shrunk by tol)."""
+        return not self.safe_rectangle.contains(point, tol=-tol)
+
+    def halfspaces(self) -> list[Halfspace]:
+        """Halfspace decomposition ``U = ∪ {a_i · x >= b_i}``."""
+        return self.safe_rectangle.halfspaces()
+
+    def membership_formula(self, state_names: Sequence[str]) -> Formula:
+        """Disjunction expressing ``x ∈ U``."""
+        return self.safe_rectangle.complement_formula(state_names)
+
+    def __repr__(self) -> str:
+        return f"RectangleComplement(outside {self.safe_rectangle!r})"
+
+
+def box_difference(outer: Rectangle, inner: Rectangle) -> list[Box]:
+    """Exact box cover of ``outer \\ inner`` (slab decomposition).
+
+    Peels one axis at a time: for each axis the strips of ``outer``
+    strictly below/above ``inner`` become boxes, and the remaining
+    region shrinks to the overlap along that axis.  Produces at most
+    ``2n`` boxes whose union is exactly the set difference (up to shared
+    faces, which is harmless for closed-box ICP search).
+    """
+    if outer.dimension != inner.dimension:
+        raise GeometryError("dimension mismatch in box_difference")
+    boxes: list[Box] = []
+    lower = outer.lower.copy()
+    upper = outer.upper.copy()
+    for axis in range(outer.dimension):
+        clip_lo = max(inner.lower[axis], lower[axis])
+        clip_hi = min(inner.upper[axis], upper[axis])
+        if clip_lo >= clip_hi:
+            # No overlap along this axis: the remaining region is disjoint
+            # from the inner rectangle and survives whole.
+            boxes.append(Box.from_bounds(lower, upper))
+            return boxes
+        if lower[axis] < clip_lo:
+            below_upper = upper.copy()
+            below_upper[axis] = clip_lo
+            boxes.append(Box.from_bounds(lower, below_upper))
+        if clip_hi < upper[axis]:
+            above_lower = lower.copy()
+            above_lower[axis] = clip_hi
+            boxes.append(Box.from_bounds(above_lower, upper))
+        lower[axis] = clip_lo
+        upper[axis] = clip_hi
+    # What remains is inside the inner rectangle -> excluded.
+    return boxes

@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+verify    run the Figure-1 verification on a controller (hand-built,
+          trained on the fly, or loaded from JSON)
+train     CMA-ES policy search; optionally save the controller
+falsify   simulation-based falsification baseline on the same problem
+table1    regenerate Table 1
+figure4   regenerate Figure 4's training-evolution metrics
+figure5   regenerate Figure 5 (phase portrait, ASCII)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Barrier-certificate verification of NN-controlled CPS "
+        "(reproduction of Tuncali et al., DAC 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_verify = sub.add_parser("verify", help="verify a controller")
+    p_verify.add_argument("--neurons", type=int, default=10)
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.add_argument("--delta", type=float, default=1e-3)
+    p_verify.add_argument("--gamma", type=float, default=1e-6)
+    p_verify.add_argument(
+        "--controller", type=str, default="",
+        help="JSON file of a saved controller (default: hand-built)",
+    )
+    p_verify.add_argument(
+        "--trained", action="store_true",
+        help="train with CMA-ES before verifying",
+    )
+
+    p_train = sub.add_parser("train", help="CMA-ES policy search")
+    p_train.add_argument("--neurons", type=int, default=10)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--population", type=int, default=24)
+    p_train.add_argument("--iterations", type=int, default=30)
+    p_train.add_argument("--safe", action="store_true",
+                         help="add the simulated safety penalty (future-work mode)")
+    p_train.add_argument("--save", type=str, default="")
+
+    p_falsify = sub.add_parser("falsify", help="falsification baseline")
+    p_falsify.add_argument("--neurons", type=int, default=10)
+    p_falsify.add_argument("--seed", type=int, default=0)
+    p_falsify.add_argument("--budget", type=int, default=200)
+    p_falsify.add_argument(
+        "--method", choices=("random", "cmaes"), default="cmaes"
+    )
+    p_falsify.add_argument(
+        "--unsafe-controller", action="store_true",
+        help="flip the controller gains to demo a successful falsification",
+    )
+
+    p_table1 = sub.add_parser("table1", help="regenerate Table 1")
+    p_table1.add_argument(
+        "--widths", type=int, nargs="+", default=None,
+        help="hidden-layer widths (default: the paper's 12)",
+    )
+    p_table1.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+
+    p_fig4 = sub.add_parser("figure4", help="regenerate Figure 4 metrics")
+    p_fig4.add_argument("--neurons", type=int, default=10)
+    p_fig4.add_argument("--seed", type=int, default=0)
+    p_fig4.add_argument("--population", type=int, default=28)
+    p_fig4.add_argument("--iterations", type=int, default=32)
+
+    p_fig5 = sub.add_parser("figure5", help="regenerate Figure 5 (ASCII)")
+    p_fig5.add_argument("--neurons", type=int, default=10)
+    p_fig5.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .barrier import SynthesisConfig, verify_system
+    from .experiments import case_study_controller, paper_problem
+    from .nn import load_network
+    from .smt import IcpConfig
+
+    if args.controller:
+        network = load_network(args.controller)
+    else:
+        network = case_study_controller(
+            args.neurons, trained=args.trained, seed=args.seed
+        )
+    problem = paper_problem(network)
+    config = SynthesisConfig(
+        seed=args.seed, gamma=args.gamma, icp=IcpConfig(delta=args.delta)
+    )
+    report = verify_system(problem, config=config)
+    print(f"status: {report.status.value}")
+    print(f"candidate iterations: {report.candidate_iterations}")
+    print(
+        f"time: LP {report.lp_seconds:.2f}s, SMT {report.query_seconds:.2f}s, "
+        f"other {report.other_seconds:.2f}s, total {report.total_seconds:.2f}s"
+    )
+    if report.verified:
+        print(f"barrier level: {report.level:.6g}")
+        return 0
+    return 1
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .learning import train_paper_controller
+    from .learning.safe_train import train_safe_controller
+    from .nn import save_network
+
+    if args.safe:
+        result = train_safe_controller(
+            hidden_neurons=args.neurons,
+            seed=args.seed,
+            population_size=args.population,
+            max_iterations=args.iterations,
+        )
+        network = result.network
+        print(
+            f"tracking cost {result.tracking_cost:.1f}, "
+            f"safety penalty {result.safety_penalty:.1f}, "
+            f"verified: {result.verified}"
+        )
+    else:
+        outcome = train_paper_controller(
+            hidden_neurons=args.neurons,
+            seed=args.seed,
+            population_size=args.population,
+            max_iterations=args.iterations,
+        )
+        network = outcome.network
+        history = outcome.cmaes.history
+        print(f"cost J: {history[0]:.1f} -> {history[-1]:.1f}")
+    if args.save:
+        save_network(network, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_falsify(args: argparse.Namespace) -> int:
+    from .barrier.falsify import falsify_cmaes, falsify_random
+    from .experiments import paper_problem
+    from .learning import proportional_controller_network
+
+    gain = -1.0 if args.unsafe_controller else 1.0
+    network = proportional_controller_network(
+        args.neurons, d_gain=0.6 * gain, theta_gain=2.0 * gain
+    )
+    problem = paper_problem(network)
+    falsifier = falsify_cmaes if args.method == "cmaes" else falsify_random
+    result = falsifier(
+        problem.system,
+        problem.initial_set,
+        problem.unsafe_set,
+        budget=args.budget,
+        seed=args.seed,
+    )
+    print(result)
+    if result.falsified:
+        print(f"counterexample initial state: {result.best_initial_state}")
+        return 0
+    print("no counterexample found — run `repro verify` for an actual proof")
+    return 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments import PAPER_NEURON_COUNTS, format_table1, run_table1
+
+    widths = tuple(args.widths) if args.widths else PAPER_NEURON_COUNTS
+    rows = run_table1(neuron_counts=widths, seeds=tuple(args.seeds))
+    print(format_table1(rows))
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    from .experiments import format_figure4, run_figure4
+
+    data = run_figure4(
+        hidden_neurons=args.neurons,
+        seed=args.seed,
+        population_size=args.population,
+        max_iterations=args.iterations,
+        snapshot_iterations=(5, args.iterations // 2),
+    )
+    print(format_figure4(data))
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    from .experiments import format_figure5, render_ascii, run_figure5
+
+    data = run_figure5(hidden_neurons=args.neurons, seed=args.seed)
+    print(format_figure5(data))
+    print()
+    print(render_ascii(data))
+    return 0
+
+
+_COMMANDS = {
+    "verify": _cmd_verify,
+    "train": _cmd_train,
+    "falsify": _cmd_falsify,
+    "table1": _cmd_table1,
+    "figure4": _cmd_figure4,
+    "figure5": _cmd_figure5,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Plants, paths, and closed-loop system construction."""
+
+from .closed_loop import Plant, compose
+from .dubins import DubinsCar, PathFollowingLoop
+from .errors_dynamics import (
+    STATE_NAMES,
+    error_dynamics_system,
+    error_field_exprs,
+    numeric_error_field,
+)
+from .library import (
+    dubins_error_plant,
+    inverted_pendulum_plant,
+    linear_plant,
+    stable_linear_system,
+    van_der_pol_system,
+)
+from .path import (
+    PathErrors,
+    PiecewiseLinearPath,
+    StraightLinePath,
+    heading_vector,
+)
+from .system import ContinuousSystem
+
+__all__ = [
+    "ContinuousSystem",
+    "DubinsCar",
+    "PathErrors",
+    "PathFollowingLoop",
+    "PiecewiseLinearPath",
+    "Plant",
+    "STATE_NAMES",
+    "StraightLinePath",
+    "compose",
+    "dubins_error_plant",
+    "error_dynamics_system",
+    "error_field_exprs",
+    "heading_vector",
+    "inverted_pendulum_plant",
+    "linear_plant",
+    "numeric_error_field",
+    "stable_linear_system",
+    "van_der_pol_system",
+]

@@ -1,0 +1,119 @@
+"""Dubins car kinematics (the paper's vehicle model, Section 4.1.1).
+
+State ``(x_v, y_v, theta_v)`` with the clockwise-from-+y orientation
+convention of Figure 3a:
+
+.. math::
+
+    \\dot x_v = V \\sin\\theta_v, \\qquad
+    \\dot y_v = V \\cos\\theta_v, \\qquad
+    \\dot\\theta_v = u,
+
+where ``u`` is the steering (turn-rate) control and the speed ``V`` is
+constant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..expr import Expr, cos, sin, var
+from ..sim import Simulator, Trace
+from .path import PathErrors, PiecewiseLinearPath, StraightLinePath
+
+__all__ = ["DubinsCar", "PathFollowingLoop"]
+
+
+class DubinsCar:
+    """Constant-speed Dubins car."""
+
+    #: state variable names, fixing the coordinate order
+    STATE_NAMES = ("xv", "yv", "thetav")
+
+    def __init__(self, speed: float = 1.0):
+        if speed <= 0.0:
+            raise ReproError(f"speed must be positive, got {speed}")
+        self.speed = float(speed)
+
+    def derivatives(self, state: Sequence[float], u: float) -> np.ndarray:
+        """``[x_v', y_v', theta_v']`` for steering input ``u``."""
+        state = np.asarray(state, dtype=float)
+        if state.shape != (3,):
+            raise ReproError(f"Dubins state must be (xv, yv, thetav), got {state.shape}")
+        theta = state[2]
+        return np.array(
+            [self.speed * math.sin(theta), self.speed * math.cos(theta), float(u)]
+        )
+
+    def symbolic_derivatives(self, u: "Expr | float") -> list[Expr]:
+        """Symbolic vector field over variables ``xv, yv, thetav``."""
+        theta = var("thetav")
+        return [self.speed * sin(theta), self.speed * cos(theta), _as_expr(u)]
+
+    def __repr__(self) -> str:
+        return f"DubinsCar(speed={self.speed:g})"
+
+
+def _as_expr(u: "Expr | float") -> Expr:
+    from ..expr import as_expr
+
+    return as_expr(u)
+
+
+class PathFollowingLoop:
+    """Full-state closed loop: car + target path + error-fed controller.
+
+    This is the system of Figure 2: at each state the preprocessing block
+    computes ``(d_err, theta_err)`` against the target path, feeds them to
+    the controller, and the resulting steering drives the car.  Used for
+    training (Figure 4) and for validating controllers on arbitrary
+    paths; the *verification* model is the reduced error dynamics in
+    :mod:`repro.dynamics.errors_dynamics`.
+    """
+
+    def __init__(
+        self,
+        car: DubinsCar,
+        path: "StraightLinePath | PiecewiseLinearPath",
+        controller: Callable[[np.ndarray], "float | np.ndarray"],
+    ):
+        self.car = car
+        self.path = path
+        self.controller = controller
+
+    def errors(self, state: Sequence[float]) -> PathErrors:
+        """Path errors at a full vehicle state."""
+        state = np.asarray(state, dtype=float)
+        return self.path.errors(state[:2], state[2])
+
+    def control(self, state: Sequence[float]) -> float:
+        """Steering command at a full vehicle state."""
+        errors = self.errors(state)
+        u = self.controller(errors.as_vector())
+        return float(np.atleast_1d(u)[0])
+
+    def vector_field(self, state: np.ndarray) -> np.ndarray:
+        """Closed-loop ``f(state)`` for simulation."""
+        return self.car.derivatives(state, self.control(state))
+
+    def simulate(
+        self,
+        initial_state: Sequence[float],
+        duration: float,
+        dt: float = 0.02,
+        method: str = "rk4",
+    ) -> Trace:
+        """Simulate the closed loop, recording steering as the trace input."""
+        sim = Simulator(
+            self.vector_field,
+            input_function=lambda s: np.array([self.control(s)]),
+            method=method,
+        )
+        return sim.simulate(initial_state, duration, dt)
+
+    def __repr__(self) -> str:
+        return f"<PathFollowingLoop {self.car!r} on {self.path!r}>"

@@ -1,0 +1,172 @@
+"""A small library of benchmark plants.
+
+These plants exercise the generic composition path
+(:func:`repro.dynamics.closed_loop.compose`) beyond the paper's Dubins
+case study: a linear system with a known analytic barrier (ground truth
+for tests), the torque-limited inverted pendulum, and the Van der Pol
+oscillator run backwards (a classic unsafe-set benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..expr import Expr, sin, var
+from .closed_loop import Plant
+from .errors_dynamics import error_field_exprs
+from .system import ContinuousSystem
+
+__all__ = [
+    "linear_plant",
+    "stable_linear_system",
+    "inverted_pendulum_plant",
+    "van_der_pol_system",
+    "dubins_error_plant",
+]
+
+
+def linear_plant(
+    a_matrix: np.ndarray,
+    b_matrix: np.ndarray,
+    state_prefix: str = "x",
+    input_prefix: str = "u",
+) -> Plant:
+    """``x' = A x + B u`` with full-state output."""
+    a_matrix = np.asarray(a_matrix, dtype=float)
+    b_matrix = np.asarray(b_matrix, dtype=float)
+    if a_matrix.ndim != 2 or a_matrix.shape[0] != a_matrix.shape[1]:
+        raise ReproError(f"A must be square, got {a_matrix.shape}")
+    n = a_matrix.shape[0]
+    if b_matrix.shape[0] != n:
+        raise ReproError(f"B has {b_matrix.shape[0]} rows, expected {n}")
+    m = b_matrix.shape[1]
+    states = [var(f"{state_prefix}{i}") for i in range(n)]
+    inputs = [var(f"{input_prefix}{j}") for j in range(m)]
+    exprs: list[Expr] = []
+    for i in range(n):
+        terms: Expr = sum(
+            (float(a_matrix[i, j]) * states[j] for j in range(n)),
+            start=0.0 * states[0],
+        )
+        for j in range(m):
+            if b_matrix[i, j] != 0.0:
+                terms = terms + float(b_matrix[i, j]) * inputs[j]
+        exprs.append(terms)
+    return Plant(
+        state_names=[s.name for s in states],
+        input_names=[u.name for u in inputs],
+        field_exprs=exprs,
+        name="linear",
+    )
+
+
+def stable_linear_system(
+    a_matrix: "np.ndarray | Sequence[Sequence[float]]",
+    state_prefix: str = "x",
+) -> ContinuousSystem:
+    """Autonomous linear system ``x' = A x`` (no controller).
+
+    With Hurwitz ``A``, any Lyapunov solution ``P`` of
+    ``A^T P + P A = -Q`` gives the analytic generator function
+    ``W(x) = x^T P x`` — the test suite's ground truth.
+    """
+    a_matrix = np.asarray(a_matrix, dtype=float)
+    if a_matrix.ndim != 2 or a_matrix.shape[0] != a_matrix.shape[1]:
+        raise ReproError(f"A must be square, got {a_matrix.shape}")
+    n = a_matrix.shape[0]
+    states = [var(f"{state_prefix}{i}") for i in range(n)]
+    exprs = []
+    for i in range(n):
+        expr: Expr = sum(
+            (float(a_matrix[i, j]) * states[j] for j in range(n) if a_matrix[i, j] != 0.0),
+            start=0.0 * states[0],
+        )
+        exprs.append(expr)
+
+    def numeric(x: np.ndarray) -> np.ndarray:
+        return a_matrix @ x
+
+    return ContinuousSystem(
+        state_names=[s.name for s in states],
+        field_exprs=exprs,
+        numeric_override=numeric,
+        name="linear-autonomous",
+    )
+
+
+def inverted_pendulum_plant(
+    mass: float = 0.5,
+    length: float = 0.5,
+    gravity: float = 9.81,
+    damping: float = 0.1,
+) -> Plant:
+    """Torque-controlled inverted pendulum about the upright equilibrium.
+
+    States ``(theta, omega)``; dynamics
+    ``theta' = omega``,
+    ``omega' = (g/l) sin(theta) - (b/(m l^2)) omega + u/(m l^2)``.
+    """
+    if mass <= 0 or length <= 0:
+        raise ReproError("mass and length must be positive")
+    theta, omega, torque = var("theta"), var("omega"), var("torque")
+    inertia = mass * length * length
+    exprs = [
+        omega,
+        (gravity / length) * sin(theta)
+        - (damping / inertia) * omega
+        + (1.0 / inertia) * torque,
+    ]
+    return Plant(
+        state_names=["theta", "omega"],
+        input_names=["torque"],
+        field_exprs=exprs,
+        name="inverted-pendulum",
+    )
+
+
+def van_der_pol_system(mu: float = 1.0, reversed_time: bool = True) -> ContinuousSystem:
+    """Van der Pol oscillator; reversed time makes the origin attractive.
+
+    ``x' = -y``, ``y' = x - mu (1 - x^2) y`` (reversed).  A standard
+    barrier-certificate benchmark: the reversed system's basin is bounded
+    by the (unstable) limit cycle.
+    """
+    x, y = var("x0"), var("x1")
+    if reversed_time:
+        exprs = [-1.0 * y, x - mu * (1.0 - x * x) * y]
+    else:
+        exprs = [y, mu * (1.0 - x * x) * y - x]
+
+    def numeric(state: np.ndarray) -> np.ndarray:
+        xv, yv = state
+        if reversed_time:
+            return np.array([-yv, xv - mu * (1.0 - xv * xv) * yv])
+        return np.array([yv, mu * (1.0 - xv * xv) * yv - xv])
+
+    return ContinuousSystem(
+        state_names=["x0", "x1"],
+        field_exprs=exprs,
+        numeric_override=numeric,
+        name="van-der-pol" + ("-reversed" if reversed_time else ""),
+    )
+
+
+def dubins_error_plant(speed: float = 1.0, theta_r: float = 0.0) -> Plant:
+    """The error-dynamics plant with the steering input left open.
+
+    Composing this with a 2-in/1-out network via
+    :func:`repro.dynamics.compose` reproduces
+    :func:`repro.dynamics.error_dynamics_system` — the integration tests
+    assert both constructions agree.
+    """
+    u = var("u")
+    exprs = error_field_exprs(u, speed=speed, theta_r=theta_r, simplified=True)
+    return Plant(
+        state_names=["derr", "thetaerr"],
+        input_names=["u"],
+        field_exprs=exprs,
+        name="dubins-error",
+    )

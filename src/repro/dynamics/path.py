@@ -1,0 +1,184 @@
+"""Target paths and path-following error computation.
+
+Implements the paper's Section 4.1.2 conventions exactly:
+
+* the vehicle orientation ``theta_v`` is the **clockwise** angle from the
+  positive y-axis (Figure 3a);
+* ``theta_err = theta_r - theta_v`` where ``theta_r`` is the tangent
+  orientation of the path at the closest point (Eq. 11);
+* ``d_err`` is the distance to the path, **negative when the vehicle is
+  to the right** of the path (Section 4.1.2).
+
+Two path classes are provided: an infinite straight line (the
+verification case study) and a piecewise-linear chain of waypoints (the
+training path of Figure 4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import GeometryError
+
+__all__ = ["PathErrors", "StraightLinePath", "PiecewiseLinearPath", "heading_vector"]
+
+
+def heading_vector(theta_v: float) -> np.ndarray:
+    """Unit direction of travel for a clockwise-from-+y orientation.
+
+    With the paper's convention (Eqs. 8–9): ``x' = V sin(theta)``,
+    ``y' = V cos(theta)``, so the heading is ``(sin(theta), cos(theta))``.
+    """
+    return np.array([math.sin(theta_v), math.cos(theta_v)])
+
+
+class PathErrors:
+    """The pair ``(d_err, theta_err)`` plus the closest path point."""
+
+    def __init__(self, d_err: float, theta_err: float, closest_point: np.ndarray):
+        self.d_err = float(d_err)
+        self.theta_err = float(theta_err)
+        self.closest_point = np.asarray(closest_point, dtype=float)
+
+    def as_vector(self) -> np.ndarray:
+        """``[d_err, theta_err]`` — the NN controller's input layout."""
+        return np.array([self.d_err, self.theta_err])
+
+    def __repr__(self) -> str:
+        return f"PathErrors(d_err={self.d_err:.4g}, theta_err={self.theta_err:.4g})"
+
+
+def _wrap_angle(angle: float) -> float:
+    """Wrap to (-pi, pi]."""
+    wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)
+    if wrapped <= 0.0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi
+
+
+def _signed_errors(
+    position: np.ndarray,
+    closest: np.ndarray,
+    tangent_angle: float,
+    theta_v: float,
+) -> PathErrors:
+    """Common error computation given the closest point and tangent."""
+    offset = position - closest
+    distance = float(np.linalg.norm(offset))
+    # Left-of-path test via the 2-D cross product tangent x offset.  For a
+    # straight line through the origin this equals the paper's Eq. 12:
+    # d_err = -xv*cos(theta_r) + yv*sin(theta_r), positive on the left.
+    tangent = heading_vector(tangent_angle)
+    cross = tangent[0] * offset[1] - tangent[1] * offset[0]
+    d_err = distance if cross > 0.0 else -distance
+    theta_err = _wrap_angle(tangent_angle - theta_v)
+    return PathErrors(d_err, theta_err, closest)
+
+
+class StraightLinePath:
+    """An infinite straight line through ``origin`` with orientation ``theta_r``.
+
+    ``theta_r`` follows the vehicle convention (clockwise from +y).
+    """
+
+    def __init__(self, theta_r: float = 0.0, origin: Sequence[float] = (0.0, 0.0)):
+        self.theta_r = float(theta_r)
+        self.origin = np.asarray(origin, dtype=float)
+        if self.origin.shape != (2,):
+            raise GeometryError("origin must be a 2-D point")
+        self._direction = heading_vector(self.theta_r)
+
+    def closest_point(self, position: Sequence[float]) -> tuple[np.ndarray, float]:
+        """Orthogonal projection onto the line and the tangent angle there."""
+        position = np.asarray(position, dtype=float)
+        t = float(np.dot(position - self.origin, self._direction))
+        return self.origin + t * self._direction, self.theta_r
+
+    def errors(self, position: Sequence[float], theta_v: float) -> PathErrors:
+        """Paper-convention ``(d_err, theta_err)`` for a vehicle pose."""
+        closest, tangent = self.closest_point(position)
+        return _signed_errors(np.asarray(position, float), closest, tangent, theta_v)
+
+    def point_at(self, arc_length: float) -> np.ndarray:
+        """Point at a given (signed) arc length from the origin."""
+        return self.origin + arc_length * self._direction
+
+    @property
+    def end_point(self) -> np.ndarray:
+        """Lines have no end; the origin stands in for cost bookkeeping."""
+        return self.origin
+
+    def __repr__(self) -> str:
+        return f"StraightLinePath(theta_r={self.theta_r:.4g}, origin={self.origin.tolist()})"
+
+
+class PiecewiseLinearPath:
+    """A chain of straight segments through ``waypoints`` (Figure 4's path)."""
+
+    def __init__(self, waypoints: Sequence[Sequence[float]]):
+        self.waypoints = np.asarray(waypoints, dtype=float)
+        if self.waypoints.ndim != 2 or self.waypoints.shape[1] != 2:
+            raise GeometryError("waypoints must be an (k, 2) array")
+        if self.waypoints.shape[0] < 2:
+            raise GeometryError("a path needs at least two waypoints")
+        segments = np.diff(self.waypoints, axis=0)
+        lengths = np.linalg.norm(segments, axis=1)
+        if np.any(lengths <= 0.0):
+            raise GeometryError("degenerate (zero-length) path segment")
+        self._segments = segments
+        self._lengths = lengths
+        self._cumulative = np.concatenate([[0.0], np.cumsum(lengths)])
+        # Tangent angle per segment in the clockwise-from-+y convention:
+        # direction (dx, dy) has angle atan2(dx, dy).
+        self._angles = np.arctan2(segments[:, 0], segments[:, 1])
+
+    @property
+    def total_length(self) -> float:
+        """Sum of segment lengths."""
+        return float(self._cumulative[-1])
+
+    @property
+    def end_point(self) -> np.ndarray:
+        """Final waypoint (used by the training cost's terminal term)."""
+        return self.waypoints[-1]
+
+    def closest_point(self, position: Sequence[float]) -> tuple[np.ndarray, float]:
+        """Closest point over all segments and the tangent angle there."""
+        position = np.asarray(position, dtype=float)
+        best_dist = math.inf
+        best_point = self.waypoints[0]
+        best_angle = float(self._angles[0])
+        for start, seg, length, angle in zip(
+            self.waypoints[:-1], self._segments, self._lengths, self._angles
+        ):
+            t = float(np.dot(position - start, seg) / (length * length))
+            t = min(max(t, 0.0), 1.0)
+            candidate = start + t * seg
+            dist = float(np.linalg.norm(position - candidate))
+            if dist < best_dist:
+                best_dist = dist
+                best_point = candidate
+                best_angle = float(angle)
+        return best_point, best_angle
+
+    def errors(self, position: Sequence[float], theta_v: float) -> PathErrors:
+        """Paper-convention ``(d_err, theta_err)`` for a vehicle pose."""
+        closest, tangent = self.closest_point(position)
+        return _signed_errors(np.asarray(position, float), closest, tangent, theta_v)
+
+    def point_at(self, arc_length: float) -> np.ndarray:
+        """Point at an arc length from the start (clamped to the path)."""
+        s = min(max(arc_length, 0.0), self.total_length)
+        index = int(np.searchsorted(self._cumulative, s, side="right") - 1)
+        index = min(index, len(self._segments) - 1)
+        local = s - self._cumulative[index]
+        return self.waypoints[index] + (local / self._lengths[index]) * self._segments[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"PiecewiseLinearPath({self.waypoints.shape[0]} waypoints, "
+            f"length {self.total_length:.4g})"
+        )

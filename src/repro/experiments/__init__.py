@@ -1,0 +1,64 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+* :mod:`repro.experiments.table1` — Table 1 (timing vs network size)
+* :mod:`repro.experiments.figure4` — Figure 4 (policy-search evolution)
+* :mod:`repro.experiments.figure5` — Figure 5 (phase portrait + barrier)
+* :mod:`repro.experiments.ablations` — design-choice sweeps
+* :mod:`repro.experiments.setup` — the Section 4.3 constants
+"""
+
+from .ablations import (
+    AblationRow,
+    format_ablation,
+    run_activation_comparison,
+    run_delta_sweep,
+    run_template_comparison,
+    run_trace_count_sweep,
+)
+from .figure4 import Figure4Data, Figure4Panel, format_figure4, run_figure4
+from .figure5 import (
+    Figure5Data,
+    ellipse_boundary_points,
+    format_figure5,
+    render_ascii,
+    run_figure5,
+)
+from .setup import (
+    EPSILON,
+    GAMMA,
+    SPEED,
+    case_study_controller,
+    paper_initial_set,
+    paper_problem,
+    paper_unsafe_set,
+)
+from .table1 import PAPER_NEURON_COUNTS, Table1Row, format_table1, run_table1
+
+__all__ = [
+    "AblationRow",
+    "EPSILON",
+    "Figure4Data",
+    "Figure4Panel",
+    "Figure5Data",
+    "GAMMA",
+    "PAPER_NEURON_COUNTS",
+    "SPEED",
+    "Table1Row",
+    "case_study_controller",
+    "ellipse_boundary_points",
+    "format_ablation",
+    "format_figure4",
+    "format_figure5",
+    "format_table1",
+    "paper_initial_set",
+    "paper_problem",
+    "paper_unsafe_set",
+    "render_ascii",
+    "run_activation_comparison",
+    "run_delta_sweep",
+    "run_figure4",
+    "run_figure5",
+    "run_table1",
+    "run_template_comparison",
+    "run_trace_count_sweep",
+]

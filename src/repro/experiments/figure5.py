@@ -1,0 +1,174 @@
+"""Figure 5 — phase portrait with the certified barrier level set.
+
+The figure shows, in the ``(d_err, theta_err)`` plane: the initial set
+``X0`` (green), the unsafe set ``U`` (red), simulated trajectories
+``Φs`` (blue, start ``*``, end ``o``), and the ellipsoidal barrier level
+set between them.  This driver verifies a controller, samples
+trajectories from the domain, parameterizes the certified ellipse
+boundary, and checks the figure's two claims numerically:
+
+* every ``X0`` corner lies inside the level set;
+* the level set is disjoint from ``U``.
+
+An ASCII rendering is included for terminal inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from ..barrier import (
+    BarrierCertificate,
+    SynthesisConfig,
+    SynthesisReport,
+    quadratic_forms,
+    verify_system,
+)
+from ..errors import SynthesisError
+from ..sim import Trace, sample_uniform
+from .setup import case_study_controller, paper_problem
+
+__all__ = ["Figure5Data", "run_figure5", "ellipse_boundary_points", "format_figure5", "render_ascii"]
+
+
+@dataclass
+class Figure5Data:
+    """Everything needed to redraw Figure 5."""
+
+    report: SynthesisReport
+    certificate: BarrierCertificate
+    trajectories: list[Trace]
+    ellipse_boundary: np.ndarray  # (k, 2) points with W(x) = level
+    x0_corners_inside: bool
+    level_set_clear_of_unsafe: bool
+
+
+def ellipse_boundary_points(
+    certificate: BarrierCertificate, count: int = 256
+) -> np.ndarray:
+    """Points on ``{x : W(x) = level}`` for a quadratic certificate.
+
+    With ``W = x^T P x`` (plus optional linear part), the boundary is
+    ``x(phi) = x_c + sqrt(r) * P^{-1/2} [cos phi, sin phi]`` in 2-D.
+    """
+    if certificate.template is None or certificate.coefficients is None:
+        raise SynthesisError("ellipse boundary requires a quadratic certificate")
+    p_matrix, q_vector = quadratic_forms(
+        certificate.template, certificate.coefficients
+    )
+    n = p_matrix.shape[0]
+    if n != 2:
+        raise SynthesisError("ellipse plotting is 2-D only")
+    center = -0.5 * np.linalg.solve(p_matrix, q_vector)
+    w_center = float(center @ p_matrix @ center + q_vector @ center)
+    radius = certificate.level - w_center
+    values, vectors = np.linalg.eigh(p_matrix)
+    inv_sqrt = vectors @ np.diag(1.0 / np.sqrt(values)) @ vectors.T
+    angles = np.linspace(0.0, 2.0 * np.pi, count, endpoint=False)
+    circle = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+    return center + np.sqrt(radius) * circle @ inv_sqrt.T
+
+
+def run_figure5(
+    hidden_neurons: int = 10,
+    seed: int = 0,
+    num_trajectories: int = 12,
+    trajectory_duration: float = 15.0,
+    trained: bool = False,
+) -> Figure5Data:
+    """Verify, then collect the figure's geometric content."""
+    network = case_study_controller(hidden_neurons, trained=trained, seed=seed)
+    problem = paper_problem(network)
+    report = verify_system(problem, config=SynthesisConfig(seed=seed))
+    if not report.verified or report.certificate is None:
+        raise SynthesisError(
+            f"figure 5 requires a verified system; got {report.status.value}"
+        )
+    certificate = report.certificate
+
+    rng = np.random.default_rng(seed)
+    starts = sample_uniform(problem.domain.to_box(), num_trajectories, rng)
+    simulator = problem.system.simulator()
+    domain = problem.domain.inflate(1e-9)
+    trajectories = simulator.simulate_batch(
+        starts,
+        trajectory_duration,
+        0.05,
+        stop_condition=lambda s: not domain.contains(s),
+    )
+
+    boundary = ellipse_boundary_points(certificate)
+    corners = problem.initial_set.vertices()
+    corners_inside = bool(
+        np.all(certificate.w_values(corners) <= certificate.level + 1e-9)
+    )
+    # Numeric disjointness: every boundary point stays inside the safe rect.
+    safe_rect = problem.unsafe_set.safe_rectangle
+    clear = all(safe_rect.contains(p, tol=1e-9) for p in boundary)
+    return Figure5Data(
+        report=report,
+        certificate=certificate,
+        trajectories=trajectories,
+        ellipse_boundary=boundary,
+        x0_corners_inside=corners_inside,
+        level_set_clear_of_unsafe=clear,
+    )
+
+
+def format_figure5(data: Figure5Data) -> str:
+    """Textual summary of the figure's content."""
+    cert = data.certificate
+    extents = data.ellipse_boundary
+    lines = [
+        f"barrier level l = {cert.level:.6g} (gamma = {cert.gamma:g})",
+        f"ellipse extents: derr in [{extents[:, 0].min():.3f}, "
+        f"{extents[:, 0].max():.3f}], thetaerr in "
+        f"[{extents[:, 1].min():.3f}, {extents[:, 1].max():.3f}]",
+        f"X0 corners inside level set: {data.x0_corners_inside}",
+        f"level set disjoint from unsafe set: {data.level_set_clear_of_unsafe}",
+        f"trajectories simulated: {len(data.trajectories)}",
+    ]
+    ends = np.array([t.final_state for t in data.trajectories])
+    lines.append(
+        f"trajectory endpoints max |derr| = {np.abs(ends[:, 0]).max():.4f}, "
+        f"max |thetaerr| = {np.abs(ends[:, 1]).max():.4f}"
+    )
+    return "\n".join(lines)
+
+
+def render_ascii(data: Figure5Data, width: int = 72, height: int = 24) -> str:
+    """ASCII phase portrait: X0 (``#``), ellipse (``@``), trajectories (``.``).
+
+    Axis ranges follow the paper's Figure 5: ``derr`` in [-6, 6] and
+    ``theta_err`` in [-pi/2, pi/2].
+    """
+    x_min, x_max = -6.0, 6.0
+    y_min, y_max = -np.pi / 2.0, np.pi / 2.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, char: str) -> None:
+        if not (x_min <= x <= x_max and y_min <= y <= y_max):
+            return
+        col = int((x - x_min) / (x_max - x_min) * (width - 1))
+        row = int((y_max - y) / (y_max - y_min) * (height - 1))
+        grid[row][col] = char
+
+    for trace in data.trajectories:
+        for state in trace.states[::4]:
+            plot(state[0], state[1], ".")
+        plot(trace.states[0, 0], trace.states[0, 1], "*")
+        plot(trace.states[-1, 0], trace.states[-1, 1], "o")
+    for point in data.ellipse_boundary:
+        plot(point[0], point[1], "@")
+    x0 = data.report.certificate.problem.initial_set
+    for corner in x0.vertices():
+        plot(corner[0], corner[1], "#")
+    safe = data.report.certificate.problem.unsafe_set.safe_rectangle
+    for x in np.linspace(safe.lower[0], safe.upper[0], width):
+        plot(x, safe.lower[1], "=")
+        plot(x, safe.upper[1], "=")
+    for y in np.linspace(safe.lower[1], safe.upper[1], height):
+        plot(safe.lower[0], y, "|")
+        plot(safe.upper[0], y, "|")
+    return "\n".join("".join(row) for row in grid)

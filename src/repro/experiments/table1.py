@@ -1,0 +1,108 @@
+"""Table 1 — timing analysis of verification vs. network size.
+
+For each hidden-layer width the paper reports, run the full Figure-1
+procedure over several seeds (the paper averages 30; the default here is
+smaller for practicality and configurable) and report the same columns:
+
+====================  =====================================================
+Column                Meaning
+====================  =====================================================
+``neurons``           hidden-layer width ``Nh``
+``avg_iterations``    candidate-loop iterations (Solve LP + Check (5))
+``lp_seconds``        average cumulative LP time per run
+``query_seconds``     average cumulative SMT time in check (5)
+``generator_seconds`` average time of the whole candidate loop
+``other_seconds``     everything else (simulation, level set, checks 6-7)
+``total_seconds``     average wall-clock of the whole procedure
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..barrier import SynthesisConfig, SynthesisStatus, verify_system
+from ..smt import IcpConfig
+from .setup import case_study_controller, paper_problem
+
+__all__ = ["PAPER_NEURON_COUNTS", "Table1Row", "run_table1", "format_table1"]
+
+#: hidden-layer widths of the paper's Table 1
+PAPER_NEURON_COUNTS = (10, 20, 40, 50, 70, 80, 90, 100, 300, 500, 700, 1000)
+
+
+@dataclass
+class Table1Row:
+    """Aggregated results for one network width."""
+
+    neurons: int
+    avg_iterations: float
+    lp_seconds: float
+    query_seconds: float
+    generator_seconds: float
+    other_seconds: float
+    total_seconds: float
+    verified_fraction: float
+    runs: int
+
+
+def run_table1(
+    neuron_counts: Sequence[int] = PAPER_NEURON_COUNTS,
+    seeds: Sequence[int] = (0, 1, 2),
+    trained: bool = False,
+    delta: float = 1e-3,
+) -> list[Table1Row]:
+    """Regenerate Table 1.
+
+    Each (width, seed) pair runs the complete synthesis procedure; the
+    seed drives the random seed-trace sampling, mirroring the paper's
+    "each experiment uses a unique seed to generate the initial
+    simulations".
+    """
+    rows = []
+    for neurons in neuron_counts:
+        network = case_study_controller(neurons, trained=trained)
+        problem = paper_problem(network)
+        reports = []
+        for seed in seeds:
+            config = SynthesisConfig(seed=seed, icp=IcpConfig(delta=delta))
+            reports.append(verify_system(problem, config=config))
+        verified = [r for r in reports if r.status is SynthesisStatus.VERIFIED]
+        rows.append(
+            Table1Row(
+                neurons=neurons,
+                avg_iterations=float(
+                    np.mean([r.candidate_iterations for r in reports])
+                ),
+                lp_seconds=float(np.mean([r.lp_seconds for r in reports])),
+                query_seconds=float(np.mean([r.query_seconds for r in reports])),
+                generator_seconds=float(
+                    np.mean([r.generator_seconds for r in reports])
+                ),
+                other_seconds=float(np.mean([r.other_seconds for r in reports])),
+                total_seconds=float(np.mean([r.total_seconds for r in reports])),
+                verified_fraction=len(verified) / len(reports),
+                runs=len(reports),
+            )
+        )
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render rows in the paper's column layout."""
+    header = (
+        f"{'Neurons':>8} {'AvgIter':>8} {'LP(s)':>8} {'Query(s)':>9} "
+        f"{'Gen(s)':>8} {'Other(s)':>9} {'Total(s)':>9} {'Verified':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.neurons:>8d} {row.avg_iterations:>8.1f} {row.lp_seconds:>8.2f} "
+            f"{row.query_seconds:>9.2f} {row.generator_seconds:>8.2f} "
+            f"{row.other_seconds:>9.2f} {row.total_seconds:>9.2f} "
+            f"{row.verified_fraction:>8.0%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Convenience constructors for expressions.
+
+These are the functions user code imports::
+
+    from repro.expr import var, sin, cos, tanh
+
+    d, th = var("derr"), var("thetaerr")
+    f0 = V * sin(th)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import ExpressionError
+from .node import (
+    Add,
+    Const,
+    Expr,
+    Max2,
+    Min2,
+    Unary,
+    Var,
+    as_expr,
+)
+
+__all__ = [
+    "var",
+    "variables",
+    "const",
+    "sin",
+    "cos",
+    "tan",
+    "tanh",
+    "sigmoid",
+    "exp",
+    "log",
+    "sqrt",
+    "absolute",
+    "atan",
+    "minimum",
+    "maximum",
+    "relu",
+    "sum_expr",
+    "dot",
+]
+
+
+def var(name: str) -> Var:
+    """Create a named variable."""
+    return Var(name)
+
+
+def variables(names: str | Sequence[str]) -> list[Var]:
+    """Create several variables: ``variables("x y z")`` or from a list."""
+    if isinstance(names, str):
+        names = names.split()
+    return [Var(name) for name in names]
+
+
+def const(value: float) -> Const:
+    """Create a constant."""
+    return Const(value)
+
+
+def _unary(op: str, x: "Expr | float") -> Unary:
+    return Unary(op, as_expr(x))
+
+
+def sin(x: "Expr | float") -> Unary:
+    """Sine node."""
+    return _unary("sin", x)
+
+
+def cos(x: "Expr | float") -> Unary:
+    """Cosine node."""
+    return _unary("cos", x)
+
+
+def tan(x: "Expr | float") -> Unary:
+    """Tangent node."""
+    return _unary("tan", x)
+
+
+def tanh(x: "Expr | float") -> Unary:
+    """Hyperbolic tangent node (MATLAB's ``tansig``)."""
+    return _unary("tanh", x)
+
+
+def sigmoid(x: "Expr | float") -> Unary:
+    """Logistic sigmoid node."""
+    return _unary("sigmoid", x)
+
+
+def exp(x: "Expr | float") -> Unary:
+    """Exponential node."""
+    return _unary("exp", x)
+
+
+def log(x: "Expr | float") -> Unary:
+    """Natural logarithm node."""
+    return _unary("log", x)
+
+
+def sqrt(x: "Expr | float") -> Unary:
+    """Square-root node."""
+    return _unary("sqrt", x)
+
+
+def absolute(x: "Expr | float") -> Unary:
+    """Absolute-value node."""
+    return _unary("abs", x)
+
+
+def atan(x: "Expr | float") -> Unary:
+    """Arctangent node."""
+    return _unary("atan", x)
+
+
+def minimum(a: "Expr | float", b: "Expr | float") -> Min2:
+    """Binary minimum node."""
+    return Min2(as_expr(a), as_expr(b))
+
+
+def maximum(a: "Expr | float", b: "Expr | float") -> Max2:
+    """Binary maximum node."""
+    return Max2(as_expr(a), as_expr(b))
+
+
+def relu(x: "Expr | float") -> Max2:
+    """Rectified linear unit ``max(x, 0)``."""
+    return maximum(x, 0.0)
+
+
+def sum_expr(terms: Iterable["Expr | float"]) -> Expr:
+    """Balanced-tree sum of many terms.
+
+    A left-associated chain of 1000 additions is 1000 nodes deep, which
+    is hostile to stack-based walkers and to interval precision; a
+    balanced tree has logarithmic depth.
+    """
+    nodes = [as_expr(t) for t in terms]
+    if not nodes:
+        return Const(0.0)
+    while len(nodes) > 1:
+        paired: list[Expr] = []
+        for i in range(0, len(nodes) - 1, 2):
+            paired.append(Add(nodes[i], nodes[i + 1]))
+        if len(nodes) % 2 == 1:
+            paired.append(nodes[-1])
+        nodes = paired
+    return nodes[0]
+
+
+def dot(weights: Sequence[float], exprs: Sequence["Expr | float"]) -> Expr:
+    """Balanced weighted sum ``sum_i weights[i] * exprs[i]``.
+
+    Zero weights are dropped and unit weights skip the multiplication,
+    which keeps NN-generated expressions compact.
+    """
+    if len(weights) != len(exprs):
+        raise ExpressionError(
+            f"dot length mismatch: {len(weights)} weights vs {len(exprs)} exprs"
+        )
+    terms: list[Expr] = []
+    for w, e in zip(weights, exprs):
+        w = float(w)
+        if w == 0.0:
+            continue
+        e = as_expr(e)
+        terms.append(e if w == 1.0 else Const(w) * e)
+    return sum_expr(terms)

@@ -1,0 +1,118 @@
+"""Symbolic differentiation.
+
+Builds derivative expressions bottom-up over the DAG postorder (iterative,
+shared subexpressions differentiated once).  Results are lightly folded by
+:func:`repro.expr.simplify.simplify` so gradients of quadratic templates
+stay readably small.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import DifferentiationError
+from .build import cos, exp, sigmoid, sin, sqrt, tan, tanh
+from .node import (
+    Add,
+    Const,
+    Div,
+    Expr,
+    Max2,
+    Min2,
+    Mul,
+    Neg,
+    Pow,
+    Sub,
+    Unary,
+    Var,
+    postorder,
+)
+from .simplify import simplify
+
+__all__ = ["differentiate", "gradient"]
+
+_ZERO = Const(0.0)
+_ONE = Const(1.0)
+
+
+def differentiate(root: Expr, wrt: "Var | str") -> Expr:
+    """Symbolic partial derivative of ``root`` with respect to ``wrt``.
+
+    Raises
+    ------
+    DifferentiationError
+        For non-smooth nodes (abs, min, max) whose derivative is not a
+        total function; barrier templates never contain them.
+    """
+    name = wrt.name if isinstance(wrt, Var) else str(wrt)
+    derivs: dict[int, Expr] = {}
+    for node in postorder(root):
+        derivs[id(node)] = _derive(node, derivs, name)
+    return simplify(derivs[id(root)])
+
+
+def gradient(root: Expr, wrt: Sequence["Var | str"]) -> list[Expr]:
+    """Gradient vector ``[d root / d v for v in wrt]``."""
+    return [differentiate(root, v) for v in wrt]
+
+
+def _derive(node: Expr, derivs: dict[int, Expr], name: str) -> Expr:
+    if isinstance(node, Const):
+        return _ZERO
+    if isinstance(node, Var):
+        return _ONE if node.name == name else _ZERO
+    if isinstance(node, Add):
+        return derivs[id(node.left)] + derivs[id(node.right)]
+    if isinstance(node, Sub):
+        return derivs[id(node.left)] - derivs[id(node.right)]
+    if isinstance(node, Mul):
+        left, right = node.left, node.right
+        return derivs[id(left)] * right + left * derivs[id(right)]
+    if isinstance(node, Div):
+        num, den = node.left, node.right
+        return (derivs[id(num)] * den - num * derivs[id(den)]) / (den * den)
+    if isinstance(node, Neg):
+        return -derivs[id(node.child)]
+    if isinstance(node, Pow):
+        base_d = derivs[id(node.base)]
+        n = node.exponent
+        if n == 0:
+            return _ZERO
+        return Const(float(n)) * Pow(node.base, n - 1) * base_d
+    if isinstance(node, Unary):
+        inner = derivs[id(node.child)]
+        return _unary_chain(node, inner)
+    if isinstance(node, (Min2, Max2)):
+        raise DifferentiationError(
+            f"{type(node).__name__} is not differentiable; "
+            "smooth the expression before differentiating"
+        )
+    raise DifferentiationError(f"unknown node type: {type(node).__name__}")
+
+
+def _unary_chain(node: Unary, inner: Expr) -> Expr:
+    x = node.child
+    if node.op == "sin":
+        outer: Expr = cos(x)
+    elif node.op == "cos":
+        outer = -sin(x)
+    elif node.op == "tan":
+        outer = _ONE + tan(x) * tan(x)
+    elif node.op == "tanh":
+        outer = _ONE - tanh(x) * tanh(x)
+    elif node.op == "sigmoid":
+        s = sigmoid(x)
+        outer = s * (_ONE - s)
+    elif node.op == "exp":
+        outer = exp(x)
+    elif node.op == "log":
+        outer = _ONE / x
+    elif node.op == "sqrt":
+        outer = _ONE / (Const(2.0) * sqrt(x))
+    elif node.op == "atan":
+        outer = _ONE / (_ONE + x * x)
+    elif node.op == "abs":
+        raise DifferentiationError("abs is not differentiable at 0")
+    else:  # pragma: no cover - UNARY_OPS is closed
+        raise DifferentiationError(f"no derivative rule for {node.op!r}")
+    return outer * inner

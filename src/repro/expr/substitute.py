@@ -1,0 +1,63 @@
+"""Variable substitution over expression DAGs."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .node import (
+    Add,
+    Const,
+    Div,
+    Expr,
+    Max2,
+    Min2,
+    Mul,
+    Neg,
+    Pow,
+    Sub,
+    Unary,
+    Var,
+    as_expr,
+    postorder,
+)
+
+__all__ = ["substitute"]
+
+
+def substitute(root: Expr, bindings: Mapping[str, "Expr | float"]) -> Expr:
+    """Replace each variable named in ``bindings`` with its replacement.
+
+    Replacements may be expressions or numbers.  Unbound variables are
+    left intact.  The walk is iterative and DAG-aware: shared subtrees
+    are rebuilt once and stay shared in the output.
+    """
+    resolved = {name: as_expr(value) for name, value in bindings.items()}
+    rebuilt: dict[int, Expr] = {}
+    for node in postorder(root):
+        rebuilt[id(node)] = _rebuild(node, rebuilt, resolved)
+    return rebuilt[id(root)]
+
+
+def _rebuild(
+    node: Expr, rebuilt: dict[int, Expr], bindings: Mapping[str, Expr]
+) -> Expr:
+    if isinstance(node, Var):
+        return bindings.get(node.name, node)
+    if isinstance(node, Const):
+        return node
+    if isinstance(node, Neg):
+        child = rebuilt[id(node.child)]
+        return node if child is node.child else Neg(child)
+    if isinstance(node, Pow):
+        base = rebuilt[id(node.base)]
+        return node if base is node.base else Pow(base, node.exponent)
+    if isinstance(node, Unary):
+        child = rebuilt[id(node.child)]
+        return node if child is node.child else Unary(node.op, child)
+    if isinstance(node, (Add, Sub, Mul, Div, Min2, Max2)):
+        left = rebuilt[id(node.left)]
+        right = rebuilt[id(node.right)]
+        if left is node.left and right is node.right:
+            return node
+        return type(node)(left, right)
+    return node

@@ -1,0 +1,59 @@
+"""Sound interval arithmetic: the numeric substrate of the δ-SAT solver.
+
+Public surface:
+
+* :class:`Interval` — outward-rounded scalar interval.
+* :class:`Box` — interval vector (ICP search region).
+* ``i*`` free functions — dual-semantics (float or interval) elementary
+  functions, plus vectorized interval linear algebra for the NN hot path.
+"""
+
+from .box import Box
+from .functions import (
+    iabs,
+    iatan,
+    icos,
+    iexp,
+    ilog,
+    imax,
+    imin,
+    interval_affine,
+    interval_matvec,
+    interval_relu_bounds,
+    interval_sigmoid_bounds,
+    interval_tanh_bounds,
+    ipow,
+    isigmoid,
+    isin,
+    isqrt,
+    itan,
+    itanh,
+)
+from .interval import Interval
+from .rounding import next_down, next_up, widen
+
+__all__ = [
+    "Box",
+    "Interval",
+    "iabs",
+    "iatan",
+    "icos",
+    "iexp",
+    "ilog",
+    "imax",
+    "imin",
+    "interval_affine",
+    "interval_matvec",
+    "interval_relu_bounds",
+    "interval_sigmoid_bounds",
+    "interval_tanh_bounds",
+    "ipow",
+    "isigmoid",
+    "isin",
+    "isqrt",
+    "itan",
+    "itanh",
+    "next_down",
+    "next_up",
+    "widen",
+]

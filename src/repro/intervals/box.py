@@ -1,0 +1,245 @@
+"""Axis-aligned boxes (interval vectors) used as ICP search regions."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import IntervalError
+from .interval import Interval
+
+__all__ = ["Box"]
+
+
+class Box:
+    """An n-dimensional axis-aligned box: one :class:`Interval` per variable.
+
+    Boxes are the unit of work of the branch-and-prune solver: they are
+    evaluated through constraint expressions, contracted, bisected, and
+    pruned.  A box is immutable; contractors return new boxes.
+
+    Examples
+    --------
+    >>> box = Box([Interval(0, 1), Interval(-2, 2)])
+    >>> box.dimension
+    2
+    >>> box.widest_dimension()
+    1
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval]):
+        intervals = tuple(intervals)
+        if not intervals:
+            raise IntervalError("a box needs at least one dimension")
+        for ival in intervals:
+            if not isinstance(ival, Interval):
+                raise IntervalError(f"box components must be Interval, got {ival!r}")
+        object.__setattr__(self, "_intervals", intervals)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Box is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_bounds(lower: Sequence[float], upper: Sequence[float]) -> "Box":
+        """Box from parallel arrays of lower and upper bounds."""
+        lower = list(lower)
+        upper = list(upper)
+        if len(lower) != len(upper):
+            raise IntervalError("lower/upper bound lengths differ")
+        return Box(Interval(lo, hi) for lo, hi in zip(lower, upper))
+
+    @staticmethod
+    def from_point(point: Sequence[float]) -> "Box":
+        """Degenerate box at a single point."""
+        return Box(Interval.point(float(v)) for v in point)
+
+    @staticmethod
+    def from_array(bounds: np.ndarray) -> "Box":
+        """Box from an ``(n, 2)`` array of ``[lo, hi]`` rows."""
+        bounds = np.asarray(bounds, dtype=float)
+        if bounds.ndim != 2 or bounds.shape[1] != 2:
+            raise IntervalError(f"expected an (n, 2) array, got shape {bounds.shape}")
+        return Box(Interval(lo, hi) for lo, hi in bounds)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Number of variables."""
+        return len(self._intervals)
+
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        """The component intervals, in variable order."""
+        return self._intervals
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __getitem__(self, index: int) -> Interval:
+        return self._intervals[index]
+
+    def lower(self) -> np.ndarray:
+        """Vector of lower bounds."""
+        return np.array([ival.lo for ival in self._intervals])
+
+    def upper(self) -> np.ndarray:
+        """Vector of upper bounds."""
+        return np.array([ival.hi for ival in self._intervals])
+
+    def to_array(self) -> np.ndarray:
+        """``(n, 2)`` array of ``[lo, hi]`` rows."""
+        return np.array([[ival.lo, ival.hi] for ival in self._intervals])
+
+    def midpoint(self) -> np.ndarray:
+        """Component-wise midpoints (always inside the box)."""
+        return np.array([ival.midpoint() for ival in self._intervals])
+
+    def widths(self) -> np.ndarray:
+        """Component-wise widths."""
+        return np.array([ival.width() for ival in self._intervals])
+
+    def max_width(self) -> float:
+        """Largest component width."""
+        return max(ival.width() for ival in self._intervals)
+
+    def widest_dimension(self) -> int:
+        """Index of the widest component (first among ties)."""
+        widths = [ival.width() for ival in self._intervals]
+        return widths.index(max(widths))
+
+    def volume(self) -> float:
+        """Product of widths (0 for degenerate, inf for unbounded boxes)."""
+        vol = 1.0
+        for ival in self._intervals:
+            vol *= ival.width()
+        return vol
+
+    def is_finite(self) -> bool:
+        """True when every component is finite."""
+        return all(ival.is_finite() for ival in self._intervals)
+
+    def contains(self, point: Sequence[float]) -> bool:
+        """Membership test for a point vector."""
+        point = list(point)
+        if len(point) != self.dimension:
+            raise IntervalError("point dimension mismatch")
+        return all(ival.contains(v) for ival, v in zip(self._intervals, point))
+
+    def contains_box(self, other: "Box") -> bool:
+        """True when ``other`` is a subset of this box."""
+        self._check_dimension(other)
+        return all(
+            mine.contains_interval(theirs)
+            for mine, theirs in zip(self._intervals, other._intervals)
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        """True when the boxes share at least one point."""
+        self._check_dimension(other)
+        return all(
+            mine.intersects(theirs)
+            for mine, theirs in zip(self._intervals, other._intervals)
+        )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def replace(self, index: int, interval: Interval) -> "Box":
+        """New box with component ``index`` swapped out."""
+        parts = list(self._intervals)
+        parts[index] = interval
+        return Box(parts)
+
+    def intersection(self, other: "Box") -> "Box":
+        """Component-wise intersection; raises when any component is disjoint."""
+        self._check_dimension(other)
+        return Box(
+            mine.intersection(theirs)
+            for mine, theirs in zip(self._intervals, other._intervals)
+        )
+
+    def try_intersection(self, other: "Box") -> "Box | None":
+        """Component-wise intersection or None when empty."""
+        self._check_dimension(other)
+        parts = []
+        for mine, theirs in zip(self._intervals, other._intervals):
+            piece = mine.try_intersection(theirs)
+            if piece is None:
+                return None
+            parts.append(piece)
+        return Box(parts)
+
+    def hull(self, other: "Box") -> "Box":
+        """Component-wise hull."""
+        self._check_dimension(other)
+        return Box(
+            mine.hull(theirs)
+            for mine, theirs in zip(self._intervals, other._intervals)
+        )
+
+    def inflate(self, absolute: float = 0.0, relative: float = 0.0) -> "Box":
+        """Component-wise widening."""
+        return Box(ival.inflate(absolute, relative) for ival in self._intervals)
+
+    def bisect(self, dimension: int | None = None) -> tuple["Box", "Box"]:
+        """Split along ``dimension`` (default: widest) at its midpoint."""
+        if dimension is None:
+            dimension = self.widest_dimension()
+        left, right = self._intervals[dimension].split()
+        return self.replace(dimension, left), self.replace(dimension, right)
+
+    def sample_grid(self, per_dimension: int) -> np.ndarray:
+        """Uniform grid of sample points, shape ``(per_dimension**n, n)``.
+
+        Degenerate and infinite components are sampled at their midpoint.
+        """
+        if per_dimension < 1:
+            raise IntervalError("per_dimension must be >= 1")
+        axes = []
+        for ival in self._intervals:
+            if not ival.is_finite() or ival.is_point() or per_dimension == 1:
+                axes.append(np.array([ival.midpoint()]))
+            else:
+                axes.append(np.linspace(ival.lo, ival.hi, per_dimension))
+        mesh = np.meshgrid(*axes, indexing="ij")
+        return np.stack([m.ravel() for m in mesh], axis=-1)
+
+    def clip_point(self, point: Sequence[float]) -> np.ndarray:
+        """Project a point onto the box component-wise."""
+        point = np.asarray(point, dtype=float)
+        return np.clip(point, self.lower(), self.upper())
+
+    def _check_dimension(self, other: "Box") -> None:
+        if self.dimension != other.dimension:
+            raise IntervalError(
+                f"box dimension mismatch: {self.dimension} vs {other.dimension}"
+            )
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(ival) for ival in self._intervals)
+        return f"Box([{inner}])"
+
+    def __str__(self) -> str:
+        return " x ".join(str(ival) for ival in self._intervals)

@@ -1,0 +1,61 @@
+"""Outward-rounding helpers for sound interval arithmetic.
+
+IEEE-754 floating point rounds to nearest by default, so a naively
+computed interval bound can land strictly inside the true bound.  To keep
+enclosures sound we widen every computed bound by one unit in the last
+place (ulp) using :func:`math.nextafter`.  This is slightly looser than
+switching the FPU rounding mode but is portable, branch-free, and — for
+the verification queries in this library — the extra ulp is negligible
+compared to the solver precision ``delta``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "next_down",
+    "next_up",
+    "round_down",
+    "round_up",
+    "widen",
+]
+
+_INF = math.inf
+
+
+def next_down(value: float) -> float:
+    """Return the largest float strictly below ``value`` (identity at -inf)."""
+    if value == -_INF or math.isnan(value):
+        return value
+    return math.nextafter(value, -_INF)
+
+
+def next_up(value: float) -> float:
+    """Return the smallest float strictly above ``value`` (identity at +inf)."""
+    if value == _INF or math.isnan(value):
+        return value
+    return math.nextafter(value, _INF)
+
+
+def round_down(value: float, exact: bool = False) -> float:
+    """Lower bound after a possibly inexact operation.
+
+    ``exact=True`` skips the widening for operations known to be exact in
+    floating point (negation, multiplication by powers of two, copies).
+    """
+    if exact:
+        return value
+    return next_down(value)
+
+
+def round_up(value: float, exact: bool = False) -> float:
+    """Upper bound after a possibly inexact operation (see :func:`round_down`)."""
+    if exact:
+        return value
+    return next_up(value)
+
+
+def widen(lower: float, upper: float) -> tuple[float, float]:
+    """Widen both endpoints outward by one ulp each."""
+    return next_down(lower), next_up(upper)

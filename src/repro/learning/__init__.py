@@ -1,0 +1,39 @@
+"""Controller training: CMA-ES and direct policy search (Section 4.2)."""
+
+from .cmaes import CmaEs, CmaEsConfig, CmaEsResult, minimize_cmaes
+from .cost import CostWeights, RolloutResult, rollout, tracking_cost
+from .policy import PolicySearchConfig, PolicySearchResult, policy_search
+from .safe_train import (
+    SafeTrainingResult,
+    SafetyPenaltyConfig,
+    safety_penalty,
+    train_safe_controller,
+)
+from .train import (
+    figure4_training_path,
+    proportional_controller_network,
+    train_paper_controller,
+    training_start_state,
+)
+
+__all__ = [
+    "CmaEs",
+    "CmaEsConfig",
+    "CmaEsResult",
+    "CostWeights",
+    "SafeTrainingResult",
+    "SafetyPenaltyConfig",
+    "PolicySearchConfig",
+    "PolicySearchResult",
+    "RolloutResult",
+    "figure4_training_path",
+    "minimize_cmaes",
+    "policy_search",
+    "proportional_controller_network",
+    "rollout",
+    "safety_penalty",
+    "tracking_cost",
+    "train_paper_controller",
+    "train_safe_controller",
+    "training_start_state",
+]

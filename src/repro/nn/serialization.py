@@ -1,0 +1,81 @@
+"""JSON (de)serialization of feedforward networks.
+
+The format is intentionally trivial — a list of layers with nested
+weight lists — so trained controllers can be checked into a repository,
+diffed, and loaded without pickle.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..errors import SerializationError
+from .activations import get_activation
+from .network import FeedforwardNetwork, Layer
+
+__all__ = ["network_to_dict", "network_from_dict", "save_network", "load_network"]
+
+_FORMAT = "repro-ffnn-v1"
+
+
+def network_to_dict(network: FeedforwardNetwork) -> dict[str, Any]:
+    """Plain-dict representation of a network."""
+    return {
+        "format": _FORMAT,
+        "layers": [
+            {
+                "weights": layer.weights.tolist(),
+                "biases": layer.biases.tolist(),
+                "activation": layer.activation.name,
+            }
+            for layer in network.layers
+        ],
+    }
+
+
+def network_from_dict(payload: dict[str, Any]) -> FeedforwardNetwork:
+    """Rebuild a network saved by :func:`network_to_dict`."""
+    if not isinstance(payload, dict) or "layers" not in payload:
+        raise SerializationError("payload is not a network dictionary")
+    if payload.get("format") != _FORMAT:
+        raise SerializationError(
+            f"unsupported format {payload.get('format')!r}; expected {_FORMAT!r}"
+        )
+    layers_raw = payload.get("layers")
+    if not isinstance(layers_raw, list) or not layers_raw:
+        raise SerializationError("network payload has no layers")
+    layers = []
+    for i, raw in enumerate(layers_raw):
+        try:
+            layers.append(
+                Layer(
+                    weights=np.asarray(raw["weights"], dtype=float),
+                    biases=np.asarray(raw["biases"], dtype=float),
+                    activation=get_activation(raw["activation"]),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(f"malformed layer {i}: {exc}") from exc
+    return FeedforwardNetwork(layers)
+
+
+def save_network(network: FeedforwardNetwork, path: "str | Path") -> None:
+    """Write a network to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(network_to_dict(network), indent=2))
+
+
+def load_network(path: "str | Path") -> FeedforwardNetwork:
+    """Read a network from a JSON file."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"network file not found: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    return network_from_dict(payload)

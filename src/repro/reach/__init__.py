@@ -1,0 +1,11 @@
+"""Bounded-time interval reachability (flowpipes).
+
+The comparison baseline to the barrier method: validated Euler
+enclosures propagate the initial box through time, proving safety for a
+finite horizon.  See :mod:`repro.reach.flowpipe` for the contrast with
+the paper's unbounded-time certificates.
+"""
+
+from .flowpipe import ReachConfig, ReachResult, check_bounded_safety, reach_tube
+
+__all__ = ["ReachConfig", "ReachResult", "check_bounded_safety", "reach_tube"]

@@ -1,0 +1,196 @@
+"""Interval reachability: bounded-time flowpipes (the tool-family baseline).
+
+Research tools contemporaneous with the paper (NNV, Verisig, ReachNN)
+attack NN-CPS safety with *bounded-time reachable-set computation*.  This
+module implements the classic interval flowpipe so the repository can
+compare both philosophies head-to-head:
+
+* **Flowpipe** (here): propagate an interval box through time with a
+  validated Euler enclosure — sound for a *finite horizon*, wrapping
+  effect grows the tube over time;
+* **Barrier certificate** (`repro.barrier`): one inductive invariant,
+  *unbounded* horizon, no wrapping — the paper's pitch.
+
+The step enclosure is the standard two-stage scheme:
+
+1. find an a-priori bounding box ``B`` with ``X + [0, h]·F(B) ⊆ B``
+   (Picard/Euler fixed-point with geometric inflation);
+2. tighten: ``X(h) ⊆ X + h·F(B)`` — the interval Euler step with the
+   remainder absorbed by evaluating ``F`` over the whole-step box ``B``.
+
+Everything is evaluated through the compiled interval tapes, so the same
+sound arithmetic underlies both the solver and the flowpipe.
+
+Scope note: this is the *first-order interval* flowpipe.  Its box widths
+grow like ``(1 + h L)^k`` even on contracting dynamics (the dependency
+problem: ``x - h x`` evaluated intervally widens), which is precisely
+why production reachability tools moved to Taylor models and zonotopes.
+The module exists as the honest baseline for the barrier comparison: it
+proves short horizons from small initial boxes and visibly degrades
+beyond them, while the certificate is horizon-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..dynamics import ContinuousSystem
+from ..errors import SimulationError
+from ..barrier.sets import Rectangle, RectangleComplement
+from ..intervals import Box
+
+__all__ = ["ReachConfig", "ReachResult", "reach_tube", "check_bounded_safety"]
+
+
+@dataclass
+class ReachConfig:
+    """Flowpipe parameters.
+
+    ``inflation`` is the relative growth used when searching for the
+    a-priori box; ``max_inflations`` bounds that search per step.
+    ``max_width`` aborts the tube when wrapping has destroyed all
+    precision (standard failure mode of interval flowpipes).
+    """
+
+    dt: float = 0.01
+    inflation: float = 0.1
+    max_inflations: int = 30
+    max_width: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0.0:
+            raise SimulationError("dt must be positive")
+        if self.inflation <= 0.0:
+            raise SimulationError("inflation must be positive")
+
+
+@dataclass
+class ReachResult:
+    """A computed flowpipe."""
+
+    boxes: list[Box]
+    times: np.ndarray
+    completed: bool
+    #: index of the first box that intersected the unsafe set (or None)
+    first_violation: int | None = None
+
+    @property
+    def final_box(self) -> Box:
+        return self.boxes[-1]
+
+    def max_width(self) -> float:
+        """Widest box in the tube (wrapping indicator)."""
+        return max(box.max_width() for box in self.boxes)
+
+
+def _step_enclosure(
+    system: ContinuousSystem, box: Box, config: ReachConfig
+) -> Box:
+    """One validated Euler step of size ``config.dt``."""
+    h = config.dt
+    tapes = system.tapes()
+    arr = box.to_array()
+
+    def field_bounds(b: Box) -> tuple[np.ndarray, np.ndarray]:
+        a = b.to_array()
+        lows, highs = [], []
+        for tape in tapes:
+            lo, hi = tape.eval_boxes(a[None, :, 0], a[None, :, 1])
+            lows.append(lo[0])
+            highs.append(hi[0])
+        return np.array(lows), np.array(highs)
+
+    # Stage 1: a-priori box B with X + [0,h] F(B) subset of B.
+    candidate = box
+    for _ in range(config.max_inflations):
+        f_lo, f_hi = field_bounds(candidate)
+        # X + [0, h] * F(candidate): each component's reach interval.
+        step_lo = arr[:, 0] + h * np.minimum(f_lo, 0.0)
+        step_hi = arr[:, 1] + h * np.maximum(f_hi, 0.0)
+        hull = Box.from_bounds(step_lo, step_hi)
+        if candidate.contains_box(hull):
+            break
+        candidate = hull.inflate(
+            absolute=1e-12, relative=config.inflation
+        ).hull(candidate)
+    else:
+        raise SimulationError(
+            "a-priori enclosure did not stabilize; reduce dt "
+            f"(dt={h}, box width {box.max_width():.3g})"
+        )
+
+    # Stage 2: tightened Euler step over the a-priori box.
+    f_lo, f_hi = field_bounds(candidate)
+    new_lo = arr[:, 0] + h * f_lo
+    new_hi = arr[:, 1] + h * f_hi
+    return Box.from_bounds(np.minimum(new_lo, new_hi), np.maximum(new_lo, new_hi))
+
+
+def reach_tube(
+    system: ContinuousSystem,
+    initial: "Box | Rectangle",
+    duration: float,
+    config: ReachConfig | None = None,
+    unsafe: "RectangleComplement | None" = None,
+) -> ReachResult:
+    """Compute the flowpipe of ``initial`` over ``[0, duration]``.
+
+    Stops early when a box exceeds ``config.max_width`` (wrapping blowup,
+    ``completed=False``) or — if ``unsafe`` is given — when a box meets
+    the unsafe set (recorded in ``first_violation``; note an *interval*
+    intersection is a potential violation, not a proof of one).
+    """
+    config = config or ReachConfig()
+    box = initial.to_box() if isinstance(initial, Rectangle) else initial
+    if duration < 0.0:
+        raise SimulationError("duration must be non-negative")
+    boxes = [box]
+    times = [0.0]
+    t = 0.0
+    violation: int | None = None
+    completed = True
+    while t < duration - 1e-12:
+        box = _step_enclosure(system, box, config)
+        t += config.dt
+        boxes.append(box)
+        times.append(t)
+        if unsafe is not None and violation is None:
+            if _intersects_unsafe(box, unsafe):
+                violation = len(boxes) - 1
+        if box.max_width() > config.max_width:
+            completed = False
+            break
+    return ReachResult(
+        boxes=boxes,
+        times=np.array(times),
+        completed=completed,
+        first_violation=violation,
+    )
+
+
+def _intersects_unsafe(box: Box, unsafe: "RectangleComplement") -> bool:
+    """Could the box contain an unsafe point? (Interval over-approximation.)"""
+    safe = unsafe.safe_rectangle
+    inner = Box.from_bounds(safe.lower, safe.upper)
+    return not inner.contains_box(box)
+
+
+def check_bounded_safety(
+    system: ContinuousSystem,
+    initial: "Rectangle",
+    unsafe: "RectangleComplement",
+    duration: float,
+    config: ReachConfig | None = None,
+) -> tuple[bool, ReachResult]:
+    """Bounded-time safety by flowpipe containment.
+
+    Returns ``(proved, tube)``: ``proved`` is True when every tube box
+    stays inside the safe rectangle for the whole horizon — a *bounded*
+    guarantee, in contrast to the barrier certificate's unbounded one.
+    """
+    tube = reach_tube(system, initial, duration, config, unsafe=unsafe)
+    proved = tube.completed and tube.first_violation is None
+    return proved, tube

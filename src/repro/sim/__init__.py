@@ -1,0 +1,36 @@
+"""Simulation engine: integrators, traces, samplers, and the driver."""
+
+from .integrators import (
+    DormandPrince45,
+    EulerIntegrator,
+    FixedStepIntegrator,
+    RK4Integrator,
+    euler_step,
+    get_integrator,
+    rk4_step,
+)
+from .sampling import (
+    sample_boundary,
+    sample_grid,
+    sample_latin_hypercube,
+    sample_uniform,
+)
+from .simulator import Simulator, StopCondition
+from .trace import Trace
+
+__all__ = [
+    "DormandPrince45",
+    "EulerIntegrator",
+    "FixedStepIntegrator",
+    "RK4Integrator",
+    "Simulator",
+    "StopCondition",
+    "Trace",
+    "euler_step",
+    "get_integrator",
+    "rk4_step",
+    "sample_boundary",
+    "sample_grid",
+    "sample_latin_hypercube",
+    "sample_uniform",
+]

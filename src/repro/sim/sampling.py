@@ -1,0 +1,80 @@
+"""Initial-state samplers over boxes.
+
+The synthesis loop seeds its simulations from the initial set ``X0`` and
+from the search domain; these samplers provide the random, grid, and
+space-filling strategies used by the experiments.  All randomized
+samplers take an explicit :class:`numpy.random.Generator` for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from ..intervals import Box
+
+__all__ = [
+    "sample_uniform",
+    "sample_grid",
+    "sample_latin_hypercube",
+    "sample_boundary",
+]
+
+
+def _finite_bounds(box: Box) -> tuple[np.ndarray, np.ndarray]:
+    if not box.is_finite():
+        raise ReproError("sampling requires a bounded box")
+    return box.lower(), box.upper()
+
+
+def sample_uniform(box: Box, count: int, rng: np.random.Generator) -> np.ndarray:
+    """``count`` i.i.d. uniform points in the box, shape ``(count, n)``."""
+    if count < 1:
+        raise ReproError("count must be >= 1")
+    lo, hi = _finite_bounds(box)
+    return rng.uniform(lo, hi, size=(count, box.dimension))
+
+
+def sample_grid(box: Box, per_dimension: int) -> np.ndarray:
+    """Uniform grid, ``per_dimension`` points per axis."""
+    return box.sample_grid(per_dimension)
+
+
+def sample_latin_hypercube(
+    box: Box, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Latin hypercube sample: one point per row/column stratum per axis.
+
+    Gives better space coverage than i.i.d. sampling at the same count,
+    which reduces the number of CEX-refinement iterations in practice.
+    """
+    if count < 1:
+        raise ReproError("count must be >= 1")
+    lo, hi = _finite_bounds(box)
+    n = box.dimension
+    # Stratified positions per dimension, independently shuffled.
+    u = (rng.random((count, n)) + np.arange(count)[:, None]) / count
+    for j in range(n):
+        rng.shuffle(u[:, j])
+    return lo + u * (hi - lo)
+
+
+def sample_boundary(box: Box, per_face: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform samples on each face of the box boundary.
+
+    For an ``n``-dimensional box there are ``2n`` faces; the result has
+    ``2 * n * per_face`` rows.  Useful for probing the barrier condition
+    near the initial-set boundary.
+    """
+    if per_face < 1:
+        raise ReproError("per_face must be >= 1")
+    lo, hi = _finite_bounds(box)
+    n = box.dimension
+    points = []
+    for axis in range(n):
+        for bound in (lo[axis], hi[axis]):
+            face = rng.uniform(lo, hi, size=(per_face, n))
+            face[:, axis] = bound
+            points.append(face)
+    return np.vstack(points)

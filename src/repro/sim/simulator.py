@@ -1,0 +1,156 @@
+"""Closed-loop simulation driver.
+
+:class:`Simulator` integrates an autonomous vector field and produces
+:class:`~repro.sim.trace.Trace` objects, with optional early stopping
+(domain-exit events) and a blow-up guard.  The synthesis loop uses it to
+generate the seed traces ``Φs`` and the counterexample traces ``Φf`` of
+the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from .integrators import FixedStepIntegrator, get_integrator
+from .trace import Trace
+
+__all__ = ["Simulator", "StopCondition"]
+
+#: Predicate deciding whether to stop the simulation at a state.
+StopCondition = Callable[[np.ndarray], bool]
+
+
+class Simulator:
+    """Integrates ``x' = f(x)`` into traces.
+
+    Parameters
+    ----------
+    vector_field:
+        Autonomous dynamics ``f(x) -> x_dot`` (numpy in, numpy out).
+    input_function:
+        Optional map ``x -> u`` recorded alongside the states (the NN
+        controller output in the closed-loop case).
+    method:
+        Integrator name: ``"euler"``, ``"rk4"`` (default), or ``"rk45"``.
+    blowup_norm:
+        Euclidean norm beyond which integration stops and the trace is
+        marked truncated; None disables the guard.
+    """
+
+    def __init__(
+        self,
+        vector_field: Callable[[np.ndarray], np.ndarray],
+        input_function: Callable[[np.ndarray], np.ndarray] | None = None,
+        method: str = "rk4",
+        blowup_norm: float | None = 1e6,
+        **integrator_options,
+    ):
+        self.vector_field = vector_field
+        self.input_function = input_function
+        self.integrator = get_integrator(method, **integrator_options)
+        self.blowup_norm = blowup_norm
+
+    def simulate(
+        self,
+        initial_state: Sequence[float],
+        duration: float,
+        dt: float = 0.01,
+        stop_condition: StopCondition | None = None,
+    ) -> Trace:
+        """Integrate from ``initial_state`` for ``duration`` seconds.
+
+        Fixed-step methods honor ``stop_condition`` and the blow-up
+        guard per step; the adaptive method applies them post hoc by
+        trimming the dense output.
+        """
+        x0 = np.asarray(initial_state, dtype=float)
+        if x0.ndim != 1:
+            raise SimulationError(f"initial state must be a vector, got {x0.shape}")
+        if isinstance(self.integrator, FixedStepIntegrator):
+            times, states, truncated = self._run_fixed(
+                x0, duration, dt, stop_condition
+            )
+        else:
+            times, states = self.integrator.integrate(
+                self.vector_field, x0, duration, dt
+            )
+            times, states, truncated = self._trim(times, states, stop_condition)
+        inputs = None
+        if self.input_function is not None:
+            inputs = np.array([np.atleast_1d(self.input_function(x)) for x in states])
+        return Trace(times, states, inputs, truncated)
+
+    def simulate_batch(
+        self,
+        initial_states: np.ndarray,
+        duration: float,
+        dt: float = 0.01,
+        stop_condition: StopCondition | None = None,
+    ) -> list[Trace]:
+        """One trace per row of ``initial_states``."""
+        initial_states = np.atleast_2d(np.asarray(initial_states, dtype=float))
+        return [
+            self.simulate(x0, duration, dt, stop_condition) for x0 in initial_states
+        ]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _run_fixed(
+        self,
+        x0: np.ndarray,
+        duration: float,
+        dt: float,
+        stop_condition: StopCondition | None,
+    ) -> tuple[np.ndarray, np.ndarray, bool]:
+        if dt <= 0.0:
+            raise SimulationError(f"step size must be positive, got {dt}")
+        if duration < 0.0:
+            raise SimulationError(f"duration must be non-negative, got {duration}")
+        x = x0.copy()
+        times = [0.0]
+        states = [x.copy()]
+        truncated = False
+        t = 0.0
+        while t < duration - 1e-12:
+            h = min(dt, duration - t)
+            x = self.integrator.step(self.vector_field, x, h)
+            t += h
+            if not np.all(np.isfinite(x)):
+                truncated = True
+                break
+            if self.blowup_norm is not None and np.linalg.norm(x) > self.blowup_norm:
+                times.append(t)
+                states.append(x.copy())
+                truncated = True
+                break
+            times.append(t)
+            states.append(x.copy())
+            if stop_condition is not None and stop_condition(x):
+                truncated = True
+                break
+        return np.array(times), np.array(states), truncated
+
+    def _trim(
+        self,
+        times: np.ndarray,
+        states: np.ndarray,
+        stop_condition: StopCondition | None,
+    ) -> tuple[np.ndarray, np.ndarray, bool]:
+        cut = len(times)
+        truncated = False
+        for k in range(len(times)):
+            state = states[k]
+            exceeded = (
+                self.blowup_norm is not None
+                and np.linalg.norm(state) > self.blowup_norm
+            )
+            stopped = stop_condition is not None and stop_condition(state)
+            if exceeded or stopped:
+                cut = k + 1
+                truncated = True
+                break
+        return times[:cut], states[:cut], truncated

@@ -1,0 +1,371 @@
+"""HC4-revise: forward-backward interval constraint propagation.
+
+Given an atomic constraint ``g(x) ⋈ 0`` and a box, the contractor
+computes a (possibly much smaller) sub-box guaranteed to contain every
+solution of the constraint inside the original box — or proves there is
+none.  This is the classic HC4 algorithm used inside dReal/IBEX:
+
+1. *Forward*: evaluate every DAG node over the box, bottom-up.
+2. *Project*: intersect the root's interval with the relation's
+   satisfying set (e.g. ``[-inf, 0]`` for ``<= 0``).
+3. *Backward*: walk top-down, inverting each operation to narrow the
+   children; variable occurrences are intersected across all uses.
+
+Backward rules for non-invertible ops (sin, cos, tan, min, max) fall
+back to the identity, which is sound — contraction strength only affects
+performance, never correctness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import EmptyIntervalError
+from ..expr.node import (
+    Add,
+    Const,
+    Div,
+    Expr,
+    Max2,
+    Min2,
+    Mul,
+    Neg,
+    Pow,
+    Sub,
+    Unary,
+    Var,
+    postorder,
+)
+from ..intervals import Box, Interval
+from .constraint import Constraint, Relation
+
+__all__ = ["hc4_revise", "contract_fixpoint"]
+
+_INF = math.inf
+_ENTIRE = Interval.entire()
+
+
+def hc4_revise(
+    constraint: Constraint, box: Box, variable_names: Sequence[str]
+) -> Box | None:
+    """One forward-backward pass; returns the contracted box or None if empty."""
+    env = dict(zip(variable_names, box.intervals))
+    order = postorder(constraint.expr)
+
+    # Forward pass: interval value of every node.
+    forward: dict[int, Interval] = {}
+    for node in order:
+        forward[id(node)] = _forward(node, forward, env)
+
+    # Project the root onto the relation's satisfying set.
+    root_target = _relation_target(constraint.relation)
+    root_val = forward[id(constraint.expr)]
+    projected = root_val.try_intersection(root_target)
+    if projected is None:
+        return None
+
+    # Backward pass: refine each node's target, children after parents.
+    targets: dict[int, Interval] = {id(node): forward[id(node)] for node in order}
+    targets[id(constraint.expr)] = projected
+    try:
+        for node in reversed(order):
+            _backward(node, targets, forward)
+    except EmptyIntervalError:
+        return None
+
+    # Read back variable intervals (intersected across occurrences already,
+    # because all occurrences share one DAG node per name only if the
+    # builder interned them; handle duplicates defensively).
+    var_targets: dict[str, Interval] = {}
+    for node in order:
+        if isinstance(node, Var):
+            tgt = targets[id(node)]
+            if node.name in var_targets:
+                got = var_targets[node.name].try_intersection(tgt)
+                if got is None:
+                    return None
+                var_targets[node.name] = got
+            else:
+                var_targets[node.name] = tgt
+
+    parts = []
+    for name, ival in zip(variable_names, box.intervals):
+        tgt = var_targets.get(name)
+        if tgt is None:
+            parts.append(ival)
+            continue
+        narrowed = ival.try_intersection(tgt)
+        if narrowed is None:
+            return None
+        parts.append(narrowed)
+    return Box(parts)
+
+
+def contract_fixpoint(
+    constraints: Sequence[Constraint],
+    box: Box,
+    variable_names: Sequence[str],
+    max_rounds: int = 4,
+    min_shrink: float = 0.01,
+) -> Box | None:
+    """Round-robin HC4 over all constraints until (near) fixpoint.
+
+    Stops when a full round shrinks the box volume by less than
+    ``min_shrink`` relatively, or after ``max_rounds`` rounds.  Returns
+    None when any constraint proves the box empty.
+    """
+    current = box
+    for _ in range(max_rounds):
+        before = current.widths().sum()
+        for constraint in constraints:
+            contracted = hc4_revise(constraint, current, variable_names)
+            if contracted is None:
+                return None
+            current = contracted
+        after = current.widths().sum()
+        if before <= 0.0 or (before - after) / max(before, 1e-300) < min_shrink:
+            break
+    return current
+
+
+# ----------------------------------------------------------------------
+# Forward semantics (scalar Interval)
+# ----------------------------------------------------------------------
+def _forward(node: Expr, forward: dict[int, Interval], env: dict[str, Interval]) -> Interval:
+    if isinstance(node, Const):
+        return Interval.point(node.value)
+    if isinstance(node, Var):
+        return env.get(node.name, _ENTIRE)
+    if isinstance(node, Add):
+        return forward[id(node.left)] + forward[id(node.right)]
+    if isinstance(node, Sub):
+        return forward[id(node.left)] - forward[id(node.right)]
+    if isinstance(node, Mul):
+        return forward[id(node.left)] * forward[id(node.right)]
+    if isinstance(node, Div):
+        return forward[id(node.left)] / forward[id(node.right)]
+    if isinstance(node, Neg):
+        return -forward[id(node.child)]
+    if isinstance(node, Pow):
+        return forward[id(node.base)] ** node.exponent
+    if isinstance(node, Min2):
+        return forward[id(node.left)].min_with(forward[id(node.right)])
+    if isinstance(node, Max2):
+        return forward[id(node.left)].max_with(forward[id(node.right)])
+    assert isinstance(node, Unary)
+    child = forward[id(node.child)]
+    if node.op == "sin":
+        return child.sin()
+    if node.op == "cos":
+        return child.cos()
+    if node.op == "tan":
+        return child.tan()
+    if node.op == "tanh":
+        return child.tanh()
+    if node.op == "sigmoid":
+        return child.sigmoid()
+    if node.op == "exp":
+        return child.exp()
+    if node.op == "log":
+        return child.log() if child.hi > 0 else _raise_empty()
+    if node.op == "sqrt":
+        return child.sqrt() if child.hi >= 0 else _raise_empty()
+    if node.op == "abs":
+        return child.abs()
+    return child.atan()  # "atan"
+
+
+def _raise_empty() -> Interval:
+    raise EmptyIntervalError("forward evaluation left the function domain")
+
+
+def _relation_target(relation: Relation) -> Interval:
+    if relation in (Relation.LE, Relation.LT):
+        return Interval(-_INF, 0.0)
+    if relation in (Relation.GE, Relation.GT):
+        return Interval(0.0, _INF)
+    return Interval.point(0.0)
+
+
+# ----------------------------------------------------------------------
+# Backward (inverse) semantics
+# ----------------------------------------------------------------------
+def _tighten(targets: dict[int, Interval], node: Expr, candidate: Interval) -> None:
+    current = targets[id(node)]
+    narrowed = current.try_intersection(candidate)
+    if narrowed is None:
+        raise EmptyIntervalError("backward contraction emptied a node")
+    targets[id(node)] = narrowed
+
+
+def _backward(node: Expr, targets: dict[int, Interval], forward: dict[int, Interval]) -> None:
+    target = targets[id(node)]
+    if isinstance(node, (Const, Var)):
+        if isinstance(node, Const) and not target.contains(node.value):
+            raise EmptyIntervalError("constant excluded by contraction")
+        return
+    if isinstance(node, Add):
+        left_f = forward[id(node.left)]
+        right_f = forward[id(node.right)]
+        _tighten(targets, node.left, target - right_f)
+        _tighten(targets, node.right, target - left_f)
+        return
+    if isinstance(node, Sub):
+        left_f = forward[id(node.left)]
+        right_f = forward[id(node.right)]
+        _tighten(targets, node.left, target + right_f)
+        _tighten(targets, node.right, left_f - target)
+        return
+    if isinstance(node, Mul):
+        left_f = forward[id(node.left)]
+        right_f = forward[id(node.right)]
+        _tighten(targets, node.left, _hull_extended_div(target, right_f))
+        _tighten(targets, node.right, _hull_extended_div(target, left_f))
+        return
+    if isinstance(node, Div):
+        num_f = forward[id(node.left)]
+        den_f = forward[id(node.right)]
+        _tighten(targets, node.left, target * den_f)
+        _tighten(targets, node.right, _hull_extended_div(num_f, target))
+        return
+    if isinstance(node, Neg):
+        _tighten(targets, node.child, -target)
+        return
+    if isinstance(node, Pow):
+        _backward_pow(node, targets, forward, target)
+        return
+    if isinstance(node, Min2):
+        # min(l, r) >= target.lo forces both operands >= target.lo.
+        bound = Interval(target.lo, _INF)
+        _tighten(targets, node.left, bound)
+        _tighten(targets, node.right, bound)
+        return
+    if isinstance(node, Max2):
+        bound = Interval(-_INF, target.hi)
+        _tighten(targets, node.left, bound)
+        _tighten(targets, node.right, bound)
+        return
+    assert isinstance(node, Unary)
+    inverse = _inverse_unary(node.op, target)
+    if inverse is not None:
+        _tighten(targets, node.child, inverse)
+
+
+def _hull_extended_div(num: Interval, den: Interval) -> Interval:
+    pieces = num.extended_divide(den)
+    if not pieces:
+        raise EmptyIntervalError("extended division produced the empty set")
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = result.hull(piece)
+    return result
+
+
+def _backward_pow(
+    node: Pow, targets: dict[int, Interval], forward: dict[int, Interval], target: Interval
+) -> None:
+    n = node.exponent
+    child_f = forward[id(node.base)]
+    if n == 0:
+        if not target.contains(1.0):
+            raise EmptyIntervalError("x^0 contracted away from 1")
+        return
+    if n < 0:
+        # x^-n = 1 / x^n: invert through the reciprocal, then recurse shape.
+        recip = _hull_extended_div(Interval.point(1.0), target)
+        target = recip
+        n = -n
+    if n % 2 == 1:
+        root = _odd_root(target, n)
+        _tighten(targets, node.base, root)
+        return
+    # Even power: image is nonnegative.
+    clipped = target.try_intersection(Interval.nonnegative())
+    if clipped is None:
+        raise EmptyIntervalError("even power forced negative")
+    hi_root = clipped.hi ** (1.0 / n) if clipped.hi < _INF else _INF
+    lo_root = clipped.lo ** (1.0 / n)
+    hi_root = _pad_up(hi_root)
+    lo_root = _pad_down(lo_root)
+    if child_f.lo >= 0.0:
+        candidate = Interval(max(lo_root, 0.0), hi_root)
+    elif child_f.hi <= 0.0:
+        candidate = Interval(-hi_root, min(-lo_root, 0.0))
+    else:
+        candidate = Interval(-hi_root, hi_root)
+    _tighten(targets, node.base, candidate)
+
+
+def _odd_root(ival: Interval, n: int) -> Interval:
+    def root(v: float) -> float:
+        if v == _INF or v == -_INF:
+            return v
+        return math.copysign(abs(v) ** (1.0 / n), v)
+
+    return Interval(_pad_down(root(ival.lo)), _pad_up(root(ival.hi)))
+
+
+_PAD = 1e-12
+
+
+def _pad_down(v: float) -> float:
+    if v == -_INF or v == _INF:
+        return v
+    return v - _PAD * (1.0 + abs(v))
+
+
+def _pad_up(v: float) -> float:
+    if v == -_INF or v == _INF:
+        return v
+    return v + _PAD * (1.0 + abs(v))
+
+
+def _inverse_unary(op: str, target: Interval) -> Interval | None:
+    """Preimage superset of ``target`` under ``op``; None means skip."""
+    if op == "tanh":
+        if target.hi < -1.0 or target.lo > 1.0:
+            raise EmptyIntervalError("tanh target outside [-1, 1]")
+        lo = -_INF if target.lo <= -1.0 else _pad_down(math.atanh(target.lo))
+        hi = _INF if target.hi >= 1.0 else _pad_up(math.atanh(target.hi))
+        return Interval(lo, hi)
+    if op == "sigmoid":
+        if target.hi < 0.0 or target.lo > 1.0:
+            raise EmptyIntervalError("sigmoid target outside [0, 1]")
+        lo = -_INF if target.lo <= 0.0 else _pad_down(_logit(target.lo))
+        hi = _INF if target.hi >= 1.0 else _pad_up(_logit(target.hi))
+        return Interval(lo, hi)
+    if op == "exp":
+        if target.hi <= 0.0:
+            raise EmptyIntervalError("exp target is non-positive")
+        lo = -_INF if target.lo <= 0.0 else _pad_down(math.log(target.lo))
+        hi = _pad_up(math.log(target.hi)) if target.hi < _INF else _INF
+        return Interval(lo, hi)
+    if op == "log":
+        lo = 0.0 if target.lo == -_INF else _pad_down(math.exp(target.lo))
+        hi = _INF if target.hi == _INF else _pad_up(math.exp(target.hi))
+        return Interval(max(lo, 0.0), hi)
+    if op == "sqrt":
+        clipped = target.try_intersection(Interval.nonnegative())
+        if clipped is None:
+            raise EmptyIntervalError("sqrt target is negative")
+        return clipped.sq().inflate(relative=_PAD)
+    if op == "abs":
+        clipped = target.try_intersection(Interval.nonnegative())
+        if clipped is None:
+            raise EmptyIntervalError("abs target is negative")
+        return Interval(-clipped.hi, clipped.hi)
+    if op == "atan":
+        half_pi = math.pi / 2.0
+        clipped = target.try_intersection(Interval(-half_pi, half_pi))
+        if clipped is None:
+            raise EmptyIntervalError("atan target outside (-pi/2, pi/2)")
+        lo = -_INF if clipped.lo <= -half_pi + 1e-12 else _pad_down(math.tan(clipped.lo))
+        hi = _INF if clipped.hi >= half_pi - 1e-12 else _pad_up(math.tan(clipped.hi))
+        return Interval(lo, hi)
+    # sin / cos / tan: periodic inverse skipped (identity is sound).
+    return None
+
+
+def _logit(p: float) -> float:
+    return math.log(p / (1.0 - p))

@@ -1,0 +1,110 @@
+"""Boolean combinations of constraints and DNF normalization.
+
+The branch-and-prune core decides conjunctions.  Disjunctions (needed
+for region complements like ``x ∉ X0``) are normalized to DNF and solved
+as independent subproblems, matching dReal's internal case split.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from ..errors import ExpressionError
+from .constraint import Constraint
+
+__all__ = ["Formula", "Atom", "And", "Or", "to_dnf", "conjunction_of"]
+
+
+class Formula:
+    """Base class of boolean formula nodes over atomic constraints."""
+
+    def __and__(self, other: "Formula") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or([self, other])
+
+
+class Atom(Formula):
+    """Leaf formula wrapping one :class:`Constraint`."""
+
+    def __init__(self, constraint: Constraint):
+        if not isinstance(constraint, Constraint):
+            raise ExpressionError(f"Atom expects a Constraint, got {constraint!r}")
+        self.constraint = constraint
+
+    def __repr__(self) -> str:
+        return f"Atom({self.constraint!r})"
+
+
+class And(Formula):
+    """Conjunction of sub-formulas."""
+
+    def __init__(self, parts: Iterable[Formula]):
+        self.parts = [_as_formula(p) for p in parts]
+        if not self.parts:
+            raise ExpressionError("And requires at least one part")
+
+    def __repr__(self) -> str:
+        return f"And({self.parts!r})"
+
+
+class Or(Formula):
+    """Disjunction of sub-formulas."""
+
+    def __init__(self, parts: Iterable[Formula]):
+        self.parts = [_as_formula(p) for p in parts]
+        if not self.parts:
+            raise ExpressionError("Or requires at least one part")
+
+    def __repr__(self) -> str:
+        return f"Or({self.parts!r})"
+
+
+def _as_formula(part: "Formula | Constraint") -> Formula:
+    if isinstance(part, Formula):
+        return part
+    if isinstance(part, Constraint):
+        return Atom(part)
+    raise ExpressionError(f"cannot interpret {part!r} as a formula")
+
+
+def to_dnf(formula: "Formula | Constraint") -> list[list[Constraint]]:
+    """Disjunctive normal form: a list of conjunctions of atoms.
+
+    The expansion is exact (no simplification); the practical formulas in
+    this library — region memberships and their complements — have at
+    most a handful of disjuncts.
+    """
+    formula = _as_formula(formula)
+    if isinstance(formula, Atom):
+        return [[formula.constraint]]
+    if isinstance(formula, Or):
+        result: list[list[Constraint]] = []
+        for part in formula.parts:
+            result.extend(to_dnf(part))
+        return result
+    if isinstance(formula, And):
+        product: list[list[Constraint]] = [[]]
+        for part in formula.parts:
+            branches = to_dnf(part)
+            product = [
+                existing + branch
+                for existing, branch in itertools.product(product, branches)
+            ]
+        return product
+    raise ExpressionError(f"unknown formula node {type(formula).__name__}")
+
+
+def conjunction_of(parts: Sequence["Constraint | Formula"]) -> list[Constraint]:
+    """Flatten parts into a single conjunction; raises if any Or appears."""
+    flat: list[Constraint] = []
+    for part in parts:
+        branches = to_dnf(_as_formula(part))
+        if len(branches) != 1:
+            raise ExpressionError(
+                "conjunction_of cannot flatten a disjunctive formula; use to_dnf"
+            )
+        flat.extend(branches[0])
+    return flat

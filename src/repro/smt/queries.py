@@ -1,0 +1,83 @@
+"""Existential queries over disjunctions and box unions.
+
+The barrier conditions in the paper quantify over regions that are not
+single boxes (e.g. ``D \\ X0``, or a union of halfspaces).  These helpers
+decompose such queries into conjunction-over-box subproblems for the
+core solver and combine the verdicts:
+
+* any subproblem DELTA_SAT  →  DELTA_SAT (first witness wins);
+* all subproblems UNSAT     →  UNSAT;
+* otherwise                 →  UNKNOWN.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..intervals import Box
+from .constraint import Constraint
+from .formula import Formula, to_dnf
+from .icp import IcpConfig, IcpSolver
+from .result import SmtResult, SolverStats, Verdict
+
+__all__ = ["check_exists", "check_exists_on_boxes", "Subproblem"]
+
+
+class Subproblem:
+    """A conjunction of constraints searched over one box."""
+
+    def __init__(self, constraints: Sequence[Constraint], region: Box, label: str = ""):
+        self.constraints = list(constraints)
+        self.region = region
+        self.label = label
+
+    def __repr__(self) -> str:
+        tag = f" '{self.label}'" if self.label else ""
+        return f"<Subproblem{tag}: {len(self.constraints)} constraints over {self.region}>"
+
+
+def check_exists_on_boxes(
+    subproblems: Sequence[Subproblem],
+    variable_names: Sequence[str],
+    config: IcpConfig | None = None,
+) -> SmtResult:
+    """Decide ``∃x`` over a union of subproblems (see module docstring).
+
+    An empty union is vacuously UNSAT — this arises legitimately when
+    geometric preprocessing (e.g. clipping the level-set region against
+    every unsafe facet) already proves the search region empty.
+    """
+    solver = IcpSolver(config)
+    if not subproblems:
+        return SmtResult(Verdict.UNSAT, solver.config.delta)
+    merged = SolverStats()
+    saw_unknown = False
+    delta = solver.config.delta
+    for sub in subproblems:
+        result = solver.solve(sub.constraints, sub.region, variable_names)
+        merged.merge(result.stats)
+        if result.verdict is Verdict.DELTA_SAT:
+            result.stats = merged
+            return result
+        if result.verdict is Verdict.UNKNOWN:
+            saw_unknown = True
+    verdict = Verdict.UNKNOWN if saw_unknown else Verdict.UNSAT
+    return SmtResult(verdict, delta, stats=merged)
+
+
+def check_exists(
+    formula: "Formula | Constraint",
+    regions: "Box | Sequence[Box]",
+    variable_names: Sequence[str],
+    config: IcpConfig | None = None,
+) -> SmtResult:
+    """Decide ``∃x ∈ ∪ regions : formula(x)`` with DNF case-splitting."""
+    if isinstance(regions, Box):
+        regions = [regions]
+    disjuncts = to_dnf(formula)
+    subproblems = [
+        Subproblem(conjunction, region)
+        for region in regions
+        for conjunction in disjuncts
+    ]
+    return check_exists_on_boxes(subproblems, variable_names, config)

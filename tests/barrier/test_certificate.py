@@ -1,0 +1,166 @@
+"""Certificate condition-builder and re-verification tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.barrier import (
+    QuadraticTemplate,
+    Rectangle,
+    RectangleComplement,
+    BarrierCertificate,
+    VerificationProblem,
+    condition5_subproblems,
+    condition6_subproblems,
+    condition7_subproblems,
+    lie_derivative_expr,
+)
+from repro.dynamics import stable_linear_system
+from repro.errors import GeometryError
+from repro.expr import evaluate, var
+from repro.smt import IcpConfig
+
+
+@pytest.fixture
+def linear_problem():
+    system = stable_linear_system(np.array([[-1.0, 0.5], [-0.5, -1.0]]))
+    return VerificationProblem(
+        system,
+        initial_set=Rectangle([-0.5, -0.5], [0.5, 0.5]),
+        unsafe_set=RectangleComplement(Rectangle([-2.0, -2.0], [2.0, 2.0])),
+    )
+
+
+def analytic_certificate(problem, level=2.0):
+    tmpl = QuadraticTemplate(2)
+    coeffs = np.array([1.0, 0.0, 1.0])  # W = x0^2 + x1^2
+    expr = tmpl.build_expression(coeffs, problem.state_names)
+    return BarrierCertificate(
+        expr, level, problem, gamma=1e-6, template=tmpl, coefficients=coeffs
+    )
+
+
+class TestProblemValidation:
+    def test_dimension_mismatch(self):
+        system = stable_linear_system(np.array([[-1.0]]))
+        with pytest.raises(GeometryError):
+            VerificationProblem(
+                system,
+                Rectangle([-1, -1], [1, 1]),
+                RectangleComplement(Rectangle([-2, -2], [2, 2])),
+            )
+
+    def test_x0_must_be_inside_safe(self):
+        system = stable_linear_system(np.array([[-1.0, 0.0], [0.0, -1.0]]))
+        with pytest.raises(GeometryError):
+            VerificationProblem(
+                system,
+                Rectangle([-3, -3], [3, 3]),
+                RectangleComplement(Rectangle([-2, -2], [2, 2])),
+            )
+
+    def test_domain_defaults_to_safe_rect(self, linear_problem):
+        assert np.allclose(linear_problem.domain.lower, [-2, -2])
+
+
+class TestLieDerivative:
+    def test_linear_system_closed_form(self, linear_problem):
+        """For W = |x|^2 and x' = Ax: dW/dt = x^T (A + A^T) x."""
+        w = var("x0") ** 2 + var("x1") ** 2
+        lie = lie_derivative_expr(w, linear_problem.system)
+        a = np.array([[-1.0, 0.5], [-0.5, -1.0]])
+        sym = a + a.T
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x = rng.uniform(-2, 2, size=2)
+            expected = float(x @ sym @ x)
+            got = evaluate(lie, {"x0": float(x[0]), "x1": float(x[1])})
+            assert got == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+class TestConditionBuilders:
+    def test_condition5_covers_domain_minus_x0(self, linear_problem):
+        w = var("x0") ** 2 + var("x1") ** 2
+        subs = condition5_subproblems(w, linear_problem, gamma=1e-6)
+        assert 1 <= len(subs) <= 4
+        # The union must not include X0's interior.
+        x0_center = linear_problem.initial_set.center()
+        assert not any(s.region.contains(x0_center) for s in subs)
+        # But must include points between X0 and the safe boundary.
+        assert any(s.region.contains([1.5, 0.0]) for s in subs)
+
+    def test_condition6_region_is_x0(self, linear_problem):
+        cert = analytic_certificate(linear_problem)
+        subs = condition6_subproblems(cert.w_expr, linear_problem, cert.level)
+        assert len(subs) == 1
+        assert np.allclose(subs[0].region.lower(), [-0.5, -0.5])
+
+    def test_condition7_clipped_regions(self, linear_problem):
+        cert = analytic_certificate(linear_problem, level=2.0)
+        region = cert.level_region()
+        subs = condition7_subproblems(
+            cert.w_expr, linear_problem, cert.level, region
+        )
+        # Level set radius sqrt(2) < 2: every facet clip is empty.
+        assert subs == []
+
+    def test_condition7_nonempty_when_level_reaches(self, linear_problem):
+        cert = analytic_certificate(linear_problem, level=5.0)
+        region = cert.level_region()
+        subs = condition7_subproblems(
+            cert.w_expr, linear_problem, cert.level, region
+        )
+        assert len(subs) >= 1
+
+
+class TestVerify:
+    def test_good_certificate_verifies(self, linear_problem):
+        cert = analytic_certificate(linear_problem, level=2.0)
+        check = cert.verify(IcpConfig(delta=1e-3))
+        assert check.condition5.is_unsat
+        assert check.condition6.is_unsat
+        assert check.condition7.is_unsat
+        assert check.all_unsat
+
+    def test_level_too_small_fails_condition6(self, linear_problem):
+        cert = analytic_certificate(linear_problem, level=0.1)
+        check = cert.verify(IcpConfig(delta=1e-3))
+        assert not check.condition6.is_unsat
+        assert not check.all_unsat
+
+    def test_level_too_large_fails_condition7(self, linear_problem):
+        cert = analytic_certificate(linear_problem, level=4.5)
+        check = cert.verify(IcpConfig(delta=1e-3))
+        assert not check.condition7.is_unsat
+
+    def test_bad_dynamics_fails_condition5(self):
+        """An unstable system cannot satisfy the Lie condition."""
+        system = stable_linear_system(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        problem = VerificationProblem(
+            system,
+            Rectangle([-0.5, -0.5], [0.5, 0.5]),
+            RectangleComplement(Rectangle([-2, -2], [2, 2])),
+        )
+        cert = analytic_certificate(problem, level=2.0)
+        check = cert.verify(IcpConfig(delta=1e-3))
+        assert not check.condition5.is_unsat
+
+
+class TestCertificateQueries:
+    def test_values_and_membership(self, linear_problem):
+        cert = analytic_certificate(linear_problem, level=2.0)
+        assert cert.level_set_contains([1.0, 0.5])
+        assert not cert.level_set_contains([1.5, 1.0])
+        values = cert.barrier_values(np.array([[0.0, 0.0], [2.0, 0.0]]))
+        assert values[0] == pytest.approx(-2.0)
+        assert values[1] == pytest.approx(2.0)
+
+    def test_level_region_requires_template(self, linear_problem):
+        cert = BarrierCertificate(
+            var("x0") ** 2 + var("x1") ** 2, 1.0, linear_problem, 1e-6
+        )
+        with pytest.raises(GeometryError):
+            cert.level_region()

@@ -1,0 +1,159 @@
+"""Level-set geometry tests: closed forms vs brute force."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.barrier import (
+    Halfspace,
+    QuadraticTemplate,
+    Rectangle,
+    ellipsoid_bounding_rectangle,
+    level_bounds,
+    min_on_hyperplane,
+    quadratic_forms,
+)
+from repro.errors import LevelSetError
+
+
+class TestMinOnHyperplane:
+    def test_identity_quadratic(self):
+        """min |x|^2 on x0 = b is b^2 (at (b, 0))."""
+        p = np.eye(2)
+        q = np.zeros(2)
+        value = min_on_hyperplane(p, q, np.array([1.0, 0.0]), 3.0)
+        assert value == pytest.approx(9.0)
+
+    def test_diagonal_quadratic(self):
+        """min (x^2 + 4 y^2) on y = 1 is 4."""
+        p = np.diag([1.0, 4.0])
+        value = min_on_hyperplane(p, np.zeros(2), np.array([0.0, 1.0]), 1.0)
+        assert value == pytest.approx(4.0)
+
+    def test_oblique_hyperplane_vs_brute_force(self, rng):
+        for _ in range(20):
+            # Random PD matrix.
+            m = rng.normal(size=(2, 2))
+            p = m @ m.T + 0.2 * np.eye(2)
+            q = rng.normal(size=2) * 0.5
+            a = rng.normal(size=2)
+            if np.linalg.norm(a) < 0.1:
+                continue
+            b = rng.normal() * 2.0
+            closed = min_on_hyperplane(p, q, a, b)
+            # Brute force: parameterize the line.
+            tangent = np.array([-a[1], a[0]]) / np.linalg.norm(a)
+            base = a * b / (a @ a)
+            ts = np.linspace(-50, 50, 200001)
+            pts = base[None, :] + ts[:, None] * tangent[None, :]
+            vals = np.einsum("mi,ij,mj->m", pts, p, pts) + pts @ q
+            assert closed == pytest.approx(vals.min(), rel=1e-4, abs=1e-6)
+
+    def test_unbounded_direction(self):
+        """Negative curvature along the plane: -inf."""
+        p = np.diag([1.0, -1.0])
+        value = min_on_hyperplane(p, np.zeros(2), np.array([1.0, 0.0]), 0.0)
+        assert value == -math.inf
+
+
+class TestLevelBounds:
+    def test_circle_geometry(self):
+        """W = x^2 + y^2, X0 = [-1,1]^2, unsafe outside [-3,3]^2:
+        l_lo = 2 (corner), l_hi = 9 (facet distance)."""
+        tmpl = QuadraticTemplate(2)
+        coeffs = np.array([1.0, 0.0, 1.0])
+        x0 = Rectangle([-1, -1], [1, 1])
+        halfspaces = Rectangle([-3, -3], [3, 3]).halfspaces()
+        lo, hi = level_bounds(tmpl, coeffs, x0, halfspaces)
+        assert lo == pytest.approx(2.0)
+        assert hi == pytest.approx(9.0)
+
+    def test_anisotropic(self):
+        """W = x^2 + 4 y^2 with asymmetric safe rectangle."""
+        tmpl = QuadraticTemplate(2)
+        coeffs = np.array([1.0, 0.0, 4.0])
+        x0 = Rectangle([-0.5, -0.25], [0.5, 0.25])
+        halfspaces = Rectangle([-4, -1], [4, 1]).halfspaces()
+        lo, hi = level_bounds(tmpl, coeffs, x0, halfspaces)
+        assert lo == pytest.approx(0.5)  # corner (0.5, 0.25)
+        assert hi == pytest.approx(4.0)  # min(16, 4*1) = 4
+
+    def test_no_separation_raises(self):
+        """X0 corners already past the unsafe boundary."""
+        tmpl = QuadraticTemplate(2)
+        coeffs = np.array([1.0, 0.0, 1.0])
+        x0 = Rectangle([-3, -3], [3, 3])
+        halfspaces = Rectangle([-1, -1], [1, 1]).halfspaces()
+        with pytest.raises(LevelSetError):
+            level_bounds(tmpl, coeffs, x0, halfspaces)
+
+    def test_indefinite_w_raises(self):
+        tmpl = QuadraticTemplate(2)
+        coeffs = np.array([1.0, 0.0, -1.0])  # saddle
+        x0 = Rectangle([-0.5, -0.5], [0.5, 0.5])
+        halfspaces = Rectangle([-3, -3], [3, 3]).halfspaces()
+        with pytest.raises(LevelSetError):
+            level_bounds(tmpl, coeffs, x0, halfspaces)
+
+    def test_no_halfspaces_raises(self):
+        tmpl = QuadraticTemplate(2)
+        with pytest.raises(LevelSetError):
+            level_bounds(
+                tmpl, np.array([1.0, 0.0, 1.0]), Rectangle([-1, -1], [1, 1]), []
+            )
+
+
+class TestEllipsoidBoundingRectangle:
+    def test_circle(self):
+        rect = ellipsoid_bounding_rectangle(np.eye(2), np.zeros(2), 4.0)
+        assert np.allclose(rect.lower, [-2, -2], atol=1e-6)
+        assert np.allclose(rect.upper, [2, 2], atol=1e-6)
+
+    def test_axis_aligned_ellipse(self):
+        rect = ellipsoid_bounding_rectangle(np.diag([1.0, 4.0]), np.zeros(2), 4.0)
+        assert np.allclose(rect.upper, [2.0, 1.0], atol=1e-6)
+
+    def test_rotated_ellipse_encloses_boundary(self, rng):
+        m = rng.normal(size=(2, 2))
+        p = m @ m.T + 0.3 * np.eye(2)
+        level = 2.0
+        rect = ellipsoid_bounding_rectangle(p, np.zeros(2), level)
+        # Sample boundary points and check containment.
+        values, vectors = np.linalg.eigh(p)
+        inv_sqrt = vectors @ np.diag(1.0 / np.sqrt(values)) @ vectors.T
+        angles = np.linspace(0, 2 * np.pi, 100)
+        boundary = np.sqrt(level) * np.stack(
+            [np.cos(angles), np.sin(angles)], axis=1
+        ) @ inv_sqrt.T
+        for p_b in boundary:
+            assert rect.contains(p_b, tol=1e-9)
+
+    def test_offset_center(self):
+        """With a linear term the ellipsoid is shifted."""
+        p = np.eye(2)
+        q = np.array([-2.0, 0.0])  # center at (1, 0)
+        rect = ellipsoid_bounding_rectangle(p, q, 0.0)  # W(center) = -1 -> r=1
+        assert np.allclose(rect.center(), [1.0, 0.0], atol=1e-9)
+        assert rect.upper[0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_level_below_minimum_raises(self):
+        with pytest.raises(LevelSetError):
+            ellipsoid_bounding_rectangle(np.eye(2), np.zeros(2), -1.0)
+
+    def test_indefinite_raises(self):
+        with pytest.raises(LevelSetError):
+            ellipsoid_bounding_rectangle(np.diag([1.0, -1.0]), np.zeros(2), 1.0)
+
+
+class TestQuadraticForms:
+    def test_roundtrip(self, rng):
+        tmpl = QuadraticTemplate(2, include_linear=True)
+        coeffs = rng.normal(size=tmpl.basis_size)
+        p, q = quadratic_forms(tmpl, coeffs)
+        pts = rng.uniform(-2, 2, size=(20, 2))
+        direct = tmpl.evaluate(coeffs, pts)
+        reconstructed = np.einsum("mi,ij,mj->m", pts, p, pts) + pts @ q
+        assert np.allclose(direct, reconstructed)

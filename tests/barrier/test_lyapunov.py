@@ -1,0 +1,114 @@
+"""Lyapunov-candidate seeding tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.barrier import (
+    QuadraticTemplate,
+    linearize,
+    lyapunov_candidate,
+    symbolic_jacobian,
+)
+from repro.dynamics import error_dynamics_system, stable_linear_system
+from repro.errors import SynthesisError
+from repro.expr import evaluate
+from repro.learning import proportional_controller_network
+
+
+class TestSymbolicJacobian:
+    def test_linear_system_exact(self):
+        a = np.array([[-1.0, 2.0], [0.5, -3.0]])
+        system = stable_linear_system(a)
+        jac = symbolic_jacobian(system)
+        env = {"x0": 0.7, "x1": -0.2}
+        got = np.array([[evaluate(e, env) for e in row] for row in jac])
+        assert np.allclose(got, a)
+
+    def test_nn_system_matches_finite_differences(self):
+        net = proportional_controller_network(6)
+        system = error_dynamics_system(net)
+        jac = symbolic_jacobian(system)
+        x = np.array([0.4, -0.2])
+        env = dict(zip(system.state_names, (float(v) for v in x)))
+        symbolic = np.array([[evaluate(e, env) for e in row] for row in jac])
+        h = 1e-6
+        numeric = np.zeros((2, 2))
+        for j in range(2):
+            dx = np.zeros(2)
+            dx[j] = h
+            numeric[:, j] = (system.f(x + dx) - system.f(x - dx)) / (2 * h)
+        assert np.allclose(symbolic, numeric, atol=1e-5)
+
+
+class TestLinearize:
+    def test_linear_recovers_a(self):
+        a = np.array([[-0.5, 1.0], [-1.0, -0.5]])
+        assert np.allclose(linearize(stable_linear_system(a)), a)
+
+    def test_non_equilibrium_rejected(self):
+        net = proportional_controller_network(4)
+        system = error_dynamics_system(net)
+        with pytest.raises(SynthesisError):
+            linearize(system, equilibrium=np.array([1.0, 0.5]))
+
+    def test_paper_system_jacobian_structure(self):
+        """At the origin: d(derr')/d(thetaerr) = V, and the control
+        gains appear negated in the second row."""
+        net = proportional_controller_network(6, d_gain=0.6, theta_gain=2.0)
+        system = error_dynamics_system(net, speed=1.0)
+        a = linearize(system)
+        assert a[0, 0] == pytest.approx(0.0, abs=1e-9)
+        assert a[0, 1] == pytest.approx(1.0, rel=1e-9)  # V cos(0)
+        assert a[1, 0] == pytest.approx(-0.6, rel=1e-6)
+        assert a[1, 1] == pytest.approx(-2.0, rel=1e-6)
+
+
+class TestLyapunovCandidate:
+    def test_stable_linear(self):
+        a = np.array([[-0.5, 1.0], [-1.0, -0.5]])
+        system = stable_linear_system(a)
+        candidate = lyapunov_candidate(system)
+        assert candidate.margin > 0.0
+        tmpl = candidate.template
+        p = tmpl.p_matrix(candidate.coefficients)
+        assert np.linalg.eigvalsh(p).min() > 0.0
+        # Lie derivative negative on samples.
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-2, 2, size=(100, 2))
+        lie = candidate.lie_derivative_values(pts, system)
+        assert np.all(lie < 0.0)
+
+    def test_unstable_rejected(self):
+        system = stable_linear_system(np.array([[0.2, 0.0], [0.0, -1.0]]))
+        with pytest.raises(SynthesisError):
+            lyapunov_candidate(system)
+
+    def test_coefficients_in_unit_box(self):
+        net = proportional_controller_network(6)
+        system = error_dynamics_system(net)
+        candidate = lyapunov_candidate(system)
+        assert np.abs(candidate.coefficients).max() == pytest.approx(1.0)
+
+    def test_seeds_paper_verification(self, paper_sets):
+        """A Lyapunov candidate passes the SMT conditions directly —
+        no simulation required for this system."""
+        from repro.barrier import (
+            BarrierCertificate,
+            VerificationProblem,
+            condition5_subproblems,
+        )
+        from repro.smt import IcpConfig, check_exists_on_boxes
+
+        x0, unsafe, _ = paper_sets
+        net = proportional_controller_network(6)
+        system = error_dynamics_system(net)
+        problem = VerificationProblem(system, x0, unsafe)
+        candidate = lyapunov_candidate(system)
+        result = check_exists_on_boxes(
+            condition5_subproblems(candidate.expression, problem, 1e-6),
+            problem.state_names,
+            IcpConfig(delta=1e-3),
+        )
+        assert result.is_unsat

@@ -1,0 +1,94 @@
+"""Tests for the LP separation-constraint extension.
+
+These constraints steer the LP toward candidates whose level sets can
+separate X0 from U — the extension documented in DESIGN.md section 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.barrier import (
+    LpConfig,
+    QuadraticTemplate,
+    Rectangle,
+    fit_generator,
+    level_bounds,
+)
+from repro.dynamics import error_dynamics_system
+from repro.errors import InfeasibleLPError
+from repro.experiments import paper_initial_set, paper_unsafe_set
+from repro.learning import proportional_controller_network
+
+
+@pytest.fixture
+def setup(rng):
+    net = proportional_controller_network(6)
+    system = error_dynamics_system(net)
+    points = rng.uniform([-4.5, -1.3], [4.5, 1.3], size=(400, 2))
+    x0 = paper_initial_set()
+    unsafe = paper_unsafe_set()
+    safe = unsafe.safe_rectangle
+    # Dense boundary samples of the safe rectangle's edges.
+    edges = []
+    for axis in range(2):
+        for bound in (safe.lower[axis], safe.upper[axis]):
+            other = 1 - axis
+            line = np.linspace(safe.lower[other], safe.upper[other], 25)
+            pts = np.zeros((25, 2))
+            pts[:, axis] = bound
+            pts[:, other] = line
+            edges.append(pts)
+    boundary = np.vstack(edges)
+    return system, points, x0, unsafe, boundary
+
+
+class TestSeparationConstraints:
+    def test_separated_candidate_has_level_gap(self, setup):
+        system, points, x0, unsafe, boundary = setup
+        tmpl = QuadraticTemplate(2)
+        candidate = fit_generator(
+            tmpl, points, system, separation=(x0.vertices(), boundary)
+        )
+        lo, hi = level_bounds(
+            tmpl, candidate.coefficients, x0, unsafe.halfspaces()
+        )
+        assert hi > lo  # a separating level exists analytically
+
+    def test_constraint_actually_binds(self, setup):
+        """W at every X0 vertex is strictly below W at every boundary
+        sample for the separated candidate."""
+        system, points, x0, unsafe, boundary = setup
+        tmpl = QuadraticTemplate(2)
+        candidate = fit_generator(
+            tmpl, points, system, separation=(x0.vertices(), boundary)
+        )
+        w_vertices = candidate.w_values(x0.vertices())
+        w_boundary = candidate.w_values(boundary)
+        assert w_vertices.max() < w_boundary.min()
+
+    def test_margin_not_destroyed(self, setup):
+        """Adding separation keeps a healthy decrease margin."""
+        system, points, x0, unsafe, boundary = setup
+        tmpl = QuadraticTemplate(2)
+        plain = fit_generator(tmpl, points, system)
+        separated = fit_generator(
+            tmpl, points, system, separation=(x0.vertices(), boundary)
+        )
+        assert separated.margin > 0.0
+        assert separated.margin >= 0.1 * plain.margin
+
+    def test_impossible_separation_infeasible(self, setup, rng):
+        """Inner points placed ON the boundary make separation + margin
+        impossible; the LP must report infeasibility cleanly."""
+        system, points, x0, unsafe, boundary = setup
+        tmpl = QuadraticTemplate(2)
+        with pytest.raises(InfeasibleLPError):
+            fit_generator(
+                tmpl,
+                points,
+                system,
+                LpConfig(min_margin=1e-6),
+                separation=(boundary, boundary),
+            )

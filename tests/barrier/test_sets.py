@@ -1,0 +1,204 @@
+"""Set-geometry tests, including the box_difference cover property."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.barrier import Halfspace, Rectangle, RectangleComplement, box_difference
+from repro.errors import GeometryError
+from repro.smt import to_dnf
+
+
+class TestRectangle:
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            Rectangle([1.0], [1.0])  # degenerate
+        with pytest.raises(GeometryError):
+            Rectangle([1.0, 0.0], [0.0])
+        with pytest.raises(GeometryError):
+            Rectangle([], [])
+
+    def test_contains(self):
+        rect = Rectangle([-1, -1], [1, 1])
+        assert rect.contains([0, 0])
+        assert rect.contains([1, 1])
+        assert not rect.contains([1.01, 0])
+        assert rect.contains([1.01, 0], tol=0.02)
+
+    def test_vertices(self):
+        rect = Rectangle([-1, -2], [1, 2])
+        vertices = rect.vertices()
+        assert vertices.shape == (4, 2)
+        assert {tuple(v) for v in vertices} == {
+            (-1, -2), (-1, 2), (1, -2), (1, 2)
+        }
+
+    def test_center(self):
+        assert np.allclose(Rectangle([0, 0], [2, 4]).center(), [1, 2])
+
+    def test_to_box_roundtrip(self):
+        rect = Rectangle([-1, 0], [1, 3])
+        box = rect.to_box()
+        assert np.allclose(box.lower(), rect.lower)
+        assert np.allclose(box.upper(), rect.upper)
+
+    def test_membership_constraints(self):
+        rect = Rectangle([-1, -2], [1, 2])
+        constraints = rect.membership_constraints(["x", "y"])
+        assert len(constraints) == 4
+        inside = [0.0, 0.0]
+        outside = [3.0, 0.0]
+        assert all(c.satisfied_at(inside, ["x", "y"]) for c in constraints)
+        assert not all(c.satisfied_at(outside, ["x", "y"]) for c in constraints)
+
+    def test_complement_formula(self):
+        rect = Rectangle([-1, -2], [1, 2])
+        dnf = to_dnf(rect.complement_formula(["x", "y"]))
+        assert len(dnf) == 4
+
+        def in_complement(p):
+            return any(
+                all(c.satisfied_at(p, ["x", "y"]) for c in conj) for conj in dnf
+            )
+
+        assert not in_complement([0.0, 0.0])
+        assert in_complement([2.0, 0.0])
+        assert in_complement([0.0, -3.0])
+
+    def test_halfspaces(self):
+        rect = Rectangle([-1, -2], [1, 2])
+        spaces = rect.halfspaces()
+        assert len(spaces) == 4
+        outside_point = [5.0, 0.0]
+        assert any(h.contains(outside_point) for h in spaces)
+        inside_point = [0.0, 0.0]
+        assert not any(h.contains(inside_point) for h in spaces)
+
+    def test_inflate(self):
+        rect = Rectangle([0, 0], [1, 1]).inflate(0.5)
+        assert rect.contains([-0.5, 1.5])
+
+    def test_name_count_check(self):
+        with pytest.raises(GeometryError):
+            Rectangle([0, 0], [1, 1]).membership_constraints(["x"])
+
+
+class TestHalfspace:
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            Halfspace([0.0, 0.0], 1.0)
+
+    def test_contains(self):
+        h = Halfspace([1.0, 0.0], 2.0)  # x >= 2
+        assert h.contains([3.0, 0.0])
+        assert not h.contains([1.0, 0.0])
+        assert h.contains([1.95, 0.0], tol=0.1)
+
+    def test_membership_constraint(self):
+        h = Halfspace([0.0, -1.0], 0.5)  # -y >= 0.5, i.e. y <= -0.5
+        c = h.membership_constraint(["x", "y"])
+        assert c.satisfied_at([0.0, -1.0], ["x", "y"])
+        assert not c.satisfied_at([0.0, 0.0], ["x", "y"])
+
+
+class TestRectangleComplement:
+    def test_contains_is_outside(self, paper_sets):
+        _, unsafe, safe = paper_sets
+        assert unsafe.contains([5.5, 0.0])
+        assert unsafe.contains([0.0, math.pi / 2])
+        assert not unsafe.contains([0.0, 0.0])
+
+    def test_halfspace_union_equals_complement(self, paper_sets, rng):
+        _, unsafe, safe = paper_sets
+        points = rng.uniform([-8, -2.5], [8, 2.5], size=(300, 2))
+        for p in points:
+            in_union = any(h.contains(p) for h in unsafe.halfspaces())
+            assert in_union == unsafe.contains(p)
+
+
+class TestBoxDifference:
+    def test_paper_geometry(self, paper_sets):
+        x0, _, safe = paper_sets
+        boxes = box_difference(safe, x0)
+        assert 1 <= len(boxes) <= 4
+
+    def test_cover_property(self, rng):
+        """Every point of outer\\inner is covered; no box meets the
+        inner rectangle's interior."""
+        outer = Rectangle([-5, -2], [5, 2])
+        inner = Rectangle([-1, -0.5], [1, 0.5])
+        boxes = box_difference(outer, inner)
+        points = rng.uniform(outer.lower, outer.upper, size=(500, 2))
+        for p in points:
+            covered = any(b.contains(p) for b in boxes)
+            strictly_inside_inner = np.all(p > inner.lower) and np.all(
+                p < inner.upper
+            )
+            strictly_inside_outer = np.all(p > outer.lower) and np.all(
+                p < outer.upper
+            )
+            if strictly_inside_inner:
+                assert not any(
+                    np.all(p > b.lower()) and np.all(p < b.upper()) for b in boxes
+                )
+            elif strictly_inside_outer:
+                assert covered
+
+    def test_disjoint_inner(self):
+        outer = Rectangle([0, 0], [1, 1])
+        inner = Rectangle([5, 5], [6, 6])
+        boxes = box_difference(outer, inner)
+        assert len(boxes) == 1
+        assert np.allclose(boxes[0].lower(), [0, 0])
+        assert np.allclose(boxes[0].upper(), [1, 1])
+
+    def test_inner_covers_outer(self):
+        outer = Rectangle([0, 0], [1, 1])
+        inner = Rectangle([-1, -1], [2, 2])
+        assert box_difference(outer, inner) == []
+
+    def test_inner_touches_side(self):
+        outer = Rectangle([0, 0], [4, 4])
+        inner = Rectangle([0, 0], [2, 2])  # shares the lower-left corner
+        boxes = box_difference(outer, inner)
+        total_area = sum(b.volume() for b in boxes)
+        assert total_area == pytest.approx(16.0 - 4.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(GeometryError):
+            box_difference(Rectangle([0], [1]), Rectangle([0, 0], [1, 1]))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-5, max_value=5), min_size=8, max_size=8
+        )
+    )
+    def test_area_identity(self, values):
+        """area(outer \\ inner) = area(outer) - area(outer ∩ inner)."""
+        v = values
+        try:
+            outer = Rectangle(
+                [min(v[0], v[1]), min(v[2], v[3])],
+                [max(v[0], v[1]) + 0.1, max(v[2], v[3]) + 0.1],
+            )
+            inner = Rectangle(
+                [min(v[4], v[5]), min(v[6], v[7])],
+                [max(v[4], v[5]) + 0.1, max(v[6], v[7]) + 0.1],
+            )
+        except GeometryError:
+            return
+        boxes = box_difference(outer, inner)
+        overlap_w = max(
+            0.0, min(outer.upper[0], inner.upper[0]) - max(outer.lower[0], inner.lower[0])
+        )
+        overlap_h = max(
+            0.0, min(outer.upper[1], inner.upper[1]) - max(outer.lower[1], inner.lower[1])
+        )
+        outer_area = float(np.prod(outer.upper - outer.lower))
+        expected = outer_area - overlap_w * overlap_h
+        assert sum(b.volume() for b in boxes) == pytest.approx(expected, abs=1e-6)

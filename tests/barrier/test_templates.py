@@ -1,0 +1,116 @@
+"""Generator-template tests: features, gradients, symbolic reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.barrier import PolynomialTemplate, QuadraticTemplate
+from repro.errors import ReproError
+from repro.expr import evaluate
+
+
+class TestQuadraticTemplate:
+    def test_basis_size(self):
+        assert QuadraticTemplate(2).basis_size == 3  # x², xy, y²
+        assert QuadraticTemplate(3).basis_size == 6
+        assert QuadraticTemplate(2, include_linear=True).basis_size == 5
+
+    def test_features_values(self):
+        tmpl = QuadraticTemplate(2)
+        feats = tmpl.features(np.array([[2.0, 3.0]]))
+        assert np.allclose(feats[0], [4.0, 6.0, 9.0])
+
+    def test_evaluate_matches_matrix_form(self, rng):
+        tmpl = QuadraticTemplate(2)
+        coeffs = rng.normal(size=3)
+        p = tmpl.p_matrix(coeffs)
+        points = rng.uniform(-2, 2, size=(20, 2))
+        direct = tmpl.evaluate(coeffs, points)
+        via_p = np.einsum("mi,ij,mj->m", points, p, points)
+        assert np.allclose(direct, via_p)
+
+    def test_p_matrix_symmetric(self, rng):
+        tmpl = QuadraticTemplate(3)
+        p = tmpl.p_matrix(rng.normal(size=tmpl.basis_size))
+        assert np.allclose(p, p.T)
+
+    def test_q_vector(self, rng):
+        pure = QuadraticTemplate(2)
+        assert np.allclose(pure.q_vector(rng.normal(size=3)), 0.0)
+        linear = QuadraticTemplate(2, include_linear=True)
+        coeffs = np.array([1.0, 0.0, 1.0, 0.5, -0.5])
+        assert np.allclose(linear.q_vector(coeffs), [0.5, -0.5])
+
+    def test_gradient_matches_finite_difference(self, rng):
+        tmpl = QuadraticTemplate(2, include_linear=True)
+        coeffs = rng.normal(size=tmpl.basis_size)
+        points = rng.uniform(-2, 2, size=(10, 2))
+        grads = tmpl.gradient(coeffs, points)
+        h = 1e-6
+        for d in range(2):
+            shifted = points.copy()
+            shifted[:, d] += h
+            fd = (tmpl.evaluate(coeffs, shifted) - tmpl.evaluate(coeffs, points)) / h
+            assert np.allclose(grads[:, d], fd, atol=1e-4)
+
+    def test_build_expression_matches_numeric(self, rng):
+        tmpl = QuadraticTemplate(2)
+        coeffs = rng.normal(size=3)
+        expr = tmpl.build_expression(coeffs, ["a", "b"])
+        for _ in range(10):
+            p = rng.uniform(-2, 2, size=2)
+            numeric = float(tmpl.evaluate(coeffs, p[None, :])[0])
+            symbolic = evaluate(expr, {"a": float(p[0]), "b": float(p[1])})
+            assert numeric == pytest.approx(symbolic, rel=1e-12, abs=1e-12)
+
+    def test_build_expression_validation(self):
+        tmpl = QuadraticTemplate(2)
+        with pytest.raises(ReproError):
+            tmpl.build_expression(np.zeros(5), ["a", "b"])
+        with pytest.raises(ReproError):
+            tmpl.build_expression(np.zeros(3), ["a"])
+
+    def test_zero_coefficients_expression(self):
+        tmpl = QuadraticTemplate(2)
+        expr = tmpl.build_expression(np.zeros(3), ["a", "b"])
+        assert evaluate(expr, {"a": 1.0, "b": 1.0}) == 0.0
+
+
+class TestPolynomialTemplate:
+    def test_degree_range(self):
+        tmpl = PolynomialTemplate(2, max_degree=4, min_degree=2)
+        degrees = {sum(m) for m in tmpl.monomials}
+        assert degrees == {2, 3, 4}
+
+    def test_no_constant_by_default(self):
+        tmpl = PolynomialTemplate(2, max_degree=3)
+        assert (0, 0) not in tmpl.monomials
+
+    def test_quadratic_subset_matches(self):
+        quad = QuadraticTemplate(2)
+        poly = PolynomialTemplate(2, max_degree=2, min_degree=2)
+        assert set(quad.monomials) == set(poly.monomials)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            PolynomialTemplate(0, 2)
+        with pytest.raises(ReproError):
+            PolynomialTemplate(2, 1, min_degree=3)
+
+    def test_features_gradients_consistency(self, rng):
+        tmpl = PolynomialTemplate(2, max_degree=4, min_degree=1)
+        coeffs = rng.normal(size=tmpl.basis_size)
+        points = rng.uniform(-1.5, 1.5, size=(8, 2))
+        grads = tmpl.gradient(coeffs, points)
+        h = 1e-6
+        for d in range(2):
+            shifted = points.copy()
+            shifted[:, d] += h
+            fd = (tmpl.evaluate(coeffs, shifted) - tmpl.evaluate(coeffs, points)) / h
+            assert np.allclose(grads[:, d], fd, atol=1e-3)
+
+    def test_dimension_check(self):
+        tmpl = PolynomialTemplate(2, 2)
+        with pytest.raises(ReproError):
+            tmpl.features(np.zeros((3, 3)))

@@ -1,0 +1,109 @@
+"""Generic plant/NN composition tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics import (
+    Plant,
+    compose,
+    dubins_error_plant,
+    error_dynamics_system,
+    inverted_pendulum_plant,
+    linear_plant,
+)
+from repro.errors import ReproError
+from repro.expr import var, variables_of
+from repro.learning import proportional_controller_network
+from repro.nn import FeedforwardNetwork, Layer, controller_network
+
+
+class TestPlantValidation:
+    def test_field_count_mismatch(self):
+        with pytest.raises(ReproError):
+            Plant(["x"], ["u"], [var("x"), var("u")])
+
+    def test_name_collision(self):
+        with pytest.raises(ReproError):
+            Plant(["x"], ["x"], [var("x")])
+
+    def test_default_output_is_state(self):
+        plant = Plant(["a", "b"], ["u"], [var("b"), var("u")])
+        assert plant.output_dimension == 2
+
+    def test_needs_states_and_inputs(self):
+        with pytest.raises(ReproError):
+            Plant([], ["u"], [])
+
+
+class TestCompose:
+    def test_dimension_checks(self, rng):
+        plant = dubins_error_plant()
+        wrong_inputs = controller_network(4, inputs=3, rng=rng)
+        with pytest.raises(ReproError):
+            compose(plant, wrong_inputs)
+        wrong_outputs = controller_network(4, outputs=2, rng=rng)
+        with pytest.raises(ReproError):
+            compose(plant, wrong_outputs)
+
+    def test_closed_loop_has_no_input_vars(self, rng):
+        plant = dubins_error_plant()
+        net = controller_network(4, rng=rng)
+        system = compose(plant, net)
+        for expr in system.field_exprs:
+            assert "u" not in variables_of(expr)
+
+    def test_compose_equals_error_dynamics_builder(self):
+        """The generic composition must agree with the hand-built
+        error-dynamics system — numerically and symbolically."""
+        net = proportional_controller_network(6)
+        via_compose = compose(dubins_error_plant(), net)
+        via_builder = error_dynamics_system(net)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            x = rng.uniform([-4, -1.3], [4, 1.3])
+            assert np.allclose(via_compose.f(x), via_builder.f(x), atol=1e-10)
+            assert np.allclose(
+                via_compose.symbolic_f(x), via_builder.symbolic_f(x), atol=1e-10
+            )
+
+    def test_numeric_override_matches_symbolic(self, rng):
+        plant = inverted_pendulum_plant()
+        net = controller_network(5, rng=rng)
+        system = compose(plant, net)
+        for _ in range(20):
+            x = rng.uniform([-1, -2], [1, 2])
+            assert np.allclose(system.f(x), system.symbolic_f(x), atol=1e-9)
+
+    def test_linear_plant_composition(self, rng):
+        a = np.array([[0.0, 1.0], [-1.0, -0.5]])
+        b = np.array([[0.0], [1.0]])
+        plant = linear_plant(a, b)
+        # Identity-ish linear "network": u = -k x via a linear layer pair.
+        k = np.array([[1.5, 0.9]])
+        net = FeedforwardNetwork(
+            [
+                Layer(np.eye(2), np.zeros(2), "linear"),
+                Layer(-k, np.zeros(1), "linear"),
+            ]
+        )
+        system = compose(plant, net)
+        closed_a = a - b @ k
+        for _ in range(10):
+            x = rng.uniform(-2, 2, size=2)
+            assert np.allclose(system.f(x), closed_a @ x, atol=1e-10)
+
+    def test_simulation_through_composition(self, rng):
+        """The composed pendulum system must be integrable and stable."""
+        plant = inverted_pendulum_plant()
+        kp, kd, squash = 12.0, 4.0, 0.5
+        net = FeedforwardNetwork(
+            [
+                Layer(np.array([[squash, 0.0], [0.0, squash]]), np.zeros(2), "tansig"),
+                Layer(np.array([[-kp / squash, -kd / squash]]), np.zeros(1), "linear"),
+            ]
+        )
+        system = compose(plant, net)
+        trace = system.simulator().simulate(np.array([0.3, 0.0]), 8.0, 0.01)
+        assert np.linalg.norm(trace.final_state) < 1e-2

@@ -1,0 +1,94 @@
+"""Dubins car kinematics and path-following loop tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dynamics import DubinsCar, PathFollowingLoop, StraightLinePath
+from repro.errors import ReproError
+from repro.expr import evaluate
+
+
+class TestKinematics:
+    def test_eq_8_9_10(self):
+        """x' = V sin(theta), y' = V cos(theta), theta' = u."""
+        car = DubinsCar(speed=2.0)
+        theta = 0.7
+        derivs = car.derivatives([0.0, 0.0, theta], u=0.3)
+        assert derivs[0] == pytest.approx(2.0 * math.sin(theta))
+        assert derivs[1] == pytest.approx(2.0 * math.cos(theta))
+        assert derivs[2] == pytest.approx(0.3)
+
+    def test_speed_validation(self):
+        with pytest.raises(ReproError):
+            DubinsCar(speed=0.0)
+
+    def test_state_shape_validation(self):
+        with pytest.raises(ReproError):
+            DubinsCar().derivatives([0.0, 0.0], u=0.0)
+
+    def test_symbolic_matches_numeric(self):
+        car = DubinsCar(speed=1.5)
+        exprs = car.symbolic_derivatives(u=0.25)
+        env = {"xv": 1.0, "yv": 2.0, "thetav": 0.4}
+        numeric = car.derivatives([1.0, 2.0, 0.4], u=0.25)
+        symbolic = [evaluate(e, env) for e in exprs]
+        assert np.allclose(numeric, symbolic)
+
+    def test_straight_motion_north(self):
+        """theta = 0 drives along +y at speed V."""
+        car = DubinsCar(speed=1.0)
+        derivs = car.derivatives([0.0, 0.0, 0.0], u=0.0)
+        assert np.allclose(derivs, [0.0, 1.0, 0.0])
+
+    def test_constant_turn_is_circle(self):
+        """With constant u the car traces a circle of radius V/u."""
+        car = DubinsCar(speed=1.0)
+        u = 0.5
+        from repro.sim import Simulator
+
+        sim = Simulator(lambda s: car.derivatives(s, u), method="rk4")
+        period = 2.0 * math.pi / u
+        trace = sim.simulate(np.array([0.0, 0.0, 0.0]), period, 0.001)
+        # After one full period the car returns to the start pose.
+        assert np.allclose(trace.final_state[:2], [0.0, 0.0], atol=1e-6)
+        assert trace.final_state[2] == pytest.approx(2.0 * math.pi, rel=1e-9)
+
+
+class TestPathFollowingLoop:
+    def test_errors_passthrough(self):
+        loop = PathFollowingLoop(
+            DubinsCar(), StraightLinePath(0.0), lambda e: np.array([0.0])
+        )
+        errors = loop.errors([2.0, 0.0, 0.1])
+        assert errors.d_err == pytest.approx(-2.0)
+        assert errors.theta_err == pytest.approx(-0.1)
+
+    def test_control_scalarized(self):
+        loop = PathFollowingLoop(
+            DubinsCar(), StraightLinePath(0.0), lambda e: np.array([0.7])
+        )
+        assert loop.control([0.0, 0.0, 0.0]) == 0.7
+
+    def test_good_controller_tracks_line(self):
+        """A proportional law on (d_err, theta_err) converges to the path."""
+
+        def control(errors):
+            return 0.6 * errors[0] + 2.0 * errors[1]
+
+        loop = PathFollowingLoop(DubinsCar(), StraightLinePath(0.0), control)
+        trace = loop.simulate([1.5, 0.0, 0.0], duration=30.0, dt=0.02)
+        final_errors = loop.errors(trace.final_state)
+        assert abs(final_errors.d_err) < 0.02
+        assert abs(final_errors.theta_err) < 0.02
+
+    def test_simulate_records_steering(self):
+        loop = PathFollowingLoop(
+            DubinsCar(), StraightLinePath(0.0), lambda e: np.array([0.1])
+        )
+        trace = loop.simulate([0.0, 0.0, 0.0], duration=1.0, dt=0.1)
+        assert trace.inputs is not None
+        assert np.allclose(trace.inputs, 0.1)

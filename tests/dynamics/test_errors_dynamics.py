@@ -1,0 +1,127 @@
+"""Error-dynamics model tests (Sections 4.1.3-4.1.4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dynamics import (
+    DubinsCar,
+    StraightLinePath,
+    error_dynamics_system,
+    error_field_exprs,
+    numeric_error_field,
+)
+from repro.errors import ReproError
+from repro.expr import evaluate, var
+from repro.learning import proportional_controller_network
+from repro.nn import controller_network
+
+
+class TestFieldExpressions:
+    def test_simplified_equals_verbatim(self):
+        """The paper's published d_err' telescopes to V sin(theta_err)."""
+        u = var("u")
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            speed = rng.uniform(0.5, 3.0)
+            theta_r = rng.uniform(-1.5, 1.5)
+            simple = error_field_exprs(u, speed, theta_r, simplified=True)
+            verbatim = error_field_exprs(u, speed, theta_r, simplified=False)
+            env = {
+                "derr": rng.uniform(-5, 5),
+                "thetaerr": rng.uniform(-1.5, 1.5),
+                "u": rng.uniform(-2, 2),
+            }
+            assert evaluate(simple[0], env) == pytest.approx(
+                evaluate(verbatim[0], env), abs=1e-12
+            )
+            assert evaluate(simple[1], env) == pytest.approx(
+                evaluate(verbatim[1], env), abs=1e-12
+            )
+
+    def test_theta_err_dot_is_minus_u(self):
+        """Eq. 13: theta_err' = -u."""
+        exprs = error_field_exprs(var("u"))
+        assert evaluate(exprs[1], {"derr": 0, "thetaerr": 0, "u": 0.7}) == -0.7
+
+    def test_speed_validation(self):
+        with pytest.raises(ReproError):
+            error_field_exprs(var("u"), speed=0.0)
+
+
+class TestSystemConstruction:
+    def test_numeric_matches_symbolic(self, rng):
+        net = controller_network(6, rng=rng)
+        system = error_dynamics_system(net)
+        for _ in range(25):
+            x = rng.uniform([-4, -1.3], [4, 1.3])
+            assert np.allclose(system.f(x), system.symbolic_f(x), atol=1e-10)
+
+    def test_network_shape_validation(self, rng):
+        bad = controller_network(4, inputs=3, rng=rng)
+        with pytest.raises(ReproError):
+            numeric_error_field(bad)
+
+    def test_state_names(self, small_system):
+        assert small_system.state_names == ["derr", "thetaerr"]
+
+    def test_equilibrium_at_origin_when_u0_zero(self):
+        """A zero-bias odd controller fixes the origin."""
+        net = proportional_controller_network(4)
+        system = error_dynamics_system(net)
+        assert np.allclose(system.f(np.zeros(2)), 0.0, atol=1e-12)
+
+
+class TestConsistencyWithFullVehicle:
+    def test_error_dynamics_match_full_simulation(self):
+        """Simulating the 3-state vehicle and projecting onto
+        (d_err, theta_err) must match simulating the reduced model."""
+        from repro.dynamics import PathFollowingLoop
+
+        net = proportional_controller_network(6)
+        speed = 1.0
+        path = StraightLinePath(theta_r=0.0)
+        loop = PathFollowingLoop(DubinsCar(speed), path, net.forward)
+        x0_full = np.array([-0.8, 0.0, 0.15])  # derr = +0.8, theta_err = -0.15
+        full_trace = loop.simulate(x0_full, duration=5.0, dt=0.005)
+
+        reduced = error_dynamics_system(net, speed=speed)
+        errors0 = loop.errors(x0_full)
+        reduced_trace = reduced.simulator().simulate(
+            errors0.as_vector(), 5.0, 0.005
+        )
+
+        final_full = loop.errors(full_trace.final_state)
+        final_reduced = reduced_trace.final_state
+        assert final_full.d_err == pytest.approx(final_reduced[0], abs=1e-5)
+        assert final_full.theta_err == pytest.approx(final_reduced[1], abs=1e-5)
+
+    def test_rotation_invariance(self):
+        """The reduced model is independent of theta_r: full-vehicle
+        error trajectories coincide for different path orientations."""
+        from repro.dynamics import PathFollowingLoop
+
+        net = proportional_controller_network(6)
+        finals = []
+        for theta_r in (0.0, 0.8, -1.1):
+            path = StraightLinePath(theta_r=theta_r)
+            loop = PathFollowingLoop(DubinsCar(), path, net.forward)
+            # Place the vehicle at d_err = +0.5, theta_err = -0.1.
+            from repro.dynamics import heading_vector
+
+            tangent = heading_vector(theta_r)
+            normal = np.array([-tangent[1], tangent[0]])
+            position = 1.0 * tangent + 0.5 * normal
+            state = np.array([position[0], position[1], theta_r + 0.1])
+            errors = loop.errors(state)
+            assert errors.d_err == pytest.approx(0.5, abs=1e-9)
+            assert errors.theta_err == pytest.approx(-0.1, abs=1e-9)
+            trace = loop.simulate(state, duration=4.0, dt=0.01)
+            final = loop.errors(trace.final_state)
+            finals.append((final.d_err, final.theta_err))
+        for other in finals[1:]:
+            assert finals[0][0] == pytest.approx(other[0], abs=1e-6)
+            assert finals[0][1] == pytest.approx(other[1], abs=1e-6)

@@ -1,0 +1,68 @@
+"""Benchmark-plant library tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics import (
+    linear_plant,
+    stable_linear_system,
+    van_der_pol_system,
+)
+from repro.errors import ReproError
+
+
+class TestLinearPlant:
+    def test_structure(self):
+        a = np.array([[0.0, 1.0], [-2.0, -3.0]])
+        b = np.array([[0.0], [1.0]])
+        plant = linear_plant(a, b)
+        assert plant.state_names == ["x0", "x1"]
+        assert plant.input_names == ["u0"]
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            linear_plant(np.zeros((2, 3)), np.zeros((2, 1)))
+        with pytest.raises(ReproError):
+            linear_plant(np.eye(2), np.zeros((3, 1)))
+
+
+class TestStableLinearSystem:
+    def test_field_is_ax(self, rng):
+        a = np.array([[-1.0, 2.0], [0.0, -3.0]])
+        system = stable_linear_system(a)
+        for _ in range(10):
+            x = rng.uniform(-2, 2, size=2)
+            assert np.allclose(system.f(x), a @ x)
+            assert np.allclose(system.symbolic_f(x), a @ x, atol=1e-12)
+
+    def test_trajectory_decays(self):
+        a = np.array([[-0.5, 1.0], [-1.0, -0.5]])
+        system = stable_linear_system(a)
+        trace = system.simulator().simulate(np.array([1.0, 1.0]), 10.0, 0.01)
+        assert np.linalg.norm(trace.final_state) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            stable_linear_system(np.zeros((2, 3)))
+
+
+class TestVanDerPol:
+    def test_reversed_origin_stable(self):
+        system = van_der_pol_system(mu=1.0, reversed_time=True)
+        trace = system.simulator().simulate(np.array([0.5, 0.5]), 20.0, 0.01)
+        assert np.linalg.norm(trace.final_state) < 0.01
+
+    def test_forward_limit_cycle(self):
+        system = van_der_pol_system(mu=1.0, reversed_time=False)
+        trace = system.simulator().simulate(np.array([0.1, 0.0]), 30.0, 0.01)
+        # Forward VdP grows onto the limit cycle (amplitude about 2).
+        assert np.abs(trace.states[-500:, 0]).max() > 1.5
+
+    def test_numeric_matches_symbolic(self, rng):
+        for reversed_time in (True, False):
+            system = van_der_pol_system(mu=0.8, reversed_time=reversed_time)
+            for _ in range(10):
+                x = rng.uniform(-2, 2, size=2)
+                assert np.allclose(system.f(x), system.symbolic_f(x), atol=1e-10)

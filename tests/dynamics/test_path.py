@@ -1,0 +1,150 @@
+"""Path geometry and the paper's error-sign conventions (Section 4.1.2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.dynamics import (
+    PiecewiseLinearPath,
+    StraightLinePath,
+    heading_vector,
+)
+
+ANGLE = st.floats(min_value=-math.pi + 0.01, max_value=math.pi - 0.01)
+
+
+class TestHeadingVector:
+    def test_north_at_zero(self):
+        """theta = 0 points along +y (Figure 3a)."""
+        assert np.allclose(heading_vector(0.0), [0.0, 1.0])
+
+    def test_east_at_half_pi(self):
+        """Clockwise convention: theta = pi/2 points along +x."""
+        assert np.allclose(heading_vector(math.pi / 2), [1.0, 0.0], atol=1e-12)
+
+    def test_unit_norm(self):
+        for theta in np.linspace(-3, 3, 7):
+            assert np.linalg.norm(heading_vector(theta)) == pytest.approx(1.0)
+
+
+class TestStraightLine:
+    def test_eq12_matches(self):
+        """d_err must equal Eq. 12: -xv cos(theta_r) + yv sin(theta_r)."""
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            theta_r = rng.uniform(-1.4, 1.4)
+            path = StraightLinePath(theta_r)
+            xv, yv = rng.uniform(-5, 5, size=2)
+            errors = path.errors([xv, yv], theta_v=0.0)
+            eq12 = -xv * math.cos(theta_r) + yv * math.sin(theta_r)
+            assert errors.d_err == pytest.approx(eq12, abs=1e-9)
+
+    def test_left_is_positive(self):
+        """Vehicle left of a northbound path (x < 0) has d_err > 0."""
+        path = StraightLinePath(theta_r=0.0)
+        assert path.errors([-1.0, 5.0], 0.0).d_err == pytest.approx(1.0)
+        assert path.errors([2.0, -3.0], 0.0).d_err == pytest.approx(-2.0)
+
+    def test_angle_error_eq11(self):
+        """theta_err = theta_r - theta_v (Eq. 11)."""
+        path = StraightLinePath(theta_r=0.3)
+        errors = path.errors([0.0, 0.0], theta_v=0.1)
+        assert errors.theta_err == pytest.approx(0.2)
+
+    def test_angle_error_wraps(self):
+        path = StraightLinePath(theta_r=3.0)
+        errors = path.errors([0.0, 0.0], theta_v=-3.0)
+        # 6.0 wraps to 6.0 - 2 pi.
+        assert errors.theta_err == pytest.approx(6.0 - 2 * math.pi)
+
+    def test_closest_point_on_line(self):
+        path = StraightLinePath(theta_r=0.0)  # the +y axis
+        closest, tangent = path.closest_point([3.0, 7.0])
+        assert np.allclose(closest, [0.0, 7.0])
+        assert tangent == 0.0
+
+    def test_point_at(self):
+        path = StraightLinePath(theta_r=math.pi / 2)
+        assert np.allclose(path.point_at(5.0), [5.0, 0.0], atol=1e-12)
+
+    def test_origin_validation(self):
+        with pytest.raises(GeometryError):
+            StraightLinePath(0.0, origin=[1.0, 2.0, 3.0])
+
+    @given(theta_r=ANGLE, lateral=st.floats(min_value=-10, max_value=10))
+    def test_distance_magnitude(self, theta_r, lateral):
+        """|d_err| equals the orthogonal offset magnitude."""
+        path = StraightLinePath(theta_r)
+        tangent = heading_vector(theta_r)
+        normal = np.array([-tangent[1], tangent[0]])
+        position = 3.0 * tangent + lateral * normal
+        errors = path.errors(position, theta_v=theta_r)
+        assert abs(errors.d_err) == pytest.approx(abs(lateral), abs=1e-9)
+        assert errors.theta_err == pytest.approx(0.0, abs=1e-12)
+
+
+class TestPiecewiseLinear:
+    @pytest.fixture
+    def path(self):
+        return PiecewiseLinearPath([(0, 0), (0, 10), (10, 10)])
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            PiecewiseLinearPath([(0, 0)])
+        with pytest.raises(GeometryError):
+            PiecewiseLinearPath([(0, 0), (0, 0)])
+        with pytest.raises(GeometryError):
+            PiecewiseLinearPath([(0, 0, 0), (1, 1, 1)])
+
+    def test_total_length(self, path):
+        assert path.total_length == pytest.approx(20.0)
+
+    def test_end_point(self, path):
+        assert np.allclose(path.end_point, [10, 10])
+
+    def test_point_at(self, path):
+        assert np.allclose(path.point_at(5.0), [0, 5])
+        assert np.allclose(path.point_at(15.0), [5, 10])
+        assert np.allclose(path.point_at(-1.0), [0, 0])  # clamped
+        assert np.allclose(path.point_at(99.0), [10, 10])  # clamped
+
+    def test_closest_point_first_segment(self, path):
+        closest, angle = path.closest_point([-2.0, 5.0])
+        assert np.allclose(closest, [0, 5])
+        assert angle == pytest.approx(0.0)  # northbound
+
+    def test_closest_point_second_segment(self, path):
+        closest, angle = path.closest_point([5.0, 12.0])
+        assert np.allclose(closest, [5, 10])
+        assert angle == pytest.approx(math.pi / 2)  # eastbound
+
+    def test_closest_point_at_corner(self, path):
+        closest, _ = path.closest_point([-1.0, 11.0])
+        assert np.allclose(closest, [0, 10])
+
+    def test_errors_signs_on_second_segment(self, path):
+        # Traveling east; a vehicle north of the segment is on its LEFT.
+        errors = path.errors([5.0, 12.0], theta_v=math.pi / 2)
+        assert errors.d_err == pytest.approx(2.0)
+        errors_south = path.errors([5.0, 8.0], theta_v=math.pi / 2)
+        assert errors_south.d_err == pytest.approx(-2.0)
+
+    def test_matches_straight_line_on_one_segment(self):
+        theta = math.pi / 4
+        end = 20.0 * heading_vector(theta)
+        piecewise = PiecewiseLinearPath([(0.0, 0.0), tuple(end)])
+        straight = StraightLinePath(theta)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            p = rng.uniform(2.0, 12.0, size=2)
+            tv = rng.uniform(-1.0, 1.0)
+            a = piecewise.errors(p, tv)
+            b = straight.errors(p, tv)
+            assert a.d_err == pytest.approx(b.d_err, abs=1e-9)
+            assert a.theta_err == pytest.approx(b.theta_err, abs=1e-9)

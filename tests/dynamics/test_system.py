@@ -1,0 +1,66 @@
+"""ContinuousSystem abstraction tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics import ContinuousSystem
+from repro.errors import ReproError
+from repro.expr import sin, var
+
+
+@pytest.fixture
+def pendulum_like():
+    x0, x1 = var("x0"), var("x1")
+    return ContinuousSystem(["x0", "x1"], [x1, -sin(x0) - 0.2 * x1])
+
+
+class TestValidation:
+    def test_count_mismatch(self):
+        with pytest.raises(ReproError):
+            ContinuousSystem(["a", "b"], [var("a")])
+
+    def test_empty(self):
+        with pytest.raises(ReproError):
+            ContinuousSystem([], [])
+
+    def test_state_shape_checked(self, pendulum_like):
+        with pytest.raises(ReproError):
+            pendulum_like.f(np.zeros(3))
+
+
+class TestEvaluation:
+    def test_f_from_tapes(self, pendulum_like):
+        x = np.array([0.3, -0.1])
+        expected = np.array([-0.1, -np.sin(0.3) + 0.02])
+        assert np.allclose(pendulum_like.f(x), expected)
+
+    def test_f_batch(self, pendulum_like, rng):
+        states = rng.uniform(-1, 1, size=(15, 2))
+        batch = pendulum_like.f_batch(states)
+        assert batch.shape == (15, 2)
+        for i, x in enumerate(states):
+            assert np.allclose(batch[i], pendulum_like.f(x))
+
+    def test_numeric_override_used(self):
+        calls = []
+
+        def override(x):
+            calls.append(x.copy())
+            return -x
+
+        system = ContinuousSystem(["a"], [var("a")], numeric_override=override)
+        out = system.f(np.array([2.0]))
+        assert out[0] == -2.0
+        assert len(calls) == 1
+        # symbolic_f bypasses the override.
+        assert system.symbolic_f(np.array([2.0]))[0] == 2.0
+
+    def test_tapes_cached(self, pendulum_like):
+        assert pendulum_like.tapes() is pendulum_like.tapes()
+
+    def test_simulator_integration(self, pendulum_like):
+        trace = pendulum_like.simulator().simulate(np.array([0.5, 0.0]), 60.0, 0.01)
+        # Damped pendulum settles at the origin.
+        assert np.linalg.norm(trace.final_state) < 0.01

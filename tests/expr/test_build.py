@@ -1,0 +1,53 @@
+"""Builder-helper tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr import (
+    Const,
+    Var,
+    dot,
+    evaluate,
+    relu,
+    var,
+    variables,
+)
+
+
+class TestVariables:
+    def test_from_string(self):
+        xs = variables("a b c")
+        assert [v.name for v in xs] == ["a", "b", "c"]
+        assert all(isinstance(v, Var) for v in xs)
+
+    def test_from_list(self):
+        xs = variables(["p", "q"])
+        assert [v.name for v in xs] == ["p", "q"]
+
+
+class TestDot:
+    def test_length_mismatch(self):
+        with pytest.raises(ExpressionError):
+            dot([1.0, 2.0], [var("x")])
+
+    def test_zero_weights_dropped(self):
+        e = dot([0.0, 0.0], [var("x"), var("y")])
+        assert isinstance(e, Const)
+        assert e.value == 0.0
+
+    def test_unit_weight_skips_multiplication(self):
+        e = dot([1.0], [var("x")])
+        assert isinstance(e, Var)
+
+    def test_semantics(self):
+        e = dot([2.0, -3.0, 1.0], [var("x"), var("y"), var("x")])
+        assert evaluate(e, {"x": 1.0, "y": 2.0}) == pytest.approx(2 - 6 + 1)
+
+
+class TestRelu:
+    def test_semantics(self):
+        e = relu(var("x"))
+        assert evaluate(e, {"x": -2.0}) == 0.0
+        assert evaluate(e, {"x": 3.0}) == 3.0

@@ -1,0 +1,170 @@
+"""Compiled-tape tests: numeric parity with evaluate(), box soundness."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.expr import (
+    absolute,
+    atan,
+    compile_expression,
+    cos,
+    evaluate,
+    exp,
+    log,
+    maximum,
+    minimum,
+    sigmoid,
+    sin,
+    sqrt,
+    tan,
+    tanh,
+    var,
+)
+from repro.intervals import Box, Interval
+
+X, Y = var("x"), var("y")
+
+# The expression menagerie used across parity and soundness tests.
+MENAGERIE = [
+    X + Y,
+    X - 2.0 * Y,
+    X * Y + X * X,
+    X / (2.0 + Y * Y),
+    -(X**3) + Y**2,
+    sin(X) * cos(Y),
+    tanh(X + Y) - sigmoid(X - Y),
+    exp(X / 4.0) + atan(Y),
+    minimum(X, Y) + maximum(X, -2.0),
+    absolute(X - Y),
+    tan(X / 4.0),
+]
+
+
+class TestPointParity:
+    @pytest.mark.parametrize("expr", MENAGERIE, ids=range(len(MENAGERIE)))
+    def test_matches_evaluate(self, expr, rng):
+        tape = compile_expression(expr, ["x", "y"])
+        points = rng.uniform(-2.0, 2.0, size=(40, 2))
+        got = tape.eval_points(points)
+        for point, value in zip(points, got):
+            ref = evaluate(expr, {"x": point[0], "y": point[1]})
+            assert value == pytest.approx(ref, rel=1e-12, abs=1e-12)
+
+    def test_eval_point_scalar(self):
+        tape = compile_expression(X * Y, ["x", "y"])
+        assert tape.eval_point([3.0, 4.0]) == pytest.approx(12.0)
+
+    def test_log_sqrt_parity(self, rng):
+        expr = log(X) + sqrt(Y)
+        tape = compile_expression(expr, ["x", "y"])
+        points = rng.uniform(0.1, 5.0, size=(20, 2))
+        got = tape.eval_points(points)
+        for point, value in zip(points, got):
+            ref = evaluate(expr, {"x": point[0], "y": point[1]})
+            assert value == pytest.approx(ref, rel=1e-12)
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(EvaluationError):
+            compile_expression(X + var("z"), ["x", "y"])
+
+    def test_wrong_column_count(self):
+        tape = compile_expression(X, ["x"])
+        with pytest.raises(EvaluationError):
+            tape.eval_points(np.zeros((3, 2)))
+
+    def test_len_reports_tape_size(self):
+        assert len(compile_expression(X + Y, ["x", "y"])) == 3
+
+
+class TestBoxSoundness:
+    @pytest.mark.parametrize("expr", MENAGERIE, ids=range(len(MENAGERIE)))
+    def test_boxes_enclose_samples(self, expr, rng):
+        tape = compile_expression(expr, ["x", "y"])
+        m = 30
+        lo = rng.uniform(-2.0, 1.5, size=(m, 2))
+        hi = lo + rng.uniform(0.0, 1.0, size=(m, 2))
+        out_lo, out_hi = tape.eval_boxes(lo, hi)
+        for t in np.linspace(0.0, 1.0, 5):
+            points = lo + t * (hi - lo)
+            values = tape.eval_points(points)
+            finite = np.isfinite(values)
+            assert np.all(values[finite] >= out_lo[finite] - 1e-9)
+            assert np.all(values[finite] <= out_hi[finite] + 1e-9)
+
+    def test_eval_box_matches_scalar_interval(self):
+        expr = sin(X) * tanh(Y) + X * X
+        tape = compile_expression(expr, ["x", "y"])
+        box = Box.from_bounds([-0.5, 0.0], [1.0, 2.0])
+        via_tape = tape.eval_box(box)
+        via_walker = evaluate(expr, {"x": Interval(-0.5, 1.0), "y": Interval(0.0, 2.0)})
+        # Same algorithm family: results agree to tight tolerance.
+        assert via_tape.lo == pytest.approx(via_walker.lo, rel=1e-9, abs=1e-9)
+        assert via_tape.hi == pytest.approx(via_walker.hi, rel=1e-9, abs=1e-9)
+
+    def test_division_spanning_zero_gives_entire(self):
+        tape = compile_expression(X / Y, ["x", "y"])
+        lo, hi = tape.eval_boxes(np.array([[1.0, -1.0]]), np.array([[2.0, 1.0]]))
+        assert lo[0] == -np.inf
+        assert hi[0] == np.inf
+
+    def test_sin_critical_points(self):
+        tape = compile_expression(sin(X), ["x"])
+        # Box containing pi/2: upper bound must be exactly 1.
+        lo, hi = tape.eval_boxes(np.array([[1.0]]), np.array([[2.0]]))
+        assert hi[0] == 1.0
+        # Box containing -pi/2: lower bound must be exactly -1.
+        lo, hi = tape.eval_boxes(np.array([[-2.0]]), np.array([[-1.0]]))
+        assert lo[0] == -1.0
+
+    def test_wide_sin_box(self):
+        tape = compile_expression(sin(X), ["x"])
+        lo, hi = tape.eval_boxes(np.array([[0.0]]), np.array([[100.0]]))
+        assert lo[0] == -1.0
+        assert hi[0] == 1.0
+
+    def test_tan_pole_detection(self):
+        tape = compile_expression(tan(X), ["x"])
+        lo, hi = tape.eval_boxes(np.array([[1.0]]), np.array([[2.0]]))
+        assert lo[0] == -np.inf and hi[0] == np.inf
+        lo, hi = tape.eval_boxes(np.array([[-0.5]]), np.array([[0.5]]))
+        assert np.isfinite(lo[0]) and np.isfinite(hi[0])
+
+    def test_even_power_crossing_zero(self):
+        tape = compile_expression(X**4, ["x"])
+        lo, hi = tape.eval_boxes(np.array([[-1.0]]), np.array([[2.0]]))
+        assert lo[0] <= 0.0
+        assert hi[0] >= 16.0
+
+    def test_sqrt_empty_domain_prunable(self):
+        tape = compile_expression(sqrt(X), ["x"])
+        lo, hi = tape.eval_boxes(np.array([[-4.0]]), np.array([[-1.0]]))
+        # Empty image encoded as inverted infinite bounds: no value
+        # satisfies lo <= v <= hi, so any constraint over it prunes.
+        assert lo[0] > hi[0]
+
+    @given(
+        st.floats(min_value=-3, max_value=3, allow_nan=False),
+        st.floats(min_value=0, max_value=2, allow_nan=False),
+        st.floats(min_value=-3, max_value=3, allow_nan=False),
+        st.floats(min_value=0, max_value=2, allow_nan=False),
+    )
+    def test_nn_closed_loop_soundness(self, x0, wx, y0, wy):
+        """Soundness on the exact expression shape of the paper's query."""
+        u = 2.4 * tanh(0.25 * X) + 8.0 * tanh(0.25 * Y)
+        lie = (2.0 * X + 0.9 * Y) * sin(Y) + (0.9 * X + 1.6 * Y) * (-u)
+        tape = compile_expression(lie, ["x", "y"])
+        lo_arr = np.array([[x0, y0]])
+        hi_arr = np.array([[x0 + wx, y0 + wy]])
+        out_lo, out_hi = tape.eval_boxes(lo_arr, hi_arr)
+        for tx in (0.0, 0.37, 1.0):
+            for ty in (0.0, 0.61, 1.0):
+                point = np.array([[x0 + tx * wx, y0 + ty * wy]])
+                value = tape.eval_points(point)[0]
+                assert out_lo[0] - 1e-9 <= value <= out_hi[0] + 1e-9

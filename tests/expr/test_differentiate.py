@@ -1,0 +1,158 @@
+"""Symbolic differentiation vs central finite differences."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DifferentiationError
+from repro.expr import (
+    absolute,
+    atan,
+    cos,
+    differentiate,
+    evaluate,
+    exp,
+    gradient,
+    log,
+    maximum,
+    sigmoid,
+    simplify,
+    sin,
+    sqrt,
+    structurally_equal,
+    tan,
+    tanh,
+    var,
+)
+
+X, Y = var("x"), var("y")
+
+
+def numeric_derivative(expr, env, name, h=1e-6):
+    up = dict(env)
+    down = dict(env)
+    up[name] = env[name] + h
+    down[name] = env[name] - h
+    return (evaluate(expr, up) - evaluate(expr, down)) / (2 * h)
+
+
+class TestBasicRules:
+    def test_constant(self):
+        d = differentiate(var("x") * 0 + 5, "x")
+        assert evaluate(d, {"x": 1.0}) == 0.0
+
+    def test_variable(self):
+        assert evaluate(differentiate(X, "x"), {"x": 2.0}) == 1.0
+        assert evaluate(differentiate(X, "y"), {"x": 2.0}) == 0.0
+
+    def test_sum_rule(self):
+        d = differentiate(X + X * Y, "x")
+        assert evaluate(d, {"x": 1.0, "y": 3.0}) == pytest.approx(4.0)
+
+    def test_product_rule(self):
+        d = differentiate(X * sin(X), "x")
+        x = 0.8
+        expected = math.sin(x) + x * math.cos(x)
+        assert evaluate(d, {"x": x}) == pytest.approx(expected)
+
+    def test_quotient_rule(self):
+        d = differentiate(X / (1 + X * X), "x")
+        x = 0.5
+        expected = (1 - x * x) / (1 + x * x) ** 2
+        assert evaluate(d, {"x": x}) == pytest.approx(expected)
+
+    def test_power_rule(self):
+        d = differentiate(X**5, "x")
+        assert evaluate(d, {"x": 2.0}) == pytest.approx(80.0)
+
+    def test_chain_rule(self):
+        d = differentiate(sin(X * X), "x")
+        x = 1.3
+        assert evaluate(d, {"x": x}) == pytest.approx(2 * x * math.cos(x * x))
+
+    def test_gradient(self):
+        grads = gradient(X * X + Y * Y, ["x", "y"])
+        env = {"x": 3.0, "y": 4.0}
+        assert evaluate(grads[0], env) == pytest.approx(6.0)
+        assert evaluate(grads[1], env) == pytest.approx(8.0)
+
+    def test_abs_raises(self):
+        with pytest.raises(DifferentiationError):
+            differentiate(absolute(X), "x")
+
+    def test_max_raises(self):
+        with pytest.raises(DifferentiationError):
+            differentiate(maximum(X, 0.0), "x")
+
+
+POINT = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+
+
+class TestAgainstFiniteDifferences:
+    @pytest.mark.parametrize(
+        "builder",
+        [sin, cos, tanh, sigmoid, exp, atan],
+        ids=["sin", "cos", "tanh", "sigmoid", "exp", "atan"],
+    )
+    @given(x=POINT)
+    def test_unary_chain(self, builder, x):
+        expr = builder(X * X + 1)
+        d = differentiate(expr, "x")
+        env = {"x": x}
+        assert evaluate(d, env) == pytest.approx(
+            numeric_derivative(expr, env, "x"), rel=1e-4, abs=1e-6
+        )
+
+    @given(x=st.floats(min_value=0.1, max_value=5.0))
+    def test_log_sqrt(self, x):
+        for builder in (log, sqrt):
+            expr = builder(X)
+            env = {"x": x}
+            d = differentiate(expr, "x")
+            assert evaluate(d, env) == pytest.approx(
+                numeric_derivative(expr, env, "x"), rel=1e-4, abs=1e-6
+            )
+
+    @given(x=POINT, y=POINT)
+    def test_tan_mixture(self, x, y):
+        expr = tan(X / 4) * Y + sin(X) * cos(Y)
+        env = {"x": x, "y": y}
+        for name in ("x", "y"):
+            d = differentiate(expr, name)
+            assert evaluate(d, env) == pytest.approx(
+                numeric_derivative(expr, env, name), rel=1e-4, abs=1e-6
+            )
+
+    @given(x=POINT, y=POINT)
+    def test_nn_like_expression(self, x, y):
+        """A miniature NN closed loop: the paper's actual shape."""
+        u = 0.7 * tanh(0.3 * X + 0.1 * Y) - 0.2 * tanh(0.5 * Y - 0.2)
+        expr = sin(Y) * X + u * u
+        env = {"x": x, "y": y}
+        for name in ("x", "y"):
+            d = differentiate(expr, name)
+            assert evaluate(d, env) == pytest.approx(
+                numeric_derivative(expr, env, name), rel=1e-4, abs=1e-6
+            )
+
+    def test_derivative_of_shared_subgraph(self):
+        shared = X * X
+        expr = shared * shared  # x^4
+        d = differentiate(expr, "x")
+        assert evaluate(d, {"x": 2.0}) == pytest.approx(32.0)
+
+    def test_second_derivative(self):
+        d2 = differentiate(differentiate(sin(X), "x"), "x")
+        x = 0.9
+        assert evaluate(d2, {"x": x}) == pytest.approx(-math.sin(x))
+
+    def test_quadratic_form_gradient_is_simplified(self):
+        # d/dx (x^2) should fold to 2*x, not 2*x^1*1 chains.
+        d = differentiate(X**2, "x")
+        assert structurally_equal(simplify(d), simplify(2.0 * X)) or evaluate(
+            d, {"x": 3.0}
+        ) == pytest.approx(6.0)

@@ -1,0 +1,134 @@
+"""Fuzzing: random expression trees must satisfy cross-semantics invariants.
+
+A hypothesis strategy builds arbitrary well-formed expressions from the
+full node zoo, then checks the library's core contracts on them:
+
+* the compiled tape agrees with the reference evaluator at points;
+* interval (box) evaluation encloses pointwise evaluation;
+* simplification preserves semantics;
+* substitution of a variable by a constant matches binding it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import (
+    Expr,
+    absolute,
+    atan,
+    compile_expression,
+    cos,
+    evaluate,
+    exp,
+    maximum,
+    minimum,
+    sigmoid,
+    simplify,
+    sin,
+    substitute,
+    tanh,
+    var,
+)
+from repro.intervals import Interval
+
+X_NAME, Y_NAME = "x", "y"
+
+
+@st.composite
+def expressions(draw, max_depth=5) -> Expr:
+    """Random expression over x, y, with bounded-magnitude constants.
+
+    Division, log, sqrt, and pow are excluded so every generated
+    expression is total and numerically tame on the test box — the
+    partial-domain ops have their own targeted tests.
+    """
+    depth = draw(st.integers(min_value=0, max_value=max_depth))
+    return _build(draw, depth)
+
+
+def _build(draw, depth: int) -> Expr:
+    if depth == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return var(X_NAME)
+        if choice == 1:
+            return var(Y_NAME)
+        value = draw(
+            st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+        )
+        from repro.expr import const
+
+        return const(value)
+    kind = draw(st.integers(0, 10))
+    if kind <= 2:  # binary arithmetic
+        left = _build(draw, depth - 1)
+        right = _build(draw, depth - 1)
+        return (left + right, left - right, left * right)[kind]
+    if kind == 3:
+        return -_build(draw, depth - 1)
+    unary_ops = (sin, cos, tanh, sigmoid, atan, absolute)
+    if kind <= 9:
+        op = unary_ops[kind - 4]
+        return op(_build(draw, depth - 1))
+    left = _build(draw, depth - 1)
+    right = _build(draw, depth - 1)
+    return minimum(left, right) if draw(st.booleans()) else maximum(left, right)
+
+
+POINT = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+
+
+class TestFuzzInvariants:
+    @given(expr=expressions(), x=POINT, y=POINT)
+    def test_tape_matches_evaluator(self, expr, x, y):
+        tape = compile_expression(expr, [X_NAME, Y_NAME])
+        via_tape = tape.eval_point([x, y])
+        via_walker = evaluate(expr, {X_NAME: x, Y_NAME: y})
+        assert via_tape == pytest.approx(via_walker, rel=1e-9, abs=1e-9)
+
+    @given(expr=expressions(), x=POINT, y=POINT, w=st.floats(min_value=0, max_value=1))
+    def test_box_encloses_points(self, expr, x, y, w):
+        tape = compile_expression(expr, [X_NAME, Y_NAME])
+        lo = np.array([[x, y]])
+        hi = np.array([[x + w, y + w]])
+        out_lo, out_hi = tape.eval_boxes(lo, hi)
+        for tx, ty in ((0.0, 0.0), (w, 0.0), (0.5 * w, w), (w, w)):
+            value = tape.eval_point([x + tx, y + ty])
+            assert out_lo[0] - 1e-9 <= value <= out_hi[0] + 1e-9
+
+    @given(expr=expressions(), x=POINT, y=POINT)
+    def test_simplify_preserves_semantics(self, expr, x, y):
+        env = {X_NAME: x, Y_NAME: y}
+        assert evaluate(simplify(expr), env) == pytest.approx(
+            evaluate(expr, env), rel=1e-9, abs=1e-9
+        )
+
+    @given(expr=expressions(), x=POINT, y=POINT)
+    def test_substitution_matches_binding(self, expr, x, y):
+        bound = substitute(expr, {Y_NAME: y})
+        via_subst = evaluate(bound, {X_NAME: x})
+        via_env = evaluate(expr, {X_NAME: x, Y_NAME: y})
+        assert via_subst == pytest.approx(via_env, rel=1e-9, abs=1e-9)
+
+    @given(expr=expressions(), x=POINT, y=POINT)
+    def test_scalar_interval_matches_tape_box(self, expr, x, y):
+        """The scalar Interval walker and the vectorized tape implement
+        the same interval semantics (up to widening slack)."""
+        tape = compile_expression(expr, [X_NAME, Y_NAME])
+        ix = Interval(x, x + 0.3)
+        iy = Interval(y, y + 0.3)
+        walker = evaluate(expr, {X_NAME: ix, Y_NAME: iy})
+        if not isinstance(walker, Interval):
+            walker = Interval.point(float(walker))
+        lo, hi = tape.eval_boxes(
+            np.array([[ix.lo, iy.lo]]), np.array([[ix.hi, iy.hi]])
+        )
+        # Same family of algorithms: bounds agree to rounding slack.
+        assert lo[0] == pytest.approx(walker.lo, rel=1e-6, abs=1e-6)
+        assert hi[0] == pytest.approx(walker.hi, rel=1e-6, abs=1e-6)

@@ -1,0 +1,156 @@
+"""Tests for AST nodes, operator overloading, and graph walkers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr import (
+    Add,
+    Const,
+    Div,
+    Mul,
+    Neg,
+    Pow,
+    Sub,
+    Unary,
+    Var,
+    as_expr,
+    count_nodes,
+    postorder,
+    sum_expr,
+    var,
+    variables_of,
+)
+
+
+class TestLeaves:
+    def test_const(self):
+        c = Const(3)
+        assert c.value == 3.0
+        assert isinstance(c.value, float)
+
+    def test_var(self):
+        v = Var("x")
+        assert v.name == "x"
+
+    def test_var_bad_name(self):
+        with pytest.raises(ExpressionError):
+            Var("")
+        with pytest.raises(ExpressionError):
+            Var(42)  # type: ignore[arg-type]
+
+    def test_leaves_have_no_children(self):
+        assert Const(1).children() == ()
+        assert Var("x").children() == ()
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            Const(1).value = 2.0
+        with pytest.raises(AttributeError):
+            Var("x").name = "y"
+
+
+class TestOperators:
+    def test_add_builds_node(self):
+        e = var("x") + var("y")
+        assert isinstance(e, Add)
+
+    def test_scalar_coercion_left_right(self):
+        assert isinstance(var("x") + 1, Add)
+        assert isinstance(1 + var("x"), Add)
+        assert isinstance(2.5 * var("x"), Mul)
+        assert isinstance(var("x") / 2, Div)
+        assert isinstance(3 - var("x"), Sub)
+        assert isinstance(2 / var("x"), Div)
+
+    def test_neg(self):
+        assert isinstance(-var("x"), Neg)
+
+    def test_pow_int_only(self):
+        assert isinstance(var("x") ** 3, Pow)
+        with pytest.raises(ExpressionError):
+            Pow(var("x"), 1.5)  # type: ignore[arg-type]
+        with pytest.raises(ExpressionError):
+            Pow(var("x"), True)  # type: ignore[arg-type]
+
+    def test_unary_unknown_op(self):
+        with pytest.raises(ExpressionError):
+            Unary("frobnicate", var("x"))
+
+    def test_binary_requires_expr(self):
+        with pytest.raises(ExpressionError):
+            Add(var("x"), 1.0)  # type: ignore[arg-type]
+
+
+class TestAsExpr:
+    def test_passthrough(self):
+        v = var("x")
+        assert as_expr(v) is v
+
+    def test_numbers(self):
+        assert as_expr(2).value == 2.0
+        assert as_expr(2.5).value == 2.5
+
+    def test_bool_rejected(self):
+        with pytest.raises(ExpressionError):
+            as_expr(True)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ExpressionError):
+            as_expr("x")  # type: ignore[arg-type]
+
+
+class TestWalkers:
+    def test_postorder_children_first(self):
+        x, y = var("x"), var("y")
+        e = x * y + x
+        order = postorder(e)
+        positions = {id(node): i for i, node in enumerate(order)}
+        assert positions[id(x)] < positions[id(e)]
+        assert positions[id(y)] < positions[id(e)]
+        assert order[-1] is e
+
+    def test_postorder_dedupes_shared(self):
+        x = var("x")
+        shared = x * x
+        e = shared + shared
+        order = postorder(e)
+        assert sum(1 for node in order if node is shared) == 1
+
+    def test_variables_of(self):
+        e = var("b") + var("a") * var("b")
+        assert variables_of(e) == ["a", "b"]
+
+    def test_count_nodes(self):
+        x = var("x")
+        assert count_nodes(x) == 1
+        assert count_nodes(x + x) == 2  # shared leaf counted once
+
+    def test_deep_expression_no_recursion_error(self):
+        # A 5000-node chain must not hit the recursion limit.
+        e = var("x")
+        for _ in range(5000):
+            e = e + 1.0
+        assert count_nodes(e) > 5000
+
+    def test_sum_expr_balanced_depth(self):
+        terms = [var(f"x{i}") for i in range(1024)]
+        e = sum_expr(terms)
+
+        def depth(node):
+            stack = [(node, 1)]
+            best = 1
+            while stack:
+                n, d = stack.pop()
+                best = max(best, d)
+                for c in n.children():
+                    stack.append((c, d + 1))
+            return best
+
+        assert depth(e) <= 12  # log2(1024) + 1
+
+    def test_sum_expr_empty(self):
+        e = sum_expr([])
+        assert isinstance(e, Const)
+        assert e.value == 0.0

@@ -1,0 +1,97 @@
+"""Printer tests: infix readability and SMT-LIB structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.expr import (
+    absolute,
+    maximum,
+    minimum,
+    sigmoid,
+    sin,
+    tanh,
+    to_infix,
+    to_smtlib,
+    var,
+)
+
+X, Y = var("x"), var("y")
+
+
+class TestInfix:
+    def test_leaves(self):
+        assert to_infix(X) == "x"
+        assert to_infix(var("theta")) == "theta"
+
+    def test_integer_constants(self):
+        assert to_infix(X + 2.0) == "x + 2"
+
+    def test_negative_constant_parenthesized(self):
+        text = to_infix(X * -2.0)
+        assert "(-2)" in text
+
+    def test_precedence_mul_over_add(self):
+        assert to_infix(X + Y * X) == "x + y*x"
+        assert to_infix((X + Y) * X) == "(x + y)*x"
+
+    def test_sub_right_assoc_parens(self):
+        assert to_infix(X - (Y - X)) == "x - (y - x)"
+
+    def test_div_denominator_parens(self):
+        assert to_infix(X / (Y * X)) == "x/(y*x)"
+
+    def test_pow(self):
+        assert to_infix(X**2) == "x^2"
+        assert to_infix((X + Y) ** 2) == "(x + y)^2"
+
+    def test_neg(self):
+        assert to_infix(-X) == "-x"
+        assert to_infix(-(X + Y)) == "-(x + y)"
+
+    def test_unary_functions(self):
+        assert to_infix(sin(X)) == "sin(x)"
+        assert to_infix(tanh(X + Y)) == "tanh(x + y)"
+
+    def test_min_max(self):
+        assert to_infix(minimum(X, Y)) == "min(x, y)"
+        assert to_infix(maximum(X, Y)) == "max(x, y)"
+
+    def test_truncation(self):
+        long = X
+        for _ in range(50):
+            long = long + X
+        text = to_infix(long, max_length=30)
+        assert len(text) == 30
+        assert text.endswith("...")
+
+
+class TestSmtLib:
+    def test_basic_sexpr(self):
+        assert to_smtlib(X + Y) == "(+ x y)"
+        assert to_smtlib(X * 2.0) == "(* x 2)"
+
+    def test_negative_constant(self):
+        assert to_smtlib(X + (-2.0)) == "(+ x (- 2))"
+
+    def test_pow(self):
+        assert to_smtlib(X**3) == "(^ x 3)"
+
+    def test_unary(self):
+        assert to_smtlib(sin(X)) == "(sin x)"
+        assert to_smtlib(tanh(X)) == "(tanh x)"
+        assert to_smtlib(absolute(X)) == "(abs x)"
+
+    def test_sigmoid_expansion(self):
+        text = to_smtlib(sigmoid(X))
+        assert "exp" in text
+        assert text == "(/ 1 (+ 1 (exp (- x))))"
+
+    def test_min_max_ite(self):
+        assert to_smtlib(minimum(X, Y)) == "(ite (<= x y) x y)"
+        assert to_smtlib(maximum(X, Y)) == "(ite (>= x y) x y)"
+
+    def test_balanced_parens(self):
+        expr = sin(X * Y) + tanh(X) / (Y - 2.0) ** 2
+        text = to_smtlib(expr)
+        assert text.count("(") == text.count(")")

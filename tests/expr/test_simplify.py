@@ -1,0 +1,130 @@
+"""Simplifier correctness: semantics preserved, identities applied."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.expr import (
+    Const,
+    Var,
+    cos,
+    evaluate,
+    exp,
+    log,
+    maximum,
+    minimum,
+    simplify,
+    sin,
+    sqrt,
+    structurally_equal,
+    tanh,
+    var,
+)
+
+X, Y = var("x"), var("y")
+
+
+def is_const(e, value=None):
+    return isinstance(e, Const) and (value is None or e.value == value)
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        assert simplify(X + 0.0) is X
+        assert simplify(0.0 + X) is X
+
+    def test_sub_zero(self):
+        assert simplify(X - 0.0) is X
+
+    def test_zero_minus(self):
+        e = simplify(0.0 - X)
+        assert evaluate(e, {"x": 3.0}) == -3.0
+
+    def test_mul_one(self):
+        assert simplify(X * 1.0) is X
+        assert simplify(1.0 * X) is X
+
+    def test_mul_zero(self):
+        assert is_const(simplify(X * 0.0), 0.0)
+        assert is_const(simplify(0.0 * X), 0.0)
+
+    def test_div_one(self):
+        assert simplify(X / 1.0) is X
+
+    def test_pow_zero_one(self):
+        assert is_const(simplify(X**0), 1.0)
+        assert simplify(X**1) is X
+
+    def test_double_negation(self):
+        assert simplify(-(-X)) is X
+
+    def test_constant_folding_arithmetic(self):
+        e = (Const(2) + Const(3)) * (Const(10) - Const(4))
+        assert is_const(simplify(e), 30.0)
+
+    def test_constant_folding_unary(self):
+        assert simplify(sin(Const(0.0))).value == 0.0
+        assert simplify(exp(Const(0.0))).value == 1.0
+        assert simplify(tanh(Const(0.0))).value == 0.0
+        assert simplify(cos(Const(0.0))).value == 1.0
+
+    def test_constant_folding_respects_domain(self):
+        # log(-1) must not fold into a NaN constant.
+        e = simplify(log(Const(-1.0)))
+        assert not is_const(e)
+        e2 = simplify(sqrt(Const(-1.0)))
+        assert not is_const(e2)
+
+    def test_min_max_folding(self):
+        assert is_const(simplify(minimum(Const(2), Const(5))), 2.0)
+        assert is_const(simplify(maximum(Const(2), Const(5))), 5.0)
+
+    def test_idempotent(self):
+        e = sin(X) * 1.0 + 0.0 * Y + (X + 0.0)
+        once = simplify(e)
+        twice = simplify(once)
+        assert structurally_equal(once, twice)
+
+
+class TestStructuralEquality:
+    def test_equal_trees(self):
+        assert structurally_equal(X + Y, var("x") + var("y"))
+
+    def test_different_shape(self):
+        assert not structurally_equal(X + Y, X * Y)
+
+    def test_different_constant(self):
+        assert not structurally_equal(X + 1.0, X + 2.0)
+
+    def test_different_var(self):
+        assert not structurally_equal(X, Y)
+
+    def test_different_pow(self):
+        assert not structurally_equal(X**2, X**3)
+
+    def test_different_unary_op(self):
+        assert not structurally_equal(sin(X), cos(X))
+
+
+POINT = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+
+
+class TestSemanticsPreserved:
+    @given(x=POINT, y=POINT)
+    def test_random_expression_semantics(self, x, y):
+        candidates = [
+            (X + 0.0) * (1.0 * Y) - 0.0 * sin(X),
+            sin(X * 1.0) + cos(Y + 0.0),
+            (X**1) * (Y**0) + tanh(X - 0.0),
+            -(-(X * Y)) + Const(2.0) * Const(3.0),
+            minimum(X, Y) + maximum(X, Y),  # = x + y
+        ]
+        env = {"x": x, "y": y}
+        for e in candidates:
+            assert evaluate(simplify(e), env) == pytest.approx(
+                evaluate(e, env), rel=1e-12, abs=1e-12
+            )

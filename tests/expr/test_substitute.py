@@ -1,0 +1,63 @@
+"""Substitution tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.expr import (
+    cos,
+    evaluate,
+    sin,
+    structurally_equal,
+    substitute,
+    tanh,
+    var,
+    variables_of,
+)
+
+X, Y, U = var("x"), var("y"), var("u")
+
+
+class TestSubstitute:
+    def test_scalar_binding(self):
+        e = substitute(X + Y, {"y": 3.0})
+        assert evaluate(e, {"x": 1.0}) == 4.0
+
+    def test_expression_binding(self):
+        e = substitute(X * U, {"u": sin(Y)})
+        assert "u" not in variables_of(e)
+        assert evaluate(e, {"x": 2.0, "y": 0.5}) == pytest.approx(
+            2.0 * evaluate(sin(Y), {"y": 0.5})
+        )
+
+    def test_unbound_left_alone(self):
+        e = substitute(X + Y, {"z": 1.0})
+        assert variables_of(e) == ["x", "y"]
+
+    def test_no_binding_returns_same_nodes(self):
+        e = sin(X) + cos(Y)
+        out = substitute(e, {})
+        assert out is e or structurally_equal(out, e)
+
+    def test_shared_subtree_stays_shared(self):
+        shared = tanh(U)
+        e = shared * shared
+        out = substitute(e, {"u": X + 1.0})
+        left, right = out.children()
+        assert left is right
+
+    def test_closed_loop_composition_semantics(self):
+        """The exact pattern used by compose(): u := h(x, y)."""
+        field = sin(Y) - U
+        controller = 0.5 * tanh(X) + 1.5 * tanh(Y)
+        closed = substitute(field, {"u": controller})
+        env = {"x": 0.3, "y": -0.2}
+        expected = evaluate(field, {**env, "u": evaluate(controller, env)})
+        assert evaluate(closed, env) == pytest.approx(expected)
+
+    def test_nested_substitution_not_recursive(self):
+        # Binding x -> y must not then rewrite the new y again.
+        e = substitute(X + Y, {"x": Y, "y": 7.0})
+        # x became the *expression* Var("y"), y became 7; the fresh Var("y")
+        # introduced for x is a replacement value, not re-substituted.
+        assert evaluate(e, {"y": 2.0}) == pytest.approx(2.0 + 7.0)

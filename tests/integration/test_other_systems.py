@@ -1,0 +1,80 @@
+"""Verification beyond the Dubins case study: other nonlinear plants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.barrier import (
+    Rectangle,
+    RectangleComplement,
+    SynthesisConfig,
+    SynthesisStatus,
+    VerificationProblem,
+    verify_system,
+)
+from repro.dynamics import (
+    compose,
+    inverted_pendulum_plant,
+    van_der_pol_system,
+)
+from repro.nn import FeedforwardNetwork, Layer
+
+
+class TestVanDerPol:
+    """Reversed Van der Pol: a classic barrier benchmark with a known
+    regime boundary — quadratic certificates exist near the origin but
+    not out to the (unstable) limit cycle."""
+
+    def test_verifies_inside_quadratic_regime(self):
+        system = van_der_pol_system(mu=1.0, reversed_time=True)
+        problem = VerificationProblem(
+            system,
+            Rectangle([-0.15, -0.15], [0.15, 0.15]),
+            RectangleComplement(Rectangle([-0.9, -0.9], [0.9, 0.9])),
+        )
+        report = verify_system(problem, config=SynthesisConfig(seed=0))
+        assert report.verified
+        assert report.certificate.verify().all_unsat
+
+    def test_fails_beyond_quadratic_regime(self):
+        """Wider envelopes include states where no quadratic W decreases
+        (the cubic term dominates); the method must not certify there."""
+        system = van_der_pol_system(mu=1.0, reversed_time=True)
+        problem = VerificationProblem(
+            system,
+            Rectangle([-0.3, -0.3], [0.3, 0.3]),
+            RectangleComplement(Rectangle([-1.2, -1.2], [1.2, 1.2])),
+        )
+        report = verify_system(
+            problem, config=SynthesisConfig(seed=0, max_candidate_iterations=4)
+        )
+        assert report.status is not SynthesisStatus.VERIFIED
+
+
+class TestPendulumNN:
+    def test_pd_network_verifies(self):
+        plant = inverted_pendulum_plant(mass=0.5, length=0.5, damping=0.1)
+        kp, kd, squash = 12.0, 4.0, 0.5
+        network = FeedforwardNetwork(
+            [
+                Layer(
+                    np.array([[squash, 0.0], [0.0, squash]]), np.zeros(2), "tansig"
+                ),
+                Layer(
+                    np.array([[-kp / squash, -kd / squash]]), np.zeros(1), "linear"
+                ),
+            ]
+        )
+        system = compose(plant, network)
+        problem = VerificationProblem(
+            system,
+            Rectangle([-0.15, -0.15], [0.15, 0.15]),
+            RectangleComplement(Rectangle([-1.0, -3.0], [1.0, 3.0])),
+        )
+        report = verify_system(problem, config=SynthesisConfig(seed=0))
+        assert report.verified
+        # Simulated sanity: a disturbed start stays inside the level set.
+        trace = system.simulator().simulate(np.array([0.14, 0.1]), 8.0, 0.01)
+        w_along = report.certificate.w_values(trace.states)
+        assert w_along.max() <= report.certificate.level + 1e-9

@@ -1,0 +1,140 @@
+"""Integration tests: the paper's complete workflow at reduced scale.
+
+These tests run whole pipelines — training, verification, experiment
+drivers — so each one covers many modules at once.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.barrier import SynthesisConfig, SynthesisStatus, verify_system
+from repro.dynamics import error_dynamics_system
+from repro.experiments import (
+    case_study_controller,
+    paper_initial_set,
+    paper_problem,
+    paper_unsafe_set,
+    run_figure5,
+)
+from repro.learning import (
+    proportional_controller_network,
+    train_paper_controller,
+)
+from repro.smt import IcpConfig
+
+
+class TestSetupConstants:
+    def test_paper_sets(self):
+        x0 = paper_initial_set()
+        assert np.allclose(x0.lower, [-1.0, -math.pi / 16])
+        assert np.allclose(x0.upper, [1.0, math.pi / 16])
+        unsafe = paper_unsafe_set()
+        safe = unsafe.safe_rectangle
+        assert np.allclose(safe.lower, [-5.0, -(math.pi / 2 - 0.1)])
+        assert np.allclose(safe.upper, [5.0, math.pi / 2 - 0.1])
+
+    def test_problem_construction(self):
+        problem = paper_problem(case_study_controller(4))
+        assert problem.state_names == ["derr", "thetaerr"]
+
+
+class TestVerificationAcrossWidths:
+    @pytest.mark.parametrize("neurons", [2, 10, 50])
+    def test_hand_built_controller_verifies(self, neurons):
+        problem = paper_problem(case_study_controller(neurons))
+        report = verify_system(problem, config=SynthesisConfig(seed=0))
+        assert report.verified, f"width {neurons}: {report.status}"
+        # Table 1 shape: few iterations, query dominates LP.
+        assert report.candidate_iterations <= 3
+
+    def test_certificate_internally_consistent(self):
+        problem = paper_problem(case_study_controller(10))
+        report = verify_system(problem, config=SynthesisConfig(seed=0))
+        cert = report.certificate
+        # W must vanish at the origin and be positive elsewhere.
+        assert cert.w_values(np.zeros((1, 2)))[0] == pytest.approx(0.0, abs=1e-12)
+        rng = np.random.default_rng(0)
+        pts = rng.uniform([-4, -1.2], [4, 1.2], size=(100, 2))
+        pts = pts[np.linalg.norm(pts, axis=1) > 0.1]
+        assert np.all(cert.w_values(pts) > 0.0)
+
+    def test_lie_derivative_negative_inside_domain(self):
+        problem = paper_problem(case_study_controller(10))
+        report = verify_system(problem, config=SynthesisConfig(seed=0))
+        candidate = report.candidate
+        rng = np.random.default_rng(1)
+        pts = rng.uniform([-4.9, -1.4], [4.9, 1.4], size=(200, 2))
+        outside_x0 = [
+            p for p in pts if not problem.initial_set.contains(p)
+        ]
+        lie = candidate.lie_derivative_values(
+            np.array(outside_x0), problem.system
+        )
+        assert np.all(lie < 0.0)
+
+
+class TestTrainedControllerPipeline:
+    def test_train_then_verify(self):
+        """The paper's full workflow: CMA-ES training, then proof."""
+        result = train_paper_controller(
+            hidden_neurons=6,
+            seed=5,
+            population_size=16,
+            max_iterations=18,
+            steps=260,
+            dt=0.5,
+        )
+        # Training must have improved the cost substantially.
+        assert result.cmaes.history[-1] < result.cmaes.history[0]
+        problem = paper_problem(result.network)
+        report = verify_system(
+            problem,
+            config=SynthesisConfig(seed=0, max_candidate_iterations=8),
+        )
+        # Trained controllers are not guaranteed verifiable, but the
+        # pipeline must terminate in a defined state either way.
+        assert report.status in (
+            SynthesisStatus.VERIFIED,
+            SynthesisStatus.NO_CANDIDATE,
+            SynthesisStatus.NO_LEVEL_SET,
+        )
+        if report.verified:
+            assert report.certificate.verify(IcpConfig(delta=1e-2)).all_unsat
+
+
+class TestFigure5Integration:
+    def test_figure5_claims(self):
+        data = run_figure5(hidden_neurons=6, seed=0, num_trajectories=6)
+        assert data.x0_corners_inside
+        assert data.level_set_clear_of_unsafe
+        assert len(data.trajectories) == 6
+        # The ellipse boundary must lie between X0 and the unsafe set.
+        boundary = data.ellipse_boundary
+        x0 = paper_initial_set()
+        safe = paper_unsafe_set().safe_rectangle
+        for p in boundary:
+            assert safe.contains(p, tol=1e-6)
+        # At least one boundary point outside X0 (the set is larger).
+        assert any(not x0.contains(p) for p in boundary)
+
+    def test_figure5_trajectories_converge(self):
+        data = run_figure5(hidden_neurons=6, seed=0, num_trajectories=6)
+        ends = np.array(
+            [t.final_state for t in data.trajectories if not t.truncated]
+        )
+        if len(ends):
+            assert np.abs(ends).max() < 0.5
+
+
+class TestGammaRole:
+    def test_large_gamma_blocks_verification(self):
+        """gamma so large that no controller can satisfy (5): the
+        procedure must fail rather than claim safety."""
+        problem = paper_problem(case_study_controller(4))
+        config = SynthesisConfig(seed=0, gamma=100.0, max_candidate_iterations=3)
+        report = verify_system(problem, config=config)
+        assert not report.verified

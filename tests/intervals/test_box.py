@@ -1,0 +1,176 @@
+"""Tests for interval boxes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IntervalError
+from repro.intervals import Box, Interval
+
+
+@st.composite
+def boxes(draw, max_dim=4, bound=100.0):
+    dim = draw(st.integers(min_value=1, max_value=max_dim))
+    parts = []
+    for _ in range(dim):
+        a = draw(st.floats(min_value=-bound, max_value=bound, allow_nan=False))
+        b = draw(st.floats(min_value=-bound, max_value=bound, allow_nan=False))
+        parts.append(Interval(min(a, b), max(a, b)))
+    return Box(parts)
+
+
+class TestConstruction:
+    def test_from_bounds(self):
+        box = Box.from_bounds([0, -1], [1, 1])
+        assert box.dimension == 2
+        assert box[0] == Interval(0, 1)
+
+    def test_mismatched_bounds_raise(self):
+        with pytest.raises(IntervalError):
+            Box.from_bounds([0, 1], [1])
+
+    def test_empty_raises(self):
+        with pytest.raises(IntervalError):
+            Box([])
+
+    def test_from_point(self):
+        box = Box.from_point([1.0, 2.0])
+        assert box[0].is_point()
+        assert box.contains([1.0, 2.0])
+
+    def test_from_array_shape_check(self):
+        with pytest.raises(IntervalError):
+            Box.from_array(np.zeros((3, 3)))
+
+    def test_roundtrip_array(self):
+        box = Box.from_bounds([0, -2], [1, 2])
+        assert Box.from_array(box.to_array()) == box
+
+    def test_non_interval_component_rejected(self):
+        with pytest.raises(IntervalError):
+            Box([Interval(0, 1), (0, 1)])  # type: ignore[list-item]
+
+    def test_immutability(self):
+        box = Box.from_bounds([0], [1])
+        with pytest.raises(AttributeError):
+            box._intervals = ()
+
+
+class TestInspection:
+    def test_lower_upper_midpoint(self):
+        box = Box.from_bounds([0, -4], [2, 4])
+        assert np.allclose(box.lower(), [0, -4])
+        assert np.allclose(box.upper(), [2, 4])
+        assert np.allclose(box.midpoint(), [1, 0])
+
+    def test_widths_and_widest(self):
+        box = Box.from_bounds([0, 0], [1, 5])
+        assert np.allclose(box.widths(), [1, 5])
+        assert box.widest_dimension() == 1
+        assert box.max_width() == pytest.approx(5.0)
+
+    def test_volume(self):
+        assert Box.from_bounds([0, 0], [2, 3]).volume() == pytest.approx(6.0)
+
+    def test_contains(self):
+        box = Box.from_bounds([0, 0], [1, 1])
+        assert box.contains([0.5, 0.5])
+        assert not box.contains([1.5, 0.5])
+
+    def test_contains_dimension_mismatch(self):
+        with pytest.raises(IntervalError):
+            Box.from_bounds([0], [1]).contains([0.5, 0.5])
+
+    def test_contains_box(self):
+        outer = Box.from_bounds([0, 0], [10, 10])
+        inner = Box.from_bounds([1, 1], [2, 2])
+        assert outer.contains_box(inner)
+        assert not inner.contains_box(outer)
+
+    def test_is_finite(self):
+        assert Box.from_bounds([0], [1]).is_finite()
+        assert not Box([Interval(0, np.inf)]).is_finite()
+
+
+class TestOperations:
+    def test_replace(self):
+        box = Box.from_bounds([0, 0], [1, 1])
+        replaced = box.replace(1, Interval(5, 6))
+        assert replaced[1] == Interval(5, 6)
+        assert box[1] == Interval(0, 1)  # original untouched
+
+    def test_intersection(self):
+        a = Box.from_bounds([0, 0], [2, 2])
+        b = Box.from_bounds([1, 1], [3, 3])
+        assert a.intersection(b) == Box.from_bounds([1, 1], [2, 2])
+
+    def test_try_intersection_disjoint(self):
+        a = Box.from_bounds([0, 0], [1, 1])
+        b = Box.from_bounds([2, 0], [3, 1])
+        assert a.try_intersection(b) is None
+
+    def test_hull(self):
+        a = Box.from_bounds([0, 0], [1, 1])
+        b = Box.from_bounds([2, -1], [3, 0.5])
+        assert a.hull(b) == Box.from_bounds([0, -1], [3, 1])
+
+    def test_bisect_default_widest(self):
+        box = Box.from_bounds([0, 0], [1, 10])
+        left, right = box.bisect()
+        assert left[1].hi == right[1].lo == pytest.approx(5.0)
+        assert left[0] == box[0]
+
+    def test_bisect_explicit_dimension(self):
+        box = Box.from_bounds([0, 0], [1, 10])
+        left, right = box.bisect(0)
+        assert left[0].hi == pytest.approx(0.5)
+
+    def test_sample_grid(self):
+        box = Box.from_bounds([0, 0], [1, 1])
+        grid = box.sample_grid(3)
+        assert grid.shape == (9, 2)
+        assert all(box.contains(p) for p in grid)
+
+    def test_sample_grid_one(self):
+        grid = Box.from_bounds([0, 0], [2, 2]).sample_grid(1)
+        assert grid.shape == (1, 2)
+        assert np.allclose(grid[0], [1, 1])
+
+    def test_clip_point(self):
+        box = Box.from_bounds([0, 0], [1, 1])
+        assert np.allclose(box.clip_point([5, -3]), [1, 0])
+
+    def test_dimension_mismatch_ops(self):
+        a = Box.from_bounds([0], [1])
+        b = Box.from_bounds([0, 0], [1, 1])
+        with pytest.raises(IntervalError):
+            a.intersection(b)
+
+
+class TestProperties:
+    @given(boxes())
+    def test_midpoint_inside(self, box):
+        assert box.contains(box.midpoint())
+
+    @given(boxes())
+    def test_bisect_covers(self, box):
+        left, right = box.bisect()
+        mid = box.midpoint()
+        assert left.contains(box.lower())
+        assert right.contains(box.upper())
+        assert left.contains(mid) or right.contains(mid)
+
+    @given(boxes(), boxes())
+    def test_hull_contains_both(self, a, b):
+        if a.dimension != b.dimension:
+            return
+        hull = a.hull(b)
+        assert hull.contains_box(a)
+        assert hull.contains_box(b)
+
+    @given(boxes())
+    def test_inflate_contains(self, box):
+        assert box.inflate(absolute=0.1).contains_box(box)

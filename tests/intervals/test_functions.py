@@ -1,0 +1,148 @@
+"""Tests for dual-semantics helpers and vectorized interval linear algebra."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.intervals import (
+    Interval,
+    iabs,
+    iatan,
+    icos,
+    iexp,
+    ilog,
+    imax,
+    imin,
+    interval_affine,
+    interval_matvec,
+    interval_relu_bounds,
+    interval_sigmoid_bounds,
+    interval_tanh_bounds,
+    ipow,
+    isigmoid,
+    isin,
+    isqrt,
+    itan,
+    itanh,
+)
+
+
+class TestScalarDispatch:
+    """The i* helpers must agree with math.* on floats."""
+
+    @pytest.mark.parametrize(
+        "func,ref,x",
+        [
+            (isin, math.sin, 0.7),
+            (icos, math.cos, 0.7),
+            (itan, math.tan, 0.7),
+            (itanh, math.tanh, 0.7),
+            (iexp, math.exp, 0.7),
+            (ilog, math.log, 0.7),
+            (isqrt, math.sqrt, 0.7),
+            (iabs, abs, -0.7),
+            (iatan, math.atan, 0.7),
+        ],
+    )
+    def test_float_semantics(self, func, ref, x):
+        assert func(x) == pytest.approx(ref(x))
+
+    def test_sigmoid_float(self):
+        assert isigmoid(0.0) == pytest.approx(0.5)
+        assert isigmoid(-30.0) == pytest.approx(math.exp(-30) / (1 + math.exp(-30)))
+
+    def test_pow_float(self):
+        assert ipow(2.0, 3) == pytest.approx(8.0)
+
+    def test_min_max_float(self):
+        assert imin(1.0, 2.0) == 1.0
+        assert imax(1.0, 2.0) == 2.0
+
+    def test_interval_dispatch(self):
+        assert isinstance(isin(Interval(0, 1)), Interval)
+        assert isinstance(imin(Interval(0, 1), 0.5), Interval)
+        assert isinstance(imax(0.5, Interval(0, 1)), Interval)
+
+    def test_min_interval_semantics(self):
+        result = imin(Interval(0, 5), Interval(3, 4))
+        assert result == Interval(0, 4)
+
+
+class TestIntervalMatvec:
+    def test_simple(self):
+        matrix = np.array([[1.0, -1.0], [2.0, 0.0]])
+        lo, hi = interval_matvec(matrix, np.array([0.0, 0.0]), np.array([1.0, 1.0]))
+        # Row 0: x0 - x1 over [0,1]^2 -> [-1, 1]; row 1: 2 x0 -> [0, 2].
+        assert lo[0] <= -1.0 <= hi[0]
+        assert lo[1] <= 0.0 and hi[1] >= 2.0
+        assert lo[0] <= 1.0 <= hi[0]
+
+    def test_affine_adds_bias(self):
+        matrix = np.eye(2)
+        bias = np.array([10.0, -10.0])
+        lo, hi = interval_affine(matrix, bias, np.zeros(2), np.ones(2))
+        assert lo[0] <= 10.0 <= hi[0] + 1.0
+        assert lo[1] <= -10.0
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6), st.integers(0, 10_000))
+    def test_matvec_inclusion_random(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(size=(rows, cols)) * 3.0
+        lo = rng.normal(size=cols)
+        hi = lo + rng.uniform(0.0, 2.0, size=cols)
+        out_lo, out_hi = interval_matvec(matrix, lo, hi)
+        for _ in range(10):
+            x = rng.uniform(lo, hi)
+            y = matrix @ x
+            assert np.all(y >= out_lo - 1e-12)
+            assert np.all(y <= out_hi + 1e-12)
+
+    def test_widening_covers_rounding(self):
+        # A dot product whose naive endpoint evaluation is exact should
+        # still produce bounds at least as wide as the true value.
+        matrix = np.array([[0.1] * 1000])
+        lo = np.full(1000, 0.1)
+        hi = np.full(1000, 0.1)
+        out_lo, out_hi = interval_matvec(matrix, lo, hi)
+        exact = 0.1 * 0.1 * 1000
+        assert out_lo[0] <= exact <= out_hi[0]
+
+
+class TestActivationBounds:
+    @pytest.mark.parametrize(
+        "bounds_fn,numeric",
+        [
+            (interval_tanh_bounds, np.tanh),
+            (interval_sigmoid_bounds, lambda x: 1.0 / (1.0 + np.exp(-x))),
+            (interval_relu_bounds, lambda x: np.maximum(x, 0.0)),
+        ],
+    )
+    def test_inclusion(self, bounds_fn, numeric, rng):
+        lo = rng.normal(size=50) * 3.0
+        hi = lo + rng.uniform(0.0, 2.0, size=50)
+        out_lo, out_hi = bounds_fn(lo, hi)
+        for t in np.linspace(0.0, 1.0, 7):
+            x = lo + t * (hi - lo)
+            y = numeric(x)
+            assert np.all(y >= out_lo - 1e-12)
+            assert np.all(y <= out_hi + 1e-12)
+
+    def test_tanh_clamped(self):
+        lo, hi = interval_tanh_bounds(np.array([-1e9]), np.array([1e9]))
+        assert lo[0] >= -1.0
+        assert hi[0] <= 1.0
+
+    def test_sigmoid_clamped(self):
+        lo, hi = interval_sigmoid_bounds(np.array([-1e9]), np.array([1e9]))
+        assert lo[0] >= 0.0
+        assert hi[0] <= 1.0
+
+    def test_relu_exact(self):
+        lo, hi = interval_relu_bounds(np.array([-2.0]), np.array([3.0]))
+        assert lo[0] == 0.0
+        assert hi[0] == 3.0

@@ -1,0 +1,385 @@
+"""Unit and property tests for the scalar Interval type."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DomainError, EmptyIntervalError, IntervalError
+from repro.intervals import Interval
+
+FINITE = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def intervals(draw, lo=-1e6, hi=1e6):
+    a = draw(st.floats(min_value=lo, max_value=hi, allow_nan=False))
+    b = draw(st.floats(min_value=lo, max_value=hi, allow_nan=False))
+    return Interval(min(a, b), max(a, b))
+
+
+@st.composite
+def interval_and_point(draw, lo=-1e6, hi=1e6):
+    ival = draw(intervals(lo, hi))
+    t = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    point = ival.lo + t * (ival.hi - ival.lo)
+    point = min(max(point, ival.lo), ival.hi)
+    return ival, point
+
+
+class TestConstruction:
+    def test_basic(self):
+        ival = Interval(1.0, 2.0)
+        assert ival.lo == 1.0
+        assert ival.hi == 2.0
+
+    def test_point(self):
+        assert Interval.point(3.5).is_point()
+
+    def test_reversed_bounds_raise(self):
+        with pytest.raises(IntervalError):
+            Interval(2.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(math.nan, 1.0)
+        with pytest.raises(IntervalError):
+            Interval(0.0, math.nan)
+
+    def test_entire(self):
+        whole = Interval.entire()
+        assert whole.lo == -math.inf
+        assert whole.hi == math.inf
+
+    def test_immutability(self):
+        ival = Interval(0.0, 1.0)
+        with pytest.raises(AttributeError):
+            ival.lo = 5.0
+
+    def test_hull_of(self):
+        assert Interval.hull_of([3.0, -1.0, 2.0]) == Interval(-1.0, 3.0)
+
+    def test_hull_of_empty_raises(self):
+        with pytest.raises(IntervalError):
+            Interval.hull_of([])
+
+    def test_from_midpoint(self):
+        ival = Interval.from_midpoint(1.0, 0.5)
+        assert ival.contains(0.5)
+        assert ival.contains(1.5)
+
+    def test_from_midpoint_negative_radius(self):
+        with pytest.raises(IntervalError):
+            Interval.from_midpoint(0.0, -1.0)
+
+
+class TestInspection:
+    def test_width(self):
+        assert Interval(1.0, 3.0).width() >= 2.0
+
+    def test_width_unbounded(self):
+        assert Interval(0.0, math.inf).width() == math.inf
+
+    def test_midpoint_inside(self):
+        ival = Interval(-2.0, 10.0)
+        assert ival.contains(ival.midpoint())
+
+    def test_midpoint_entire(self):
+        assert Interval.entire().midpoint() == 0.0
+
+    def test_midpoint_half_infinite(self):
+        assert math.isfinite(Interval(3.0, math.inf).midpoint())
+        assert math.isfinite(Interval(-math.inf, 3.0).midpoint())
+
+    def test_magnitude_mignitude(self):
+        ival = Interval(-3.0, 2.0)
+        assert ival.magnitude() == 3.0
+        assert ival.mignitude() == 0.0
+        assert Interval(1.0, 2.0).mignitude() == 1.0
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 3))
+        assert not Interval(0, 10).contains_interval(Interval(2, 30))
+
+    def test_intersects(self):
+        assert Interval(0, 2).intersects(Interval(1, 3))
+        assert not Interval(0, 1).intersects(Interval(2, 3))
+        assert Interval(0, 1).intersects(Interval(1, 2))  # touching
+
+
+class TestLattice:
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 8)) == Interval(3, 5)
+
+    def test_intersection_disjoint_raises(self):
+        with pytest.raises(EmptyIntervalError):
+            Interval(0, 1).intersection(Interval(2, 3))
+
+    def test_try_intersection_none(self):
+        assert Interval(0, 1).try_intersection(Interval(2, 3)) is None
+
+    def test_hull(self):
+        assert Interval(0, 1).hull(Interval(5, 6)) == Interval(0, 6)
+
+    def test_inflate(self):
+        ival = Interval(0.0, 1.0).inflate(absolute=0.1)
+        assert ival.lo <= -0.1
+        assert ival.hi >= 1.1
+
+    def test_split(self):
+        left, right = Interval(0.0, 2.0).split()
+        assert left.hi == right.lo
+        assert left.lo == 0.0
+        assert right.hi == 2.0
+
+    def test_split_outside_raises(self):
+        with pytest.raises(IntervalError):
+            Interval(0.0, 1.0).split(5.0)
+
+
+class TestArithmetic:
+    def test_add(self):
+        result = Interval(1, 2) + Interval(10, 20)
+        assert result.contains(11.0) and result.contains(22.0)
+
+    def test_add_scalar(self):
+        assert (Interval(0, 1) + 5.0).contains(5.5)
+        assert (5.0 + Interval(0, 1)).contains(5.5)
+
+    def test_sub(self):
+        result = Interval(1, 2) - Interval(0, 1)
+        assert result.contains(0.0) and result.contains(2.0)
+
+    def test_neg(self):
+        assert -Interval(1, 2) == Interval(-2, -1)
+
+    def test_mul_signs(self):
+        assert (Interval(-2, 3) * Interval(-1, 1)).contains(-3.0)
+        assert (Interval(2, 3) * Interval(4, 5)).contains(15.0)
+
+    def test_mul_with_infinite(self):
+        result = Interval(0, 1) * Interval(0, math.inf)
+        assert result.contains(0.0)
+        assert result.hi == math.inf
+
+    def test_div(self):
+        result = Interval(1, 2) / Interval(2, 4)
+        assert result.contains(0.25) and result.contains(1.0)
+
+    def test_div_by_zero_spanning(self):
+        assert Interval(1, 2) / Interval(-1, 1) == Interval.entire()
+
+    def test_div_by_zero_point_raises(self):
+        with pytest.raises(DomainError):
+            Interval(1, 2) / Interval.point(0.0)
+
+    def test_div_one_sided_zero(self):
+        result = Interval(1, 2) / Interval(0.0, 1.0)
+        assert result.hi == math.inf
+        assert result.contains(1.0)
+
+    def test_reciprocal(self):
+        rec = Interval(2, 4).reciprocal()
+        assert rec.contains(0.25) and rec.contains(0.5)
+
+    def test_pow_even_crossing_zero(self):
+        sq = Interval(-2, 3) ** 2
+        assert sq.lo == 0.0
+        assert sq.contains(9.0)
+
+    def test_pow_odd(self):
+        cube = Interval(-2, 3) ** 3
+        assert cube.contains(-8.0) and cube.contains(27.0)
+
+    def test_pow_zero(self):
+        assert Interval(-5, 5) ** 0 == Interval.point(1.0)
+
+    def test_pow_negative(self):
+        inv_sq = Interval(1, 2) ** (-2)
+        assert inv_sq.contains(0.25) and inv_sq.contains(1.0)
+
+    def test_pow_non_integer_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(1, 2) ** 1.5  # type: ignore[operator]
+
+    def test_abs(self):
+        assert Interval(-3, 2).abs() == Interval(0.0, 3.0)
+        assert Interval(1, 2).abs() == Interval(1, 2)
+        assert Interval(-2, -1).abs() == Interval(1, 2)
+
+    def test_min_max_with(self):
+        a = Interval(0, 5)
+        b = Interval(3, 4)
+        assert a.min_with(b) == Interval(0, 4)
+        assert a.max_with(b) == Interval(3, 5)
+
+    def test_extended_divide_spanning(self):
+        pieces = Interval(1, 2).extended_divide(Interval(-1, 1))
+        assert len(pieces) == 2
+        # 1/0.5 = 2 must be covered by the positive piece.
+        assert any(p.contains(2.0) for p in pieces)
+        assert any(p.contains(-2.0) for p in pieces)
+
+    def test_extended_divide_zero_denominator(self):
+        assert Interval(1, 2).extended_divide(Interval.point(0.0)) == []
+        pieces = Interval(-1, 1).extended_divide(Interval.point(0.0))
+        assert pieces == [Interval.entire()]
+
+
+class TestElementaryFunctions:
+    def test_sqrt(self):
+        ival = Interval(4, 9).sqrt()
+        assert ival.contains(2.0) and ival.contains(3.0)
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(DomainError):
+            Interval(-2, -1).sqrt()
+
+    def test_sqrt_clips_partial(self):
+        ival = Interval(-1, 4).sqrt()
+        assert ival.lo == 0.0
+        assert ival.contains(2.0)
+
+    def test_exp_log_inverse(self):
+        ival = Interval(0.5, 2.0)
+        round_trip = ival.exp().log()
+        assert round_trip.contains_interval(ival)
+
+    def test_log_nonpositive_raises(self):
+        with pytest.raises(DomainError):
+            Interval(-2, -1).log()
+
+    def test_tanh_range(self):
+        ival = Interval(-100, 100).tanh()
+        assert ival.lo >= -1.0
+        assert ival.hi <= 1.0
+
+    def test_sigmoid_range(self):
+        ival = Interval(-100, 100).sigmoid()
+        assert 0.0 <= ival.lo <= ival.hi <= 1.0
+
+    def test_sin_full_period(self):
+        assert Interval(0, 7).sin() == Interval(-1, 1)
+
+    def test_sin_no_critical(self):
+        ival = Interval(0.1, 0.2).sin()
+        assert ival.contains(math.sin(0.15))
+        assert ival.hi < 0.21
+
+    def test_sin_contains_max(self):
+        ival = Interval(1.0, 2.0).sin()  # pi/2 inside
+        assert ival.hi == 1.0
+
+    def test_cos_contains_min(self):
+        ival = Interval(3.0, 3.3).cos()  # pi inside
+        assert ival.lo == -1.0
+
+    def test_tan_pole(self):
+        assert Interval(1.0, 2.0).tan() == Interval.entire()
+
+    def test_tan_monotone_piece(self):
+        ival = Interval(-0.5, 0.5).tan()
+        assert ival.contains(math.tan(0.3))
+        assert ival.is_finite()
+
+    def test_atan_monotone(self):
+        ival = Interval(-1, 1).atan()
+        assert ival.contains(math.atan(0.5))
+
+
+# ----------------------------------------------------------------------
+# Property-based: inclusion soundness of every operation.
+# ----------------------------------------------------------------------
+class TestInclusionProperties:
+    @given(interval_and_point(), interval_and_point())
+    def test_add_inclusion(self, ap, bp):
+        (a, x), (b, y) = ap, bp
+        assert (a + b).contains(x + y)
+
+    @given(interval_and_point(), interval_and_point())
+    def test_sub_inclusion(self, ap, bp):
+        (a, x), (b, y) = ap, bp
+        assert (a - b).contains(x - y)
+
+    @given(interval_and_point(-1e3, 1e3), interval_and_point(-1e3, 1e3))
+    def test_mul_inclusion(self, ap, bp):
+        (a, x), (b, y) = ap, bp
+        assert (a * b).contains(x * y)
+
+    @given(interval_and_point(-1e3, 1e3), interval_and_point(-1e3, 1e3))
+    def test_div_inclusion(self, ap, bp):
+        (a, x), (b, y) = ap, bp
+        if y == 0.0 or (b.lo == 0.0 and b.hi == 0.0):
+            return
+        assert (a / b).contains(x / y)
+
+    @given(interval_and_point(-50, 50), st.integers(min_value=0, max_value=6))
+    def test_pow_inclusion(self, ap, n):
+        a, x = ap
+        assert (a**n).contains(x**n)
+
+    @given(interval_and_point(-20, 20))
+    def test_sin_inclusion(self, ap):
+        a, x = ap
+        assert a.sin().contains(math.sin(x))
+
+    @given(interval_and_point(-20, 20))
+    def test_cos_inclusion(self, ap):
+        a, x = ap
+        assert a.cos().contains(math.cos(x))
+
+    @given(interval_and_point(-30, 30))
+    def test_tanh_inclusion(self, ap):
+        a, x = ap
+        assert a.tanh().contains(math.tanh(x))
+
+    @given(interval_and_point(-30, 30))
+    def test_sigmoid_inclusion(self, ap):
+        a, x = ap
+        sig = 1.0 / (1.0 + math.exp(-x)) if x >= 0 else math.exp(x) / (1 + math.exp(x))
+        assert a.sigmoid().contains(sig)
+
+    @given(interval_and_point(-50, 50))
+    def test_exp_inclusion(self, ap):
+        a, x = ap
+        assert a.exp().contains(math.exp(x))
+
+    @given(interval_and_point(1e-6, 1e6))
+    def test_log_inclusion(self, ap):
+        a, x = ap
+        assert a.log().contains(math.log(x))
+
+    @given(interval_and_point(0.0, 1e6))
+    def test_sqrt_inclusion(self, ap):
+        a, x = ap
+        assert a.sqrt().contains(math.sqrt(x))
+
+    @given(interval_and_point(-100, 100))
+    def test_abs_inclusion(self, ap):
+        a, x = ap
+        assert a.abs().contains(abs(x))
+
+    @given(interval_and_point(-100, 100))
+    def test_atan_inclusion(self, ap):
+        a, x = ap
+        assert a.atan().contains(math.atan(x))
+
+    @given(intervals(), intervals())
+    def test_hull_contains_both(self, a, b):
+        h = a.hull(b)
+        assert h.contains_interval(a)
+        assert h.contains_interval(b)
+
+    @given(interval_and_point(-5, 5), interval_and_point(-5, 5))
+    def test_tan_inclusion(self, ap, bp):
+        a, x = ap
+        try:
+            value = math.tan(x)
+        except ValueError:  # pragma: no cover
+            return
+        assert a.tan().contains(value)

@@ -1,0 +1,133 @@
+"""CMA-ES optimizer tests on standard benchmark functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.learning import CmaEs, CmaEsConfig, minimize_cmaes
+
+
+def sphere(x):
+    return float(np.sum(x**2))
+
+
+def ellipsoid(x):
+    n = len(x)
+    weights = 10.0 ** (3 * np.arange(n) / max(n - 1, 1))
+    return float(np.sum(weights * x**2))
+
+
+def rosenbrock(x):
+    return float(np.sum(100.0 * (x[1:] - x[:-1] ** 2) ** 2 + (1 - x[:-1]) ** 2))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            CmaEsConfig(population_size=1)
+        with pytest.raises(TrainingError):
+            CmaEsConfig(sigma0=0.0)
+        with pytest.raises(TrainingError):
+            CmaEsConfig(max_iterations=0)
+
+    def test_default_population_size(self):
+        es = CmaEs(np.zeros(10))
+        assert es.lam == 4 + int(3 * np.log(10))
+
+    def test_bad_x0(self):
+        with pytest.raises(TrainingError):
+            CmaEs(np.zeros((2, 2)))
+
+
+class TestAskTell:
+    def test_ask_shape(self):
+        es = CmaEs(np.zeros(3), CmaEsConfig(population_size=8, seed=0))
+        assert es.ask().shape == (8, 3)
+
+    def test_tell_without_ask(self):
+        es = CmaEs(np.zeros(3), CmaEsConfig(population_size=8, seed=0))
+        with pytest.raises(TrainingError):
+            es.tell(np.zeros((8, 3)), np.zeros(8))
+
+    def test_tell_wrong_fitness_count(self):
+        es = CmaEs(np.zeros(3), CmaEsConfig(population_size=8, seed=0))
+        pop = es.ask()
+        with pytest.raises(TrainingError):
+            es.tell(pop, np.zeros(5))
+
+    def test_nan_fitness_rejected(self):
+        es = CmaEs(np.zeros(3), CmaEsConfig(population_size=8, seed=0))
+        pop = es.ask()
+        fits = [sphere(c) for c in pop]
+        fits[0] = float("nan")
+        with pytest.raises(TrainingError):
+            es.tell(pop, fits)
+
+    def test_best_tracking_monotone(self):
+        es = CmaEs(np.ones(4) * 2, CmaEsConfig(population_size=10, seed=1, max_iterations=30))
+        while not es.should_stop():
+            pop = es.ask()
+            es.tell(pop, [sphere(c) for c in pop])
+        history = es.history
+        assert all(a >= b for a, b in zip(history, history[1:]))
+
+
+class TestConvergence:
+    def test_sphere(self):
+        result = minimize_cmaes(
+            sphere,
+            np.full(5, 3.0),
+            CmaEsConfig(seed=0, max_iterations=300, sigma0=1.0),
+        )
+        assert result.best_fitness < 1e-10
+        assert np.allclose(result.best_solution, 0.0, atol=1e-4)
+
+    def test_ellipsoid(self):
+        result = minimize_cmaes(
+            ellipsoid,
+            np.full(4, 2.0),
+            CmaEsConfig(seed=0, max_iterations=400, sigma0=1.0),
+        )
+        assert result.best_fitness < 1e-8
+
+    def test_rosenbrock(self):
+        result = minimize_cmaes(
+            rosenbrock,
+            np.zeros(4),
+            CmaEsConfig(seed=3, max_iterations=800, sigma0=0.5, population_size=16),
+        )
+        assert result.best_fitness < 1e-6
+        assert np.allclose(result.best_solution, 1.0, atol=1e-2)
+
+    def test_shifted_optimum(self):
+        target = np.array([1.5, -2.0, 0.7])
+        result = minimize_cmaes(
+            lambda x: float(np.sum((x - target) ** 2)),
+            np.zeros(3),
+            CmaEsConfig(seed=5, max_iterations=200),
+        )
+        assert np.allclose(result.best_solution, target, atol=1e-3)
+
+    def test_seed_reproducibility(self):
+        config = CmaEsConfig(seed=7, max_iterations=50)
+        r1 = minimize_cmaes(sphere, np.ones(3), config)
+        r2 = minimize_cmaes(sphere, np.ones(3), CmaEsConfig(seed=7, max_iterations=50))
+        assert r1.best_fitness == r2.best_fitness
+        assert np.allclose(r1.best_solution, r2.best_solution)
+
+    def test_callback_and_histories(self):
+        seen = []
+        result = minimize_cmaes(
+            sphere,
+            np.ones(2),
+            CmaEsConfig(seed=0, max_iterations=20),
+            callback=lambda es: seen.append(es.iteration),
+        )
+        assert seen == list(range(1, result.iterations + 1))
+        assert len(result.mean_history) == result.iterations
+
+    def test_stop_reason_recorded(self):
+        result = minimize_cmaes(sphere, np.ones(2), CmaEsConfig(seed=0, max_iterations=5))
+        assert result.stop_reason in ("max_iterations", "tol_fun", "tol_x")

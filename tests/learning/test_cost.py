@@ -1,0 +1,114 @@
+"""Tracking-cost (Section 4.2's J) tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dynamics import StraightLinePath
+from repro.errors import TrainingError
+from repro.learning import (
+    CostWeights,
+    figure4_training_path,
+    proportional_controller_network,
+    rollout,
+    tracking_cost,
+    training_start_state,
+)
+from repro.nn import FeedforwardNetwork, Layer
+
+
+def zero_controller():
+    return FeedforwardNetwork(
+        [
+            Layer(np.zeros((2, 2)), np.zeros(2), "tansig"),
+            Layer(np.zeros((1, 2)), np.zeros(1), "linear"),
+        ]
+    )
+
+
+class TestRollout:
+    def test_shapes(self):
+        net = proportional_controller_network(4)
+        path = StraightLinePath(0.0)
+        run = rollout(net, path, [0.5, 0.0, 0.0], steps=50, dt=0.1)
+        assert run.states.shape[1] == 3
+        assert len(run.d_errs) == len(run.states)
+        assert len(run.controls) == len(run.states)
+        assert run.cost > 0.0
+
+    def test_validation(self):
+        net = proportional_controller_network(4)
+        path = StraightLinePath(0.0)
+        with pytest.raises(TrainingError):
+            rollout(net, path, [0.0, 0.0, 0.0], steps=0, dt=0.1)
+        with pytest.raises(TrainingError):
+            rollout(net, path, [0.0, 0.0, 0.0], steps=10, dt=0.0)
+        with pytest.raises(TrainingError):
+            rollout(net, path, [0.0, 0.0], steps=10, dt=0.1)
+
+    def test_perfect_tracking_cost_is_terminal_only(self):
+        """Driving exactly along the path accrues only residual cost."""
+        net = zero_controller()  # u = 0: straight motion
+        path = StraightLinePath(0.0)  # northbound line through origin
+        steps, dt = 50, 0.1
+        run = rollout(net, path, [0.0, 0.0, 0.0], steps=steps, dt=dt)
+        # No lateral/heading error, no control effort.
+        assert np.allclose(run.d_errs, 0.0, atol=1e-12)
+        assert np.allclose(run.theta_errs, 0.0, atol=1e-12)
+        assert np.allclose(run.controls, 0.0)
+        # Terminal term measures distance to path "end" (the origin here).
+        expected_terminal = 1e3 * float(steps * dt) ** 2
+        assert run.cost == pytest.approx(expected_terminal, rel=1e-9)
+
+    def test_weights_applied(self):
+        """Doubling a weight doubles its cost share."""
+        net = zero_controller()
+        path = StraightLinePath(0.0)
+        start = [1.0, 0.0, 0.0]  # constant d_err = -1, no controls
+        base = rollout(net, path, start, 20, 0.1, weights=CostWeights(terminal=0.0))
+        double = rollout(
+            net, path, start, 20, 0.1,
+            weights=CostWeights(distance=200.0, terminal=0.0),
+        )
+        assert double.cost == pytest.approx(2.0 * base.cost, rel=1e-9)
+
+    def test_paper_weights_defaults(self):
+        w = CostWeights()
+        assert w.distance == 100.0
+        assert w.angle == 1.0e5
+        assert w.control == 100.0
+        assert w.terminal == 1.0e3
+
+    def test_diverging_rollout_truncates_not_crashes(self):
+        # A controller that spins hard: massive theta churn, finite cost.
+        spin = FeedforwardNetwork(
+            [
+                Layer(np.zeros((2, 2)), np.full(2, 5.0), "tansig"),
+                Layer(np.full((1, 2), 50.0), np.zeros(1), "linear"),
+            ]
+        )
+        path = figure4_training_path()
+        run = rollout(spin, path, training_start_state(path), 100, 0.5)
+        assert np.isfinite(run.cost)
+
+    def test_better_controller_costs_less(self):
+        path = figure4_training_path()
+        start = training_start_state(path)
+        good = proportional_controller_network(6)
+        bad = zero_controller()
+        good_cost = tracking_cost(good, path, start, 300, 0.5)
+        bad_cost = tracking_cost(bad, path, start, 300, 0.5)
+        assert good_cost < bad_cost
+
+
+class TestTrackingCost:
+    def test_matches_rollout(self):
+        net = proportional_controller_network(4)
+        path = StraightLinePath(0.0)
+        start = [0.5, 0.0, 0.1]
+        assert tracking_cost(net, path, start, 30, 0.1) == pytest.approx(
+            rollout(net, path, start, 30, 0.1).cost
+        )

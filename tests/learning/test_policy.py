@@ -1,0 +1,87 @@
+"""Policy-search harness tests (kept small: CMA-ES itself is tested separately)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics import StraightLinePath
+from repro.errors import TrainingError
+from repro.learning import (
+    PolicySearchConfig,
+    policy_search,
+    proportional_controller_network,
+    tracking_cost,
+    train_paper_controller,
+)
+from repro.nn import controller_network
+
+
+SMALL = PolicySearchConfig(
+    steps=80, dt=0.2, population_size=8, max_iterations=6, seed=0
+)
+
+
+class TestPolicySearch:
+    def test_improves_over_initial(self):
+        rng = np.random.default_rng(4)
+        net = controller_network(4, rng=rng)
+        path = StraightLinePath(0.0)
+        start = [1.0, 0.0, 0.2]
+        initial = tracking_cost(net, path, start, SMALL.steps, SMALL.dt)
+        result = policy_search(net, path, start, SMALL)
+        assert result.best_cost <= initial
+        final = tracking_cost(result.network, path, start, SMALL.steps, SMALL.dt)
+        assert final == pytest.approx(result.best_cost, rel=1e-9)
+
+    def test_input_not_mutated(self):
+        rng = np.random.default_rng(4)
+        net = controller_network(4, rng=rng)
+        before = net.get_parameters().copy()
+        policy_search(net, StraightLinePath(0.0), [1.0, 0.0, 0.0], SMALL)
+        assert np.allclose(net.get_parameters(), before)
+
+    def test_shape_validation(self):
+        bad = controller_network(4, inputs=3)
+        with pytest.raises(TrainingError):
+            policy_search(bad, StraightLinePath(0.0), [0.0, 0.0, 0.0], SMALL)
+
+    def test_snapshots_collected(self):
+        rng = np.random.default_rng(4)
+        net = controller_network(4, rng=rng)
+        config = PolicySearchConfig(
+            steps=60, dt=0.2, population_size=8, max_iterations=5, seed=0,
+            snapshot_iterations=(2, 4),
+        )
+        result = policy_search(net, StraightLinePath(0.0), [1.0, 0.0, 0.0], config)
+        assert set(result.snapshots) == {2, 4}
+        assert result.initial_network is not None
+
+    def test_progress_callback(self):
+        rng = np.random.default_rng(4)
+        net = controller_network(4, rng=rng)
+        calls = []
+        policy_search(
+            net,
+            StraightLinePath(0.0),
+            [1.0, 0.0, 0.0],
+            SMALL,
+            progress=lambda i, c: calls.append((i, c)),
+        )
+        assert len(calls) == SMALL.max_iterations
+        assert calls[0][0] == 1
+
+
+class TestTrainPaperController:
+    def test_end_to_end_small(self):
+        result = train_paper_controller(
+            hidden_neurons=4,
+            seed=1,
+            population_size=8,
+            max_iterations=5,
+            steps=100,
+            dt=0.5,
+        )
+        assert result.network.hidden_sizes == [4]
+        assert result.cmaes.iterations == 5
+        assert len(result.cmaes.history) == 5

@@ -1,0 +1,82 @@
+"""Safety-aware training tests (the paper's future-work extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.learning import (
+    SafetyPenaltyConfig,
+    proportional_controller_network,
+    safety_penalty,
+    train_safe_controller,
+)
+from repro.nn import FeedforwardNetwork, Layer
+
+
+def unsafe_controller():
+    """Destabilizing gains: trajectories spiral out of the envelope."""
+    return proportional_controller_network(4, d_gain=-0.6, theta_gain=-2.0)
+
+
+class TestSafetyPenalty:
+    def test_zero_for_safe_controller(self):
+        net = proportional_controller_network(6)
+        penalty = safety_penalty(net)
+        # Stable controller: no excursions, converged -> near zero
+        # (terminal-norm term only, and the trajectories reach ~0).
+        assert penalty < 1.0
+
+    def test_positive_for_unsafe_controller(self):
+        penalty = safety_penalty(unsafe_controller())
+        assert penalty > 1e3
+
+    def test_orders_controllers(self):
+        """Weaker stabilizer (slower convergence) costs more."""
+        strong = proportional_controller_network(4, d_gain=0.6, theta_gain=2.0)
+        weak = proportional_controller_network(4, d_gain=0.1, theta_gain=0.4)
+        assert safety_penalty(strong) < safety_penalty(weak)
+
+    def test_config_duration_scaling(self):
+        net = unsafe_controller()
+        short = safety_penalty(net, SafetyPenaltyConfig(duration=2.0))
+        long = safety_penalty(net, SafetyPenaltyConfig(duration=10.0))
+        assert long >= short
+
+
+class TestTrainSafeController:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(TrainingError):
+            train_safe_controller(safety_weight=-1.0)
+
+    def test_small_run_structure(self):
+        result = train_safe_controller(
+            hidden_neurons=4,
+            seed=0,
+            population_size=8,
+            max_iterations=4,
+            steps=120,
+            dt=0.6,
+            verify=False,
+        )
+        assert result.verification is None
+        assert not result.verified
+        assert result.network.hidden_sizes == [4]
+        assert len(result.history) == 4
+        assert result.combined_cost <= result.history[0]
+
+    def test_penalty_discourages_unsafe_minima(self):
+        """With a huge safety weight, the trained controller's penalty
+        must be small even after few iterations."""
+        result = train_safe_controller(
+            hidden_neurons=4,
+            seed=2,
+            population_size=10,
+            max_iterations=8,
+            steps=120,
+            dt=0.6,
+            safety_weight=100.0,
+            verify=False,
+        )
+        assert result.safety_penalty < 1e3

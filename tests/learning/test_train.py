@@ -1,0 +1,92 @@
+"""Reference-controller construction tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.learning import (
+    figure4_training_path,
+    proportional_controller_network,
+    training_start_state,
+)
+
+
+class TestTrainingPath:
+    def test_shape(self):
+        path = figure4_training_path()
+        assert path.waypoints.shape[0] >= 5
+        assert path.total_length > 100.0
+
+    def test_start_state_aligned(self):
+        path = figure4_training_path()
+        start = training_start_state(path)
+        assert np.allclose(start[:2], path.waypoints[0])
+        errors = path.errors(start[:2], start[2])
+        assert errors.theta_err == pytest.approx(0.0, abs=1e-9)
+        assert errors.d_err == pytest.approx(0.0, abs=1e-9)
+
+
+class TestProportionalController:
+    def test_width_invariance(self):
+        """Every width computes the same control function."""
+        reference = proportional_controller_network(2)
+        rng = np.random.default_rng(0)
+        points = rng.uniform([-5, -1.5], [5, 1.5], size=(50, 2))
+        for width in (3, 10, 31, 100, 1000):
+            net = proportional_controller_network(width)
+            assert np.allclose(
+                net.forward(points), reference.forward(points), atol=1e-9
+            ), f"width {width} diverges"
+
+    def test_realized_control_law(self):
+        """u = (kd/c) tanh(c d) + (kt/c) tanh(c t)."""
+        kd, kt, c = 0.6, 2.0, 0.25
+        net = proportional_controller_network(10, kd, kt, c)
+        for d, t in [(1.0, 0.0), (0.0, 0.5), (-2.0, 0.3), (4.0, -1.0)]:
+            expected = (kd / c) * math.tanh(c * d) + (kt / c) * math.tanh(c * t)
+            assert float(net.forward(np.array([d, t]))[0]) == pytest.approx(expected)
+
+    def test_linearized_gains(self):
+        """Near the origin the law is u ~ kd*d + kt*t."""
+        net = proportional_controller_network(8, d_gain=0.6, theta_gain=2.0)
+        h = 1e-6
+        gd = float(net.forward(np.array([h, 0.0]))[0]) / h
+        gt = float(net.forward(np.array([0.0, h]))[0]) / h
+        assert gd == pytest.approx(0.6, rel=1e-4)
+        assert gt == pytest.approx(2.0, rel=1e-4)
+
+    def test_saturation_bound(self):
+        """|u| is bounded by (kd + kt)/c regardless of the input."""
+        kd, kt, c = 0.6, 2.0, 0.25
+        net = proportional_controller_network(6, kd, kt, c)
+        extreme = net.forward(np.array([1e6, 1e6]))
+        assert abs(float(extreme[0])) <= (kd + kt) / c + 1e-9
+
+    def test_parameter_count_matches_paper(self):
+        net = proportional_controller_network(10)
+        assert net.parameter_count == 41  # 4*10 + 1
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            proportional_controller_network(1)
+        with pytest.raises(TrainingError):
+            proportional_controller_network(4, squash=0.0)
+
+    def test_closed_loop_stability(self):
+        """The constructed controller stabilizes the error dynamics from
+        everywhere in the paper's initial set."""
+        from repro.dynamics import error_dynamics_system
+
+        net = proportional_controller_network(10)
+        system = error_dynamics_system(net)
+        sim = system.simulator()
+        for x0 in ([1.0, math.pi / 16], [-1.0, -math.pi / 16], [1.0, -math.pi / 16]):
+            trace = sim.simulate(np.array(x0), 25.0, 0.05)
+            assert np.linalg.norm(trace.final_state) < 1e-2
+            # Never leaves the paper's safe envelope on the way.
+            assert np.abs(trace.states[:, 0]).max() < 5.0
+            assert np.abs(trace.states[:, 1]).max() < math.pi / 2 - 0.1

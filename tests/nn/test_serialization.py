@@ -1,0 +1,81 @@
+"""Network JSON serialization tests."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.nn import (
+    FeedforwardNetwork,
+    Layer,
+    controller_network,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+@pytest.fixture
+def net():
+    return controller_network(6, rng=np.random.default_rng(0))
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self, net):
+        rebuilt = network_from_dict(network_to_dict(net))
+        assert np.allclose(rebuilt.get_parameters(), net.get_parameters())
+        assert rebuilt.layers[0].activation.name == "tansig"
+
+    def test_file_roundtrip(self, net, tmp_path):
+        path = tmp_path / "controller.json"
+        save_network(net, path)
+        rebuilt = load_network(path)
+        y = np.array([0.3, -0.2])
+        assert np.allclose(rebuilt.forward(y), net.forward(y))
+
+    def test_file_is_plain_json(self, net, tmp_path):
+        path = tmp_path / "controller.json"
+        save_network(net, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-ffnn-v1"
+        assert len(payload["layers"]) == 2
+
+
+class TestErrorHandling:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_network(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_network(path)
+
+    def test_wrong_format_tag(self, net):
+        payload = network_to_dict(net)
+        payload["format"] = "other-v9"
+        with pytest.raises(SerializationError):
+            network_from_dict(payload)
+
+    def test_missing_layers(self):
+        with pytest.raises(SerializationError):
+            network_from_dict({"format": "repro-ffnn-v1"})
+
+    def test_empty_layers(self):
+        with pytest.raises(SerializationError):
+            network_from_dict({"format": "repro-ffnn-v1", "layers": []})
+
+    def test_malformed_layer(self, net):
+        payload = network_to_dict(net)
+        del payload["layers"][0]["biases"]
+        with pytest.raises(SerializationError):
+            network_from_dict(payload)
+
+    def test_non_dict_payload(self):
+        with pytest.raises(SerializationError):
+            network_from_dict([1, 2, 3])  # type: ignore[arg-type]

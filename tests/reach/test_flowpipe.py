@@ -1,0 +1,110 @@
+"""Flowpipe reachability tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.barrier import Rectangle, RectangleComplement
+from repro.dynamics import error_dynamics_system, stable_linear_system
+from repro.errors import SimulationError
+from repro.learning import proportional_controller_network
+from repro.reach import ReachConfig, ReachResult, check_bounded_safety, reach_tube
+
+
+@pytest.fixture(scope="module")
+def paper_system():
+    return error_dynamics_system(proportional_controller_network(4))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ReachConfig(dt=0.0)
+        with pytest.raises(SimulationError):
+            ReachConfig(inflation=0.0)
+
+    def test_negative_duration(self, paper_system):
+        with pytest.raises(SimulationError):
+            reach_tube(paper_system, Rectangle([-0.1, -0.1], [0.1, 0.1]), -1.0)
+
+
+class TestSoundness:
+    """The tube must contain every true trajectory from the initial box."""
+
+    @pytest.mark.parametrize("system_name", ["linear", "paper"])
+    def test_trajectories_contained(self, system_name, paper_system, rng):
+        if system_name == "linear":
+            system = stable_linear_system(np.array([[-0.5, 1.0], [-1.0, -0.5]]))
+        else:
+            system = paper_system
+        initial = Rectangle([-0.1, -0.05], [0.1, 0.05])
+        duration = 0.5
+        config = ReachConfig(dt=0.005)
+        tube = reach_tube(system, initial, duration, config)
+        sim = system.simulator()
+        for _ in range(5):
+            x0 = rng.uniform(initial.lower, initial.upper)
+            trace = sim.simulate(x0, duration, config.dt)
+            for k, t in enumerate(tube.times):
+                state = trace.state_at(float(t))
+                box = tube.boxes[k]
+                assert box.inflate(absolute=1e-6).contains(state), (
+                    f"t={t}: {state} escaped {box}"
+                )
+
+    def test_degenerate_start_tracks_trajectory(self, paper_system):
+        """A point initial box must stay a thin tube around the true
+        solution over a short horizon."""
+        x0 = np.array([0.3, 0.05])
+        initial = Rectangle(x0 - 1e-9, x0 + 1e-9)
+        tube = reach_tube(paper_system, initial, 0.3, ReachConfig(dt=0.005))
+        trace = paper_system.simulator().simulate(x0, 0.3, 0.005)
+        final_box = tube.final_box
+        assert final_box.inflate(absolute=0.01).contains(trace.final_state)
+        assert final_box.max_width() < 0.05
+
+
+class TestBoundedSafety:
+    def test_short_horizon_proved(self, paper_system):
+        unsafe = RectangleComplement(Rectangle([-5.0, -1.47], [5.0, 1.47]))
+        initial = Rectangle([-0.1, -0.05], [0.1, 0.05])
+        proved, tube = check_bounded_safety(
+            paper_system, initial, unsafe, 1.0, ReachConfig(dt=0.005)
+        )
+        assert proved
+        assert tube.first_violation is None
+        assert tube.completed
+
+    def test_wrapping_defeats_long_horizon(self, paper_system):
+        """The known failure mode: first-order flowpipes diverge on the
+        paper's full X0 — exactly the gap the barrier method fills."""
+        unsafe = RectangleComplement(Rectangle([-5.0, -1.47], [5.0, 1.47]))
+        initial = Rectangle([-1.0, -0.19], [1.0, 0.19])  # the paper's X0
+        proved, tube = check_bounded_safety(
+            paper_system, initial, unsafe, 5.0, ReachConfig(dt=0.01)
+        )
+        assert not proved
+
+    def test_unsafe_system_flagged(self):
+        bad = proportional_controller_network(4, d_gain=-0.6, theta_gain=-2.0)
+        system = error_dynamics_system(bad)
+        unsafe = RectangleComplement(Rectangle([-2.0, -0.6], [2.0, 0.6]))
+        initial = Rectangle([-1.0, -0.3], [1.0, 0.3])
+        proved, tube = check_bounded_safety(
+            system, initial, unsafe, 3.0, ReachConfig(dt=0.01)
+        )
+        assert not proved
+        # Interval intersection with the unsafe set is recorded.
+        assert tube.first_violation is not None or not tube.completed
+
+    def test_result_accessors(self, paper_system):
+        tube = reach_tube(
+            paper_system,
+            Rectangle([-0.05, -0.05], [0.05, 0.05]),
+            0.2,
+            ReachConfig(dt=0.01),
+        )
+        assert len(tube.boxes) == len(tube.times)
+        assert tube.max_width() >= tube.boxes[0].max_width()
+        assert tube.final_box is tube.boxes[-1]

@@ -1,0 +1,85 @@
+"""Sampler tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.intervals import Box, Interval
+from repro.sim import (
+    sample_boundary,
+    sample_grid,
+    sample_latin_hypercube,
+    sample_uniform,
+)
+
+BOX = Box.from_bounds([-1.0, 0.0], [1.0, 2.0])
+
+
+class TestUniform:
+    def test_inside(self, rng):
+        points = sample_uniform(BOX, 100, rng)
+        assert points.shape == (100, 2)
+        assert all(BOX.contains(p) for p in points)
+
+    def test_reproducible(self):
+        a = sample_uniform(BOX, 10, np.random.default_rng(1))
+        b = sample_uniform(BOX, 10, np.random.default_rng(1))
+        assert np.allclose(a, b)
+
+    def test_count_validation(self, rng):
+        with pytest.raises(ReproError):
+            sample_uniform(BOX, 0, rng)
+
+    def test_unbounded_rejected(self, rng):
+        with pytest.raises(ReproError):
+            sample_uniform(Box([Interval(0, np.inf)]), 5, rng)
+
+
+class TestGrid:
+    def test_shape(self):
+        grid = sample_grid(BOX, 4)
+        assert grid.shape == (16, 2)
+        assert all(BOX.contains(p) for p in grid)
+
+    def test_includes_corners(self):
+        grid = sample_grid(BOX, 3)
+        corners = {(-1.0, 0.0), (1.0, 2.0), (-1.0, 2.0), (1.0, 0.0)}
+        grid_set = {tuple(p) for p in grid}
+        assert corners <= grid_set
+
+
+class TestLatinHypercube:
+    def test_inside(self, rng):
+        points = sample_latin_hypercube(BOX, 50, rng)
+        assert points.shape == (50, 2)
+        assert all(BOX.contains(p) for p in points)
+
+    def test_stratification(self, rng):
+        """Each of n strata per axis contains exactly one point."""
+        n = 20
+        points = sample_latin_hypercube(BOX, n, rng)
+        for axis, (lo, hi) in enumerate([(-1.0, 1.0), (0.0, 2.0)]):
+            strata = np.floor((points[:, axis] - lo) / (hi - lo) * n).astype(int)
+            strata = np.clip(strata, 0, n - 1)
+            assert len(set(strata)) == n
+
+    def test_count_validation(self, rng):
+        with pytest.raises(ReproError):
+            sample_latin_hypercube(BOX, 0, rng)
+
+
+class TestBoundary:
+    def test_on_faces(self, rng):
+        points = sample_boundary(BOX, 5, rng)
+        assert points.shape == (20, 2)  # 2 dims * 2 faces * 5
+        for p in points:
+            on_face = (
+                p[0] in (-1.0, 1.0) or p[1] in (0.0, 2.0)
+            )
+            assert on_face
+
+    def test_validation(self, rng):
+        with pytest.raises(ReproError):
+            sample_boundary(BOX, 0, rng)

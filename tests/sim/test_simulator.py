@@ -1,0 +1,106 @@
+"""Simulator driver tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def decay(x):
+    return -x
+
+
+def spiral_out(x):
+    return np.array([x[0] - x[1], x[0] + x[1]])
+
+
+class TestBasics:
+    def test_trace_structure(self):
+        sim = Simulator(decay)
+        trace = sim.simulate(np.array([1.0]), 1.0, 0.1)
+        assert trace.times[0] == 0.0
+        assert trace.times[-1] == pytest.approx(1.0)
+        assert trace.states[-1, 0] == pytest.approx(math.exp(-1.0), rel=1e-6)
+        assert not trace.truncated
+
+    def test_bad_initial_state(self):
+        with pytest.raises(SimulationError):
+            Simulator(decay).simulate(np.zeros((2, 2)), 1.0)
+
+    def test_method_selection(self):
+        euler = Simulator(decay, method="euler").simulate(np.array([1.0]), 1.0, 0.01)
+        rk4 = Simulator(decay, method="rk4").simulate(np.array([1.0]), 1.0, 0.01)
+        exact = math.exp(-1.0)
+        assert abs(rk4.final_state[0] - exact) < abs(euler.final_state[0] - exact)
+
+    def test_rk45_method(self):
+        trace = Simulator(decay, method="rk45").simulate(np.array([1.0]), 1.0)
+        assert trace.final_state[0] == pytest.approx(math.exp(-1.0), rel=1e-6)
+
+    def test_input_recording(self):
+        sim = Simulator(decay, input_function=lambda x: np.array([2.0 * x[0]]))
+        trace = sim.simulate(np.array([1.0]), 0.5, 0.1)
+        assert trace.inputs is not None
+        assert trace.inputs.shape == (len(trace), 1)
+        assert trace.inputs[0, 0] == pytest.approx(2.0)
+
+    def test_batch(self):
+        sim = Simulator(decay)
+        traces = sim.simulate_batch(np.array([[1.0], [2.0]]), 0.5, 0.1)
+        assert len(traces) == 2
+        assert traces[1].initial_state[0] == 2.0
+
+
+class TestStopsAndGuards:
+    def test_stop_condition(self):
+        sim = Simulator(spiral_out)
+        trace = sim.simulate(
+            np.array([0.1, 0.0]),
+            20.0,
+            0.01,
+            stop_condition=lambda s: np.linalg.norm(s) > 1.0,
+        )
+        assert trace.truncated
+        assert trace.duration < 20.0
+        # The final state is the first one past the threshold.
+        assert np.linalg.norm(trace.final_state) >= 1.0
+
+    def test_blowup_guard(self):
+        sim = Simulator(spiral_out, blowup_norm=10.0)
+        trace = sim.simulate(np.array([1.0, 0.0]), 50.0, 0.01)
+        assert trace.truncated
+        assert np.linalg.norm(trace.final_state) > 10.0
+        assert np.all(np.isfinite(trace.states))
+
+    def test_blowup_guard_disabled(self):
+        # With the guard off, a doubling system runs the full duration
+        # (values large but finite).
+        sim = Simulator(lambda x: x, blowup_norm=None)
+        trace = sim.simulate(np.array([1.0]), 5.0, 0.01)
+        assert not trace.truncated
+        assert trace.final_state[0] == pytest.approx(math.exp(5.0), rel=1e-4)
+
+    def test_rk45_post_hoc_trim(self):
+        sim = Simulator(spiral_out, method="rk45")
+        trace = sim.simulate(
+            np.array([0.1, 0.0]),
+            20.0,
+            None,
+            stop_condition=lambda s: np.linalg.norm(s) > 1.0,
+        )
+        assert trace.truncated
+        assert np.linalg.norm(trace.final_state) >= 1.0
+
+    def test_nonfinite_truncates(self):
+        def nasty(x):
+            return np.array([x[0] ** 3 * 1e6])
+
+        sim = Simulator(nasty, blowup_norm=None)
+        trace = sim.simulate(np.array([2.0]), 10.0, 0.5)
+        assert trace.truncated
+        assert np.all(np.isfinite(trace.states))

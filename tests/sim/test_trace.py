@@ -1,0 +1,93 @@
+"""Trace data-structure tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Trace
+
+
+@pytest.fixture
+def trace():
+    times = np.linspace(0.0, 1.0, 11)
+    states = np.stack([times, times**2], axis=1)
+    inputs = times[:, None] * 3.0
+    return Trace(times, states, inputs)
+
+
+class TestValidation:
+    def test_basic(self, trace):
+        assert len(trace) == 11
+        assert trace.dimension == 2
+        assert trace.duration == pytest.approx(1.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(SimulationError):
+            Trace(np.array([0.0, 1.0]), np.zeros((3, 2)))
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(SimulationError):
+            Trace(np.array([0.0, 1.0]), np.zeros((2, 2)), np.zeros((3, 1)))
+
+    def test_non_monotone_times(self):
+        with pytest.raises(SimulationError):
+            Trace(np.array([0.0, 2.0, 1.0]), np.zeros((3, 1)))
+
+    def test_2d_times_rejected(self):
+        with pytest.raises(SimulationError):
+            Trace(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestAccessors:
+    def test_initial_final(self, trace):
+        assert np.allclose(trace.initial_state, [0.0, 0.0])
+        assert np.allclose(trace.final_state, [1.0, 1.0])
+
+    def test_state_at_interpolates(self, trace):
+        mid = trace.state_at(0.55)
+        assert mid[0] == pytest.approx(0.55)
+        assert mid[1] == pytest.approx(0.55**2, abs=0.01)
+
+    def test_state_at_clamps(self, trace):
+        assert np.allclose(trace.state_at(-5.0), trace.initial_state)
+        assert np.allclose(trace.state_at(5.0), trace.final_state)
+
+    def test_consecutive_pairs(self, trace):
+        pairs = list(trace.consecutive_pairs())
+        assert len(pairs) == 10
+        x0, x1, dt = pairs[0]
+        assert dt == pytest.approx(0.1)
+        assert np.allclose(x0, trace.states[0])
+        assert np.allclose(x1, trace.states[1])
+
+    def test_max_norm(self, trace):
+        assert trace.max_norm() == pytest.approx(np.sqrt(2.0))
+
+
+class TestOperations:
+    def test_subsample(self, trace):
+        sub = trace.subsample(3)
+        assert len(sub) <= len(trace)
+        assert np.allclose(sub.final_state, trace.final_state)
+        assert np.all(np.diff(sub.times) > 0)
+
+    def test_subsample_stride_one(self, trace):
+        assert len(trace.subsample(1)) == len(trace)
+
+    def test_subsample_invalid(self, trace):
+        with pytest.raises(SimulationError):
+            trace.subsample(0)
+
+    def test_concatenate_states(self, trace):
+        stacked = Trace.concatenate_states([trace, trace])
+        assert stacked.shape == (22, 2)
+
+    def test_concatenate_empty(self):
+        with pytest.raises(SimulationError):
+            Trace.concatenate_states([])
+
+    def test_truncated_flag_propagates(self):
+        t = Trace(np.array([0.0, 1.0]), np.zeros((2, 1)), truncated=True)
+        assert t.subsample(1).truncated

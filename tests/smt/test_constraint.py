@@ -1,0 +1,118 @@
+"""Constraint normalization and three-valued interval decision tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr import sin, var
+from repro.intervals import Box
+from repro.smt import Constraint, Relation, Status, eq, ge, gt, le, lt
+
+X, Y = var("x"), var("y")
+NAMES = ["x", "y"]
+
+
+class TestConstructors:
+    def test_le_normalizes_bound(self):
+        c = le(X, 5.0)
+        assert c.relation is Relation.LE
+        # x <= 5 holds at x=5, fails at x=6.
+        assert c.satisfied_at([5.0, 0.0], NAMES)
+        assert not c.satisfied_at([6.0, 0.0], NAMES)
+
+    def test_expression_bound(self):
+        c = lt(X, Y)
+        assert c.satisfied_at([1.0, 2.0], NAMES)
+        assert not c.satisfied_at([2.0, 1.0], NAMES)
+
+    def test_ge_gt(self):
+        assert ge(X, 1.0).satisfied_at([1.0, 0.0], NAMES)
+        assert not gt(X, 1.0).satisfied_at([1.0, 0.0], NAMES)
+
+    def test_eq(self):
+        c = eq(X * X, 4.0)
+        assert c.satisfied_at([2.0, 0.0], NAMES)
+        assert not c.satisfied_at([2.1, 0.0], NAMES)
+        assert c.satisfied_at([2.001, 0.0], NAMES, slack=0.01)
+
+    def test_relation_string_coercion(self):
+        c = Constraint(X, "<=")
+        assert c.relation is Relation.LE
+
+
+class TestNegation:
+    def test_negate_le(self):
+        c = le(X, 0.0).negated()
+        assert c.relation is Relation.GT
+
+    def test_negate_roundtrip(self):
+        for make in (le, lt, ge, gt):
+            c = make(X, 1.0)
+            assert c.negated().negated().relation is c.relation
+
+    def test_negate_eq_raises(self):
+        with pytest.raises(ExpressionError):
+            eq(X, 0.0).negated()
+
+    def test_negation_is_complement(self):
+        c = lt(X, 2.0)
+        n = c.negated()
+        for v in (-1.0, 2.0, 5.0):
+            assert c.satisfied_at([v, 0.0], NAMES) != n.satisfied_at([v, 0.0], NAMES)
+
+
+class TestStatusOnBox:
+    def test_certainly_true(self):
+        c = le(X, 10.0)
+        box = Box.from_bounds([0.0, 0.0], [1.0, 1.0])
+        assert c.status_on_box(box, NAMES) is Status.CERTAIN_TRUE
+
+    def test_certainly_false(self):
+        c = le(X, -10.0)
+        box = Box.from_bounds([0.0, 0.0], [1.0, 1.0])
+        assert c.status_on_box(box, NAMES) is Status.CERTAIN_FALSE
+
+    def test_unknown(self):
+        c = le(X, 0.5)
+        box = Box.from_bounds([0.0, 0.0], [1.0, 1.0])
+        assert c.status_on_box(box, NAMES) is Status.UNKNOWN
+
+    def test_nonlinear_constraint(self):
+        c = gt(sin(X), 0.5)
+        box = Box.from_bounds([1.0, 0.0], [2.0, 1.0])  # sin in [0.84, 1]
+        assert c.status_on_box(box, NAMES) is Status.CERTAIN_TRUE
+
+    def test_status_from_bounds_vectorized(self):
+        c = le(X, 0.0)
+        lo = np.array([-2.0, -1.0, 0.5])
+        hi = np.array([-1.0, 1.0, 2.0])
+        statuses = c.status_from_bounds(lo, hi)
+        assert statuses[0] == int(Status.CERTAIN_TRUE)
+        assert statuses[1] == int(Status.UNKNOWN)
+        assert statuses[2] == int(Status.CERTAIN_FALSE)
+
+    def test_eq_status(self):
+        c = eq(X, 0.0)
+        assert c.status_from_bounds(np.array([0.1]), np.array([0.2]))[0] == int(
+            Status.CERTAIN_FALSE
+        )
+        assert c.status_from_bounds(np.array([-0.1]), np.array([0.1]))[0] == int(
+            Status.UNKNOWN
+        )
+
+    def test_slack_weakens_false(self):
+        c = le(X, 0.0)
+        lo = np.array([0.005])
+        hi = np.array([0.01])
+        assert c.status_from_bounds(lo, hi)[0] == int(Status.CERTAIN_FALSE)
+        assert c.status_from_bounds(lo, hi, slack=0.02)[0] == int(Status.UNKNOWN)
+
+    def test_compiled_cache_per_ordering(self):
+        c = le(X + Y, 0.0)
+        t1 = c.compiled(["x", "y"])
+        t2 = c.compiled(["x", "y"])
+        assert t1 is t2
+        t3 = c.compiled(["y", "x"])
+        assert t3 is not t1

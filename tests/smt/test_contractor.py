@@ -1,0 +1,178 @@
+"""HC4 contractor tests.
+
+The key soundness property: a contracted box must contain every point of
+the original box that satisfies the constraint.  Contraction strength is
+checked on cases with known tight answers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.expr import exp, log, sigmoid, sin, sqrt, tanh, var
+from repro.intervals import Box
+from repro.smt import contract_fixpoint, eq, ge, hc4_revise, le
+
+X, Y = var("x"), var("y")
+NAMES = ["x", "y"]
+
+
+def sample_solutions(constraint, box, count=400, seed=0):
+    """Numerically find satisfying points of a constraint inside a box."""
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(box.lower(), box.upper(), size=(count, box.dimension))
+    return [p for p in points if constraint.satisfied_at(p, NAMES)]
+
+
+class TestSoundness:
+    @pytest.mark.parametrize(
+        "constraint",
+        [
+            le(X + Y, 0.5),
+            le(X * Y, -0.1),
+            ge(X * X + Y * Y, 1.0),
+            le(X * X + Y * Y, 1.0),
+            le(sin(X) + Y, 0.0),
+            ge(tanh(X) - Y, 0.2),
+            le(exp(X) - 2.0, 0.0),
+            eq(X - Y, 0.0),
+            le(X**3 + Y, 0.0),
+            ge(X / (Y + 3.0), 0.5),
+        ],
+        ids=range(10),
+    )
+    def test_no_solution_lost(self, constraint):
+        box = Box.from_bounds([-2.0, -2.0], [2.0, 2.0])
+        contracted = hc4_revise(constraint, box, NAMES)
+        solutions = sample_solutions(constraint, box)
+        if contracted is None:
+            assert not solutions, "contractor emptied a box with solutions"
+            return
+        slack = Box.from_bounds(
+            contracted.lower() - 1e-9, contracted.upper() + 1e-9
+        )
+        for p in solutions:
+            assert slack.contains(p), f"lost solution {p}"
+
+    def test_fixpoint_soundness(self):
+        constraints = [le(X * X + Y * Y, 1.0), ge(X, 0.0), le(X - Y, 0.3)]
+        box = Box.from_bounds([-2.0, -2.0], [2.0, 2.0])
+        contracted = contract_fixpoint(constraints, box, NAMES)
+        assert contracted is not None
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(box.lower(), box.upper(), size=(500, 2))
+        for p in pts:
+            if all(c.satisfied_at(p, NAMES) for c in constraints):
+                assert contracted.inflate(absolute=1e-9).contains(p)
+
+
+class TestStrength:
+    def test_linear_equality_tightens(self):
+        # x = 0.5 exactly: the x dimension should collapse to near-point.
+        constraint = eq(X, 0.5)
+        box = Box.from_bounds([-10.0, 0.0], [10.0, 1.0])
+        contracted = hc4_revise(constraint, box, NAMES)
+        assert contracted is not None
+        assert contracted[0].lo == pytest.approx(0.5, abs=1e-9)
+        assert contracted[0].hi == pytest.approx(0.5, abs=1e-9)
+        assert contracted[1] == box[1]  # y untouched
+
+    def test_sum_projection(self):
+        # x + y <= -3 on [-2,2]^2 forces x <= 1 ... actually x <= -1.
+        constraint = le(X + Y, -3.0)
+        box = Box.from_bounds([-2.0, -2.0], [2.0, 2.0])
+        contracted = hc4_revise(constraint, box, NAMES)
+        assert contracted is not None
+        assert contracted[0].hi <= -1.0 + 1e-9
+        assert contracted[1].hi <= -1.0 + 1e-9
+
+    def test_proves_empty(self):
+        # Pow nodes keep the square's sign information (x*x as Mul would
+        # soundly but weakly evaluate to [-4, 4] on [-2, 2]).
+        constraint = le(X**2 + Y**2, -1.0)
+        box = Box.from_bounds([-2.0, -2.0], [2.0, 2.0])
+        assert hc4_revise(constraint, box, NAMES) is None
+
+    def test_exp_inverse(self):
+        # exp(x) <= 1 forces x <= 0.
+        constraint = le(exp(X), 1.0)
+        box = Box.from_bounds([-5.0, 0.0], [5.0, 1.0])
+        contracted = hc4_revise(constraint, box, NAMES)
+        assert contracted is not None
+        assert contracted[0].hi <= 1e-6
+
+    def test_tanh_inverse(self):
+        # tanh(x) >= 0.9 forces x >= atanh(0.9) ~ 1.472.
+        constraint = ge(tanh(X), 0.9)
+        box = Box.from_bounds([-5.0, 0.0], [5.0, 1.0])
+        contracted = hc4_revise(constraint, box, NAMES)
+        assert contracted is not None
+        assert contracted[0].lo >= math.atanh(0.9) - 1e-6
+
+    def test_sigmoid_inverse(self):
+        constraint = le(sigmoid(X), 0.5)
+        box = Box.from_bounds([-5.0, 0.0], [5.0, 1.0])
+        contracted = hc4_revise(constraint, box, NAMES)
+        assert contracted is not None
+        assert contracted[0].hi <= 1e-6
+
+    def test_even_power_sign_split(self):
+        # x^2 <= 4 on a positive-only box keeps x <= 2 and x >= -2 is moot.
+        constraint = le(X**2, 4.0)
+        box = Box.from_bounds([1.0, 0.0], [10.0, 1.0])
+        contracted = hc4_revise(constraint, box, NAMES)
+        assert contracted is not None
+        assert contracted[0].hi <= 2.0 + 1e-6
+
+    def test_sqrt_inverse(self):
+        constraint = ge(sqrt(X), 2.0)
+        box = Box.from_bounds([0.0, 0.0], [100.0, 1.0])
+        contracted = hc4_revise(constraint, box, NAMES)
+        assert contracted is not None
+        assert contracted[0].lo >= 4.0 - 1e-6
+
+    def test_log_inverse(self):
+        constraint = le(log(X), 0.0)
+        box = Box.from_bounds([0.1, 0.0], [100.0, 1.0])
+        contracted = hc4_revise(constraint, box, NAMES)
+        assert contracted is not None
+        assert contracted[0].hi <= 1.0 + 1e-6
+
+    def test_tanh_domain_violation_prunes(self):
+        constraint = ge(tanh(X), 1.5)  # impossible
+        box = Box.from_bounds([-5.0, 0.0], [5.0, 1.0])
+        assert hc4_revise(constraint, box, NAMES) is None
+
+
+class TestFixpoint:
+    def test_multiple_constraints_intersect(self):
+        constraints = [ge(X, 0.5), le(X, 0.7), ge(Y - X, 0.0)]
+        box = Box.from_bounds([0.0, 0.0], [1.0, 1.0])
+        contracted = contract_fixpoint(constraints, box, NAMES)
+        assert contracted is not None
+        assert contracted[0].lo >= 0.5 - 1e-9
+        assert contracted[0].hi <= 0.7 + 1e-9
+        assert contracted[1].lo >= 0.5 - 1e-6
+
+    def test_contradiction_detected(self):
+        constraints = [ge(X, 0.8), le(X, 0.2)]
+        box = Box.from_bounds([0.0, 0.0], [1.0, 1.0])
+        assert contract_fixpoint(constraints, box, NAMES) is None
+
+    @given(st.floats(min_value=-1.5, max_value=1.5), st.floats(min_value=0.1, max_value=1.0))
+    def test_random_circle_band_soundness(self, c, r):
+        constraint = le((X - c) ** 2 + Y**2, r)
+        box = Box.from_bounds([-3.0, -3.0], [3.0, 3.0])
+        contracted = hc4_revise(constraint, box, NAMES)
+        solutions = sample_solutions(constraint, box, count=200, seed=3)
+        if contracted is None:
+            assert not solutions
+            return
+        padded = Box.from_bounds(contracted.lower() - 1e-9, contracted.upper() + 1e-9)
+        for p in solutions:
+            assert padded.contains(p)

@@ -1,0 +1,89 @@
+"""Boolean formula and DNF tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr import var
+from repro.smt import And, Atom, Or, conjunction_of, ge, le, to_dnf
+
+X, Y = var("x"), var("y")
+
+
+class TestConstruction:
+    def test_atom_wraps_constraint(self):
+        a = Atom(le(X, 0.0))
+        assert a.constraint.relation.value == "<="
+
+    def test_atom_rejects_non_constraint(self):
+        with pytest.raises(ExpressionError):
+            Atom(X)  # type: ignore[arg-type]
+
+    def test_operators(self):
+        f = Atom(le(X, 0.0)) & Atom(ge(Y, 0.0))
+        assert isinstance(f, And)
+        g = Atom(le(X, 0.0)) | Atom(ge(Y, 0.0))
+        assert isinstance(g, Or)
+
+    def test_constraints_coerced_in_lists(self):
+        f = And([le(X, 0.0), ge(Y, 0.0)])
+        assert len(f.parts) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExpressionError):
+            And([])
+        with pytest.raises(ExpressionError):
+            Or([])
+
+
+class TestDnf:
+    def test_atom(self):
+        c = le(X, 0.0)
+        assert to_dnf(Atom(c)) == [[c]]
+
+    def test_bare_constraint(self):
+        c = le(X, 0.0)
+        assert to_dnf(c) == [[c]]
+
+    def test_flat_and(self):
+        c1, c2 = le(X, 0.0), ge(Y, 0.0)
+        dnf = to_dnf(And([c1, c2]))
+        assert dnf == [[c1, c2]]
+
+    def test_flat_or(self):
+        c1, c2 = le(X, 0.0), ge(Y, 0.0)
+        dnf = to_dnf(Or([c1, c2]))
+        assert dnf == [[c1], [c2]]
+
+    def test_and_of_ors_distributes(self):
+        a, b, c, d = le(X, 0.0), ge(X, 1.0), le(Y, 0.0), ge(Y, 1.0)
+        dnf = to_dnf(And([Or([a, b]), Or([c, d])]))
+        assert len(dnf) == 4
+        assert [a, c] in dnf
+        assert [b, d] in dnf
+
+    def test_nested(self):
+        a, b, c = le(X, 0.0), ge(X, 1.0), le(Y, 0.0)
+        dnf = to_dnf(Or([And([a, c]), b]))
+        assert dnf == [[a, c], [b]]
+
+    def test_rectangle_complement_shape(self):
+        """The x ∉ X0 formula used in the paper: 2n disjuncts."""
+        from repro.barrier import Rectangle
+
+        rect = Rectangle([-1.0, -0.5], [1.0, 0.5])
+        dnf = to_dnf(rect.complement_formula(["x", "y"]))
+        assert len(dnf) == 4
+        assert all(len(conj) == 1 for conj in dnf)
+
+
+class TestConjunctionOf:
+    def test_flattens(self):
+        c1, c2, c3 = le(X, 0.0), ge(Y, 0.0), le(Y, 1.0)
+        flat = conjunction_of([c1, And([c2, c3])])
+        assert flat == [c1, c2, c3]
+
+    def test_rejects_disjunction(self):
+        with pytest.raises(ExpressionError):
+            conjunction_of([Or([le(X, 0.0), ge(X, 1.0)])])

@@ -1,0 +1,48 @@
+"""SmtResult / SolverStats record tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.intervals import Box
+from repro.smt import SmtResult, SolverStats, Verdict
+
+
+class TestSolverStats:
+    def test_merge_accumulates(self):
+        a = SolverStats(boxes_processed=10, boxes_pruned=4, max_depth=3)
+        b = SolverStats(boxes_processed=5, boxes_pruned=1, max_depth=7)
+        a.merge(b)
+        assert a.boxes_processed == 15
+        assert a.boxes_pruned == 5
+        assert a.max_depth == 7
+
+    def test_merge_elapsed(self):
+        a = SolverStats(elapsed_seconds=1.0)
+        a.merge(SolverStats(elapsed_seconds=2.5))
+        assert a.elapsed_seconds == pytest.approx(3.5)
+
+
+class TestSmtResult:
+    def test_verdict_flags(self):
+        unsat = SmtResult(Verdict.UNSAT, 1e-3)
+        assert unsat.is_unsat and not unsat.is_delta_sat
+        sat = SmtResult(Verdict.DELTA_SAT, 1e-3, witness=np.zeros(2))
+        assert sat.is_delta_sat and not sat.is_unsat
+        unknown = SmtResult(Verdict.UNKNOWN, 1e-3)
+        assert not unknown.is_unsat and not unknown.is_delta_sat
+
+    def test_str_with_witness(self):
+        result = SmtResult(
+            Verdict.DELTA_SAT,
+            1e-3,
+            witness=np.array([1.0, 2.0]),
+            witness_box=Box.from_bounds([0.9, 1.9], [1.1, 2.1]),
+        )
+        text = str(result)
+        assert "delta-sat" in text
+        assert "1." in text
+
+    def test_str_unsat(self):
+        assert "unsat" in str(SmtResult(Verdict.UNSAT, 1e-3))

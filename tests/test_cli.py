@@ -1,0 +1,87 @@
+"""CLI tests (in-process, via main())."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.neurons == 10
+        assert args.delta == 1e-3
+
+    def test_table1_widths(self):
+        args = build_parser().parse_args(["table1", "--widths", "4", "8"])
+        assert args.widths == [4, 8]
+
+
+class TestCommands:
+    def test_verify_succeeds(self, capsys):
+        code = main(["verify", "--neurons", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status: verified" in out
+        assert "barrier level" in out
+
+    def test_verify_saved_controller(self, tmp_path, capsys):
+        from repro.learning import proportional_controller_network
+        from repro.nn import save_network
+
+        path = tmp_path / "net.json"
+        save_network(proportional_controller_network(4), path)
+        code = main(["verify", "--controller", str(path)])
+        assert code == 0
+
+    def test_falsify_unsafe(self, capsys):
+        code = main(
+            ["falsify", "--unsafe-controller", "--budget", "60", "--method", "random"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "FALSIFIED" in out
+
+    def test_falsify_safe_returns_nonzero(self, capsys):
+        code = main(["falsify", "--budget", "20", "--method", "random", "--neurons", "4"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "not falsified" in out
+
+    def test_table1_small(self, capsys):
+        code = main(["table1", "--widths", "4", "--seeds", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Neurons" in out
+
+    def test_train_small(self, capsys):
+        code = main(
+            ["train", "--neurons", "4", "--population", "8", "--iterations", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cost J" in out
+
+    def test_train_save(self, tmp_path, capsys):
+        path = tmp_path / "trained.json"
+        code = main(
+            [
+                "train", "--neurons", "4", "--population", "8",
+                "--iterations", "2", "--save", str(path),
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+
+    def test_figure5(self, capsys):
+        code = main(["figure5", "--neurons", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "barrier level" in out
+        assert "@" in out

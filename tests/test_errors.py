@@ -1,0 +1,70 @@
+"""Exception-hierarchy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_specific_parents(self):
+        assert issubclass(errors.EmptyIntervalError, errors.IntervalError)
+        assert issubclass(errors.DomainError, errors.IntervalError)
+        assert issubclass(errors.EvaluationError, errors.ExpressionError)
+        assert issubclass(errors.InfeasibleLPError, errors.LinearProgramError)
+        assert issubclass(errors.MaxIterationsError, errors.SynthesisError)
+        assert issubclass(errors.LevelSetError, errors.SynthesisError)
+        assert issubclass(errors.BudgetExceededError, errors.SolverError)
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SimulationError("boom")
+
+
+class TestPublicApi:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.barrier
+        import repro.dynamics
+        import repro.expr
+        import repro.experiments
+        import repro.intervals
+        import repro.learning
+        import repro.nn
+        import repro.sim
+        import repro.smt
+
+        for module in (
+            repro.barrier,
+            repro.dynamics,
+            repro.expr,
+            repro.experiments,
+            repro.intervals,
+            repro.learning,
+            repro.nn,
+            repro.sim,
+            repro.smt,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    module.__name__,
+                    name,
+                )
