@@ -1,28 +1,23 @@
 #!/usr/bin/env python
-"""Verify an NN controller on a *custom* plant via the generic API.
+"""Verify an NN controller on a *custom* plant via the scenario API.
 
 The paper's method is not Dubins-specific: any plant of the form
 x' = f_p(x, u), y = g(x) with a feedforward NN u = h(y) composes into an
 autonomous system (Eq. 4) that the barrier machinery can verify.  This
 example builds a torque-controlled inverted pendulum, stabilizes it with
-a hand-weighted two-neuron tansig network, and proves the closed loop
-never leaves a safe envelope around the upright equilibrium.
+a hand-weighted two-neuron tansig network, registers the workload as a
+named :class:`repro.api.Scenario`, and proves the closed loop never
+leaves a safe envelope around the upright equilibrium with one
+:func:`repro.api.run` call.
 
 Run:  python examples/custom_plant.py
 """
 
-import math
-
 import numpy as np
 
-from repro.barrier import (
-    Rectangle,
-    RectangleComplement,
-    SynthesisConfig,
-    VerificationProblem,
-    verify_system,
-)
-from repro.dynamics import compose, inverted_pendulum_plant
+from repro import api
+from repro.barrier import Rectangle, RectangleComplement
+from repro.dynamics import ContinuousSystem, compose, inverted_pendulum_plant
 from repro.expr import to_infix
 from repro.nn import FeedforwardNetwork, Layer
 
@@ -34,7 +29,7 @@ def build_controller() -> FeedforwardNetwork:
     origin this is u = -kp*theta - kd*omega, and the tanh saturation
     bounds the torque magnitude by (kp + kd)/c.
     """
-    kp, kd, squash = 12.0, 4.0, 0.5
+    kp, kd, squash = 9.0, 3.0, 0.4
     hidden = Layer(
         weights=np.array([[squash, 0.0], [0.0, squash]]),
         biases=np.zeros(2),
@@ -48,48 +43,58 @@ def build_controller() -> FeedforwardNetwork:
     return FeedforwardNetwork([hidden, output])
 
 
+def build_closed_loop() -> ContinuousSystem:
+    """Plant x' = f_p(x, u) closed with the NN (Eq. 4): u = h(g(x)).
+
+    Deliberately *not* the registered ``pendulum`` scenario: a lighter,
+    longer, less-damped pendulum under softer gains — the point is
+    registering a workload of your own next to the builtins.
+    """
+    plant = inverted_pendulum_plant(mass=0.3, length=0.7, damping=0.05)
+    return compose(plant, build_controller(), name="my-pendulum+pd-nn")
+
+
 def main() -> None:
-    # 1. Plant: x' = f_p(x, u) with symbolic dynamics.
-    plant = inverted_pendulum_plant(mass=0.5, length=0.5, damping=0.1)
-    print("plant:", plant)
-    for name, expr in zip(plant.state_names, plant.field_exprs):
-        print(f"  {name}' = {to_infix(expr, 70)}")
-
-    # 2. Close the loop with the NN (Eq. 4): u = h(g(x)).
-    network = build_controller()
-    system = compose(plant, network, name="pendulum+pd-nn")
+    # 1. Inspect the symbolic closed loop and sanity-simulate it.
+    system = build_closed_loop()
     print("closed loop:", system)
-
-    # 3. Sanity simulation from a disturbed start.
     trace = system.simulator().simulate(np.array([0.4, 0.0]), 6.0, 0.01)
     print(
         f"simulation from theta=0.4: final state {trace.final_state.round(4)} "
         f"(max |theta| = {np.abs(trace.states[:, 0]).max():.3f})"
     )
 
-    # 4. Safety: from |theta| <= 0.15, |omega| <= 0.15, never reach the
-    #    unsafe envelope outside |theta| < 1.0 rad, |omega| < 3.0 rad/s.
-    problem = VerificationProblem(
-        system,
-        initial_set=Rectangle([-0.15, -0.15], [0.15, 0.15]),
-        unsafe_set=RectangleComplement(Rectangle([-1.0, -3.0], [1.0, 3.0])),
-    )
-    report = verify_system(problem, config=SynthesisConfig(seed=0))
-    print(f"\nstatus: {report.status.value}")
-    if report.verified:
-        cert = report.certificate
-        print(f"barrier level: {cert.level:.6g}")
-        print("W(x) =", to_infix(cert.w_expr, 100))
-        check = cert.verify()
-        print(
-            "conditions (5)/(6)/(7):",
-            check.condition5.verdict.value,
-            check.condition6.verdict.value,
-            check.condition7.verdict.value,
+    # 2. Package the safety question as a registered scenario: from
+    #    |theta|, |omega| <= 0.15, never reach the unsafe envelope
+    #    outside |theta| < 1.0 rad, |omega| < 3.0 rad/s.
+    scenario = api.register_scenario(
+        api.Scenario(
+            name="my-pendulum",
+            description="hand-built pendulum workload from examples/custom_plant.py",
+            system_factory=build_closed_loop,
+            initial_set=Rectangle([-0.15, -0.15], [0.15, 0.15]),
+            unsafe_set=RectangleComplement(Rectangle([-1.0, -3.0], [1.0, 3.0])),
         )
-        print("\npendulum + NN controller PROVEN safe for unbounded time")
-    else:
-        raise SystemExit(f"verification incomplete: {report.status.value}")
+    )
+    print("\nregistered scenarios:", ", ".join(api.scenario_names()))
+
+    # 3. One call runs the full Figure-1 pipeline on it.
+    artifact = api.run(scenario.name)
+    print(f"\nstatus: {artifact.status}")
+    if not artifact.verified:
+        raise SystemExit(f"verification incomplete: {artifact.status}")
+
+    cert = artifact.report.certificate
+    print(f"barrier level: {cert.level:.6g}")
+    print("W(x) =", to_infix(cert.w_expr, 100))
+    check = cert.verify()
+    print(
+        "conditions (5)/(6)/(7):",
+        check.condition5.verdict.value,
+        check.condition6.verdict.value,
+        check.condition7.verdict.value,
+    )
+    print("\npendulum + NN controller PROVEN safe for unbounded time")
 
 
 if __name__ == "__main__":

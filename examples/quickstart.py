@@ -1,14 +1,12 @@
 #!/usr/bin/env python
 """Quickstart: prove an NN-controlled vehicle safe in under a minute.
 
-Builds the paper's case study — a Dubins car tracking a straight line
-under a tansig neural-network steering controller — and runs the full
-verification pipeline:
-
-1. define the closed-loop error dynamics;
-2. synthesize a candidate barrier generator from simulations (LP);
-3. verify the barrier conditions with the δ-SAT solver;
-4. print the certificate and double-check it.
+The paper's case study — a Dubins car tracking a straight line under a
+tansig neural-network steering controller — ships as the registered
+``dubins`` scenario, so the whole verification is one
+:func:`repro.api.run` call.  This script runs it with a live per-stage
+progress callback, then digs into the returned artifact: certificate,
+stage timings, JSON round-trip, and an independent re-check.
 
 Run:  python examples/quickstart.py
 """
@@ -17,56 +15,40 @@ import math
 
 import numpy as np
 
-from repro.barrier import (
-    Rectangle,
-    RectangleComplement,
-    SynthesisConfig,
-    VerificationProblem,
-    verify_system,
-)
-from repro.dynamics import error_dynamics_system
-from repro.expr import to_infix
-from repro.learning import proportional_controller_network
+from repro import api
 
 
 def main() -> None:
-    # 1. A 10-neuron tansig controller u = h(d_err, theta_err).  Swap in
-    #    repro.learning.train_paper_controller(...) to train one with
-    #    CMA-ES instead of using the hand-built stabilizer.
-    network = proportional_controller_network(hidden_neurons=10)
-    print("controller:", network)
+    # 1. One call: look up the "dubins" scenario (closed-loop error
+    #    dynamics + the Section 4.3 sets) and run the Figure-1 pipeline,
+    #    printing each stage as it completes.
+    def progress(event: api.StageEvent) -> None:
+        if event.kind == "end":
+            print(f"  [{event.stage}] iteration {event.iteration}: "
+                  f"{event.seconds:.2f}s")
 
-    # 2. The closed-loop error dynamics of the paper (Section 4.1.4):
-    #    d_err' = V sin(theta_err),  theta_err' = -h(d_err, theta_err).
-    system = error_dynamics_system(network, speed=1.0)
+    print("verifying scenario 'dubins'...")
+    artifact = api.run("dubins", progress=progress)
 
-    # 3. The safety question (Section 4.3): starting anywhere in X0,
-    #    never reach U = outside the +-5 m / +-(pi/2 - 0.1) rad envelope.
-    problem = VerificationProblem(
-        system,
-        initial_set=Rectangle([-1.0, -math.pi / 16], [1.0, math.pi / 16]),
-        unsafe_set=RectangleComplement(
-            Rectangle([-5.0, -(math.pi / 2 - 0.1)], [5.0, math.pi / 2 - 0.1])
-        ),
-    )
-
-    # 4. Run the Figure-1 procedure.
-    report = verify_system(problem, config=SynthesisConfig(seed=0))
-    print(f"\nstatus: {report.status.value}")
-    print(f"candidate iterations: {report.candidate_iterations}")
+    print(f"\nstatus: {artifact.status}")
+    print(f"candidate iterations: {artifact.candidate_iterations}")
+    stage_total = sum(artifact.stage_seconds.values())
     print(
-        f"time: LP {report.lp_seconds:.2f}s + SMT {report.query_seconds:.2f}s "
-        f"+ other {report.other_seconds:.2f}s = {report.total_seconds:.2f}s"
+        f"stage time {stage_total:.2f}s of {artifact.total_seconds:.2f}s total"
     )
-
-    if not report.verified:
+    if not artifact.verified:
         raise SystemExit("verification did not complete — try more traces")
 
-    certificate = report.certificate
-    print(f"\nbarrier certificate: B(x) = W(x) - {certificate.level:.6g}")
-    print("W(x) =", to_infix(certificate.w_expr, max_length=100))
+    # 2. The artifact is plain data: it JSON-round-trips losslessly, so
+    #    results can be archived and compared across runs/machines.
+    restored = api.RunArtifact.from_json(artifact.to_json())
+    assert restored.to_dict() == artifact.to_dict()
+    print(f"\nbarrier certificate: B(x) = W(x) - {artifact.level:.6g}")
+    print("W(x) =", artifact.certificate["w_infix"][:100])
 
-    # 5. Independent re-check of all three barrier conditions.
+    # 3. In-process runs also keep the live report + certificate object;
+    #    independently re-check all three barrier conditions.
+    certificate = artifact.report.certificate
     check = certificate.verify()
     print(
         "\nre-verification:",
@@ -76,8 +58,9 @@ def main() -> None:
     )
     assert check.all_unsat, "certificate failed re-verification"
 
-    # 6. The certificate is a *proof*, but sanity-check with simulation:
+    # 4. The certificate is a *proof*, but sanity-check with simulation:
     #    a trajectory from an X0 corner must stay inside the level set.
+    system = api.get_scenario("dubins").system_factory()
     trace = system.simulator().simulate(
         np.array([1.0, math.pi / 16]), duration=20.0, dt=0.05
     )

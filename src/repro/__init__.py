@@ -7,8 +7,21 @@ path-following controller with CMA-ES, then *prove* unbounded-time
 safety of the closed loop by synthesizing a barrier certificate from
 simulations (LP) and verifying it with a δ-SAT interval solver.
 
+The public entry point is :mod:`repro.api`::
+
+    from repro import api
+
+    artifact = api.run("dubins")          # any registered scenario
+    assert artifact.verified
+    print(artifact.to_json(indent=2))     # JSON-round-trippable record
+
 Subpackages
 -----------
+``repro.api``        public surface: :class:`~repro.api.Scenario`
+                     registry, the named-stage
+                     :class:`~repro.api.VerificationPipeline`, and the
+                     :func:`~repro.api.run` / :func:`~repro.api.run_batch`
+                     (process-parallel) runners
 ``repro.expr``       symbolic expressions (eval / intervals / autodiff / tapes)
 ``repro.intervals``  sound interval arithmetic
 ``repro.smt``        branch-and-prune δ-SAT solver (the dReal stand-in)
@@ -20,7 +33,17 @@ Subpackages
 ``repro.experiments`` drivers regenerating every table and figure
 """
 
-from . import barrier, dynamics, expr, intervals, learning, nn, reach, sim, smt
+from . import api, barrier, dynamics, expr, intervals, learning, nn, reach, sim, smt
+from .api import (
+    RunArtifact,
+    Scenario,
+    VerificationPipeline,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run,
+    run_batch,
+)
 from .barrier import (
     BarrierCertificate,
     Rectangle,
@@ -36,7 +59,7 @@ from .errors import ReproError
 from .learning import proportional_controller_network, train_paper_controller
 from .nn import FeedforwardNetwork, controller_network
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BarrierCertificate",
@@ -44,21 +67,30 @@ __all__ = [
     "Rectangle",
     "RectangleComplement",
     "ReproError",
+    "RunArtifact",
+    "Scenario",
     "SynthesisConfig",
     "SynthesisReport",
     "SynthesisStatus",
+    "VerificationPipeline",
     "VerificationProblem",
     "__version__",
+    "api",
     "barrier",
     "controller_network",
     "dynamics",
     "error_dynamics_system",
     "expr",
+    "get_scenario",
     "intervals",
     "learning",
+    "list_scenarios",
     "nn",
-    "reach",
     "proportional_controller_network",
+    "reach",
+    "register_scenario",
+    "run",
+    "run_batch",
     "sim",
     "smt",
     "train_paper_controller",

@@ -1,0 +1,73 @@
+"""Public entry point: scenarios, pipeline, and batch runner.
+
+The five-line quickstart::
+
+    from repro import api
+
+    artifact = api.run("dubins")
+    print(artifact.status, artifact.level)
+    print(artifact.to_json(indent=2))
+
+Modules
+-------
+``repro.api.scenario``  :class:`Scenario` + the string-keyed registry
+                        (pre-populated: ``dubins``, ``linear``,
+                        ``double-integrator``, ``pendulum``,
+                        ``vanderpol``)
+``repro.api.pipeline``  :class:`VerificationPipeline` — the Figure-1
+                        procedure with named, hookable stages
+``repro.api.runner``    :func:`run` / :func:`run_batch` +
+                        :class:`RunArtifact` (JSON round-trippable)
+"""
+
+from .pipeline import (
+    PIPELINE_STAGES,
+    PipelineRun,
+    StageEvent,
+    VerificationPipeline,
+)
+from .runner import RunArtifact, run, run_batch
+from .scenario import (
+    EPSILON,
+    GAMMA,
+    SPEED,
+    Scenario,
+    case_study_controller,
+    dubins_scenario,
+    get_scenario,
+    list_scenarios,
+    paper_initial_set,
+    paper_problem,
+    paper_unsafe_set,
+    register_scenario,
+    scenario_names,
+    synthesis_config_from_dict,
+    synthesis_config_to_dict,
+    unregister_scenario,
+)
+
+__all__ = [
+    "EPSILON",
+    "GAMMA",
+    "PIPELINE_STAGES",
+    "PipelineRun",
+    "RunArtifact",
+    "SPEED",
+    "Scenario",
+    "StageEvent",
+    "VerificationPipeline",
+    "case_study_controller",
+    "dubins_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "paper_initial_set",
+    "paper_problem",
+    "paper_unsafe_set",
+    "register_scenario",
+    "run",
+    "run_batch",
+    "scenario_names",
+    "synthesis_config_from_dict",
+    "synthesis_config_to_dict",
+    "unregister_scenario",
+]

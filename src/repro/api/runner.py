@@ -1,0 +1,250 @@
+"""Run scenarios — singly or as a process-parallel batch.
+
+:func:`run` executes one scenario through the
+:class:`~repro.api.pipeline.VerificationPipeline` and returns a
+:class:`RunArtifact`: a JSON-round-trippable record of the outcome
+(status, certificate data, per-stage timings, config).  :func:`run_batch`
+fans a list of scenarios out over worker processes with
+:mod:`concurrent.futures`, preserving input order and converting
+per-scenario failures into error artifacts instead of aborting the
+batch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..barrier import SynthesisConfig, SynthesisReport
+from ..expr import to_infix
+from .pipeline import ProgressCallback, VerificationPipeline
+from .scenario import (
+    Scenario,
+    get_scenario,
+    synthesis_config_from_dict,
+    synthesis_config_to_dict,
+)
+
+__all__ = ["RunArtifact", "run", "run_batch"]
+
+#: artifact schema version (bump on incompatible field changes)
+ARTIFACT_VERSION = 1
+
+
+@dataclass
+class RunArtifact:
+    """JSON-serializable record of one verification run.
+
+    ``report`` keeps the in-process :class:`SynthesisReport` (with the
+    live certificate object) when available; it is dropped by
+    serialization and by cross-process transport — everything else
+    round-trips through :meth:`to_json` / :meth:`from_json` losslessly.
+    """
+
+    scenario: str
+    status: str
+    verified: bool
+    level: float | None = None
+    candidate_iterations: int = 0
+    levelset_iterations: int = 0
+    traces_used: int = 0
+    counterexamples: int = 0
+    lp_seconds: float = 0.0
+    query_seconds: float = 0.0
+    generator_seconds: float = 0.0
+    other_seconds: float = 0.0
+    total_seconds: float = 0.0
+    #: cumulative wall seconds per pipeline stage
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: flattened SynthesisConfig the run used
+    config: dict = field(default_factory=dict)
+    #: proven barrier data: level, gamma, coefficients, W(x) as infix
+    certificate: dict | None = None
+    #: traceback-free error message for failed batch entries
+    error: str | None = None
+    version: int = ARTIFACT_VERSION
+    #: in-process only; never serialized
+    report: SynthesisReport | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def synthesis_config(self) -> SynthesisConfig:
+        """The run's config, reconstructed from the flattened dict."""
+        return synthesis_config_from_dict(self.config)
+
+    def to_dict(self) -> dict:
+        """Plain-data view (everything except the live report)."""
+        data = {}
+        for spec in dataclasses.fields(self):
+            if spec.name == "report":
+                continue
+            value = getattr(self, spec.name)
+            data[spec.name] = dict(value) if isinstance(value, dict) else value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunArtifact":
+        """Rebuild an artifact from :meth:`to_dict` output."""
+        known = {f for f in cls.__dataclass_fields__ if f != "report"}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunArtifact":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+def _artifact_from_run(
+    scenario: Scenario, config: SynthesisConfig, pipeline_run
+) -> RunArtifact:
+    report = pipeline_run.report
+    certificate = None
+    if report.certificate is not None:
+        cert = report.certificate
+        certificate = {
+            "level": cert.level,
+            "gamma": cert.gamma,
+            "coefficients": (
+                None
+                if cert.coefficients is None
+                else [float(c) for c in cert.coefficients]
+            ),
+            "w_infix": to_infix(cert.w_expr),
+        }
+    return RunArtifact(
+        scenario=scenario.name,
+        status=report.status.value,
+        verified=report.verified,
+        level=report.level,
+        candidate_iterations=report.candidate_iterations,
+        levelset_iterations=report.levelset_iterations,
+        traces_used=report.traces_used,
+        counterexamples=len(report.counterexamples),
+        lp_seconds=report.lp_seconds,
+        query_seconds=report.query_seconds,
+        generator_seconds=report.generator_seconds,
+        other_seconds=report.other_seconds,
+        total_seconds=report.total_seconds,
+        stage_seconds=dict(report.stage_seconds),
+        config=synthesis_config_to_dict(config),
+        certificate=certificate,
+        report=report,
+    )
+
+
+def run(
+    scenario: "str | Scenario",
+    config: SynthesisConfig | None = None,
+    progress: ProgressCallback | None = None,
+) -> RunArtifact:
+    """Verify one scenario (by registry name or object).
+
+    ``config`` overrides the scenario's bundled config for this run.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    effective = config or scenario.config
+    pipeline = VerificationPipeline(config=effective, progress=progress)
+    outcome = pipeline.run(scenario.problem())
+    return _artifact_from_run(scenario, effective, outcome)
+
+
+def _execute(
+    scenario: Scenario,
+    config: SynthesisConfig | None,
+    strip_report: bool,
+) -> RunArtifact:
+    """Batch worker: never raises — failures become error artifacts."""
+    name = scenario.name
+    try:
+        artifact = run(scenario, config=config)
+    except Exception as exc:  # noqa: BLE001 — one bad scenario must not kill the batch
+        artifact = RunArtifact(
+            scenario=name,
+            status="error",
+            verified=False,
+            error=f"{type(exc).__name__}: {exc}",
+            config={} if config is None else synthesis_config_to_dict(config),
+        )
+    if strip_report:
+        # SynthesisReport holds compiled tapes and solver state that have
+        # no business crossing a process boundary; the artifact's plain
+        # fields carry everything a batch consumer needs.
+        artifact.report = None
+    return artifact
+
+
+def _as_scenarios(scenarios: Sequence["str | Scenario"]) -> list[Scenario]:
+    """Resolve names eagerly (fail fast on unknown names, before any
+    fan-out).  Workers always receive Scenario objects: user-registered
+    names exist only in the parent's registry, which spawn-started
+    workers do not inherit."""
+    resolved: list[Scenario] = []
+    for item in scenarios:
+        if isinstance(item, str):
+            resolved.append(get_scenario(item))
+        elif isinstance(item, Scenario):
+            resolved.append(item)
+        else:
+            raise TypeError(
+                f"expected scenario name or Scenario, got {type(item).__name__}"
+            )
+    return resolved
+
+
+def run_batch(
+    scenarios: Sequence["str | Scenario"],
+    workers: int | None = None,
+    config: SynthesisConfig | None = None,
+) -> list[RunArtifact]:
+    """Verify many scenarios, process-parallel, preserving input order.
+
+    ``workers=None`` picks ``min(len(scenarios), cpu_count)``;
+    ``workers=1`` runs serially in-process (artifacts then keep their
+    live ``report``).  Scenarios that cannot be pickled into a worker
+    (e.g. lambda factories) fall back to in-process execution.
+    """
+    resolved = _as_scenarios(scenarios)
+    if not resolved:
+        return []
+    if workers is None:
+        workers = min(len(resolved), os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(resolved) == 1:
+        return [
+            _execute(scenario, config, strip_report=False)
+            for scenario in resolved
+        ]
+
+    picklable: list[bool] = []
+    for scenario in resolved:
+        try:
+            pickle.dumps(scenario)
+            picklable.append(True)
+        except Exception:  # noqa: BLE001 — unpicklable scenarios run inline
+            picklable.append(False)
+
+    results: list[RunArtifact | None] = [None] * len(resolved)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            i: pool.submit(_execute, scenario, config, True)
+            for i, (scenario, ok) in enumerate(zip(resolved, picklable))
+            if ok
+        }
+        for i, ok in enumerate(picklable):
+            if not ok:
+                results[i] = _execute(resolved[i], config, strip_report=False)
+        for i, future in futures.items():
+            results[i] = future.result()
+    return [artifact for artifact in results if artifact is not None]

@@ -47,6 +47,9 @@ from .lp import GeneratorCandidate, LpConfig, fit_generator, points_from_traces
 from .lyapunov import linearize, lyapunov_candidate, symbolic_jacobian
 from .sets import Halfspace, Rectangle, RectangleComplement, box_difference
 from .synthesis import (
+    PIPELINE_STAGES,
+    StageEvent,
+    StageObserver,
     SynthesisConfig,
     SynthesisReport,
     SynthesisStatus,
@@ -62,10 +65,13 @@ __all__ = [
     "GeneratorTemplate",
     "Halfspace",
     "LpConfig",
+    "PIPELINE_STAGES",
     "PolynomialTemplate",
     "QuadraticTemplate",
     "Rectangle",
     "RectangleComplement",
+    "StageEvent",
+    "StageObserver",
     "SynthesisConfig",
     "SynthesisReport",
     "SynthesisStatus",

@@ -18,9 +18,12 @@ seconds, other, total).
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import time
 from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
 import numpy as np
 
 from ..errors import InfeasibleLPError, LevelSetError, SynthesisError
@@ -38,7 +41,40 @@ from .lp import GeneratorCandidate, LpConfig, fit_generator, points_from_traces
 from .sets import Rectangle
 from .templates import GeneratorTemplate, QuadraticTemplate
 
-__all__ = ["SynthesisStatus", "SynthesisConfig", "SynthesisReport", "verify_system"]
+__all__ = [
+    "PIPELINE_STAGES",
+    "StageEvent",
+    "StageObserver",
+    "SynthesisStatus",
+    "SynthesisConfig",
+    "SynthesisReport",
+    "verify_system",
+]
+
+#: the named stages of the Figure-1 procedure, in execution order:
+#: ``seed-sim`` (trace generation, incl. counterexample traces),
+#: ``lp-fit`` (candidate generation), ``smt-check`` (check (5)),
+#: ``level-set`` (level selection incl. checks (6)/(7)).
+PIPELINE_STAGES = ("seed-sim", "lp-fit", "smt-check", "level-set")
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One boundary of a named pipeline stage.
+
+    ``kind`` is ``"start"`` or ``"end"``; ``iteration`` is the candidate
+    iteration the stage belongs to (0 for pre-loop work); ``seconds`` is
+    the stage's elapsed wall time (end events only).
+    """
+
+    stage: str
+    kind: str
+    iteration: int = 0
+    seconds: float = 0.0
+
+
+#: callback receiving a :class:`StageEvent` at each stage boundary
+StageObserver = Callable[[StageEvent], None]
 
 
 class SynthesisStatus(enum.Enum):
@@ -107,6 +143,8 @@ class SynthesisReport:
     #: seconds in everything else (simulation, level set, checks 6-7)
     other_seconds: float = 0.0
     total_seconds: float = 0.0
+    #: cumulative wall seconds per named pipeline stage (PIPELINE_STAGES)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
     traces_used: int = 0
     counterexamples: list[np.ndarray] = field(default_factory=list)
     #: final verdicts of the three conditions (None if never reached)
@@ -131,12 +169,41 @@ class SynthesisReport:
         }
 
 
+class _StageClock:
+    """Times named stage regions, accumulating into the report and
+    notifying the observer at each boundary."""
+
+    def __init__(self, report: SynthesisReport, observer: StageObserver | None):
+        self._report = report
+        self._observer = observer
+
+    @contextlib.contextmanager
+    def __call__(self, stage: str, iteration: int = 0) -> Iterator[None]:
+        if self._observer is not None:
+            self._observer(StageEvent(stage, "start", iteration))
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            seconds = self._report.stage_seconds
+            seconds[stage] = seconds.get(stage, 0.0) + elapsed
+            if self._observer is not None:
+                self._observer(StageEvent(stage, "end", iteration, elapsed))
+
+
 def verify_system(
     problem: VerificationProblem,
     template: GeneratorTemplate | None = None,
     config: SynthesisConfig | None = None,
+    observer: StageObserver | None = None,
 ) -> SynthesisReport:
-    """Run the full Figure-1 procedure on a verification problem."""
+    """Run the full Figure-1 procedure on a verification problem.
+
+    ``observer`` (optional) receives a :class:`StageEvent` at the start
+    and end of every named stage — the hook behind
+    :class:`repro.api.VerificationPipeline`'s progress callbacks.
+    """
     config = config or SynthesisConfig()
     system = problem.system
     template = template or QuadraticTemplate(system.dimension)
@@ -149,11 +216,13 @@ def verify_system(
         candidate=None,
         level=None,
     )
+    stage = _StageClock(report, observer)
 
     # ------------------------------------------------------------------
     # Stage 1: seed traces Φs.
     # ------------------------------------------------------------------
-    traces = _seed_traces(problem, config, rng)
+    with stage("seed-sim"):
+        traces = _seed_traces(problem, config, rng)
     report.traces_used = len(traces)
 
     # ------------------------------------------------------------------
@@ -168,10 +237,12 @@ def verify_system(
     generator_t0 = time.perf_counter()
 
     if config.try_lyapunov_first and isinstance(template, QuadraticTemplate):
-        candidate = _try_lyapunov_candidate(problem, config, report)
+        with stage("lp-fit"):
+            candidate = _try_lyapunov_candidate(problem, config, report)
         if candidate is not None:
             report.generator_seconds = time.perf_counter() - generator_t0
-            level = _select_level(candidate, problem, config, report, template)
+            with stage("level-set"):
+                level = _select_level(candidate, problem, config, report, template)
             if level is not None:
                 report.level = level
                 report.status = SynthesisStatus.VERIFIED
@@ -193,26 +264,31 @@ def verify_system(
 
     for iteration in range(1, config.max_candidate_iterations + 1):
         report.candidate_iterations = iteration
-        points = points_from_traces(traces)
-        lp_t0 = time.perf_counter()
-        try:
-            candidate = fit_generator(
-                template, points, system, config.lp, separation=separation
-            )
-        except InfeasibleLPError:
-            report.lp_seconds += time.perf_counter() - lp_t0
+        with stage("lp-fit", iteration):
+            points = points_from_traces(traces)
+            lp_t0 = time.perf_counter()
+            try:
+                candidate = fit_generator(
+                    template, points, system, config.lp, separation=separation
+                )
+            except InfeasibleLPError:
+                report.lp_seconds += time.perf_counter() - lp_t0
+                candidate = None
+            else:
+                report.lp_seconds += time.perf_counter() - lp_t0
+        if candidate is None:
             report.status = SynthesisStatus.NO_CANDIDATE
             _finalize(report, t_start, generator_t0)
             return report
-        report.lp_seconds += time.perf_counter() - lp_t0
 
-        query_t0 = time.perf_counter()
-        result5 = check_exists_on_boxes(
-            condition5_subproblems(candidate.expression, problem, config.gamma),
-            names,
-            config.icp,
-        )
-        report.query_seconds += time.perf_counter() - query_t0
+        with stage("smt-check", iteration):
+            query_t0 = time.perf_counter()
+            result5 = check_exists_on_boxes(
+                condition5_subproblems(candidate.expression, problem, config.gamma),
+                names,
+                config.icp,
+            )
+            report.query_seconds += time.perf_counter() - query_t0
         report.final_check5 = result5
 
         if result5.verdict is Verdict.UNSAT:
@@ -224,7 +300,8 @@ def verify_system(
         # δ-SAT: counterexample -> new trace Φf -> refined LP.
         witness = result5.witness
         report.counterexamples.append(witness)
-        traces.append(_simulate_from(problem, witness, config))
+        with stage("seed-sim", iteration):
+            traces.append(_simulate_from(problem, witness, config))
         report.traces_used = len(traces)
         candidate = None
     else:
@@ -237,7 +314,8 @@ def verify_system(
     # ------------------------------------------------------------------
     # Stage 4: level-set selection + checks (6) and (7).
     # ------------------------------------------------------------------
-    level = _select_level(candidate, problem, config, report, template)
+    with stage("level-set"):
+        level = _select_level(candidate, problem, config, report, template)
     if level is None:
         _finalize(report, t_start, generator_t0)
         return report

@@ -2,8 +2,11 @@
 
 Commands
 --------
-verify    run the Figure-1 verification on a controller (hand-built,
-          trained on the fly, or loaded from JSON)
+scenarios list the registered verification scenarios
+verify    run the Figure-1 verification on a registered scenario
+          (``--scenario``) or on the paper's Dubins case study with a
+          hand-built, trained, or JSON-loaded controller
+batch     verify several scenarios in parallel worker processes
 train     CMA-ES policy search; optionally save the controller
 falsify   simulation-based falsification baseline on the same problem
 table1    regenerate Table 1
@@ -21,18 +24,35 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Barrier-certificate verification of NN-controlled CPS "
         "(reproduction of Tuncali et al., DAC 2018)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_verify = sub.add_parser("verify", help="verify a controller")
+    sub.add_parser("scenarios", help="list registered scenarios")
+
+    p_verify = sub.add_parser("verify", help="verify a controller or scenario")
+    p_verify.add_argument(
+        "--scenario", type=str, default="",
+        help="registered scenario name (see `repro scenarios`); overrides "
+        "the controller flags below",
+    )
+    # None = "not given": lets --scenario runs keep their bundled config
+    # while an explicit flag (even at its default value) always wins.
     p_verify.add_argument("--neurons", type=int, default=10)
-    p_verify.add_argument("--seed", type=int, default=0)
-    p_verify.add_argument("--delta", type=float, default=1e-3)
-    p_verify.add_argument("--gamma", type=float, default=1e-6)
+    p_verify.add_argument("--seed", type=int, default=None,
+                          help="synthesis seed (default 0)")
+    p_verify.add_argument("--delta", type=float, default=None,
+                          help="solver precision (default 1e-3)")
+    p_verify.add_argument("--gamma", type=float, default=None,
+                          help="Lie-derivative slack (default 1e-6)")
     p_verify.add_argument(
         "--controller", type=str, default="",
         help="JSON file of a saved controller (default: hand-built)",
@@ -40,6 +60,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument(
         "--trained", action="store_true",
         help="train with CMA-ES before verifying",
+    )
+    p_verify.add_argument(
+        "--json", type=str, default="", metavar="FILE",
+        help="also write the RunArtifact as JSON",
+    )
+
+    p_batch = sub.add_parser(
+        "batch", help="verify several scenarios in parallel"
+    )
+    p_batch.add_argument(
+        "names", nargs="*", metavar="SCENARIO",
+        help="scenario names (default: every registered scenario)",
+    )
+    p_batch.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: min(#scenarios, cpu count))",
+    )
+    p_batch.add_argument(
+        "--json", type=str, default="", metavar="FILE",
+        help="write the list of RunArtifacts as JSON",
     )
 
     p_train = sub.add_parser("train", help="CMA-ES policy search")
@@ -69,6 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="hidden-layer widths (default: the paper's 12)",
     )
     p_table1.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+    p_table1.add_argument(
+        "--workers", type=int, default=1,
+        help="parallelize the (width, seed) runs over worker processes",
+    )
 
     p_fig4 = sub.add_parser("figure4", help="regenerate Figure 4 metrics")
     p_fig4.add_argument("--neurons", type=int, default=10)
@@ -82,33 +126,103 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_artifact(artifact) -> None:
+    print(f"status: {artifact.status}")
+    print(f"candidate iterations: {artifact.candidate_iterations}")
+    print(
+        f"time: LP {artifact.lp_seconds:.2f}s, SMT {artifact.query_seconds:.2f}s, "
+        f"other {artifact.other_seconds:.2f}s, total {artifact.total_seconds:.2f}s"
+    )
+    if artifact.stage_seconds:
+        stages = ", ".join(
+            f"{name} {seconds:.2f}s"
+            for name, seconds in artifact.stage_seconds.items()
+        )
+        print(f"stages: {stages}")
+    if artifact.verified:
+        print(f"barrier level: {artifact.level:.6g}")
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .api import list_scenarios
+
+    scenarios = list_scenarios()
+    width = max(len(s.name) for s in scenarios)
+    for scenario in scenarios:
+        tags = f" [{','.join(scenario.tags)}]" if scenario.tags else ""
+        print(
+            f"{scenario.name:<{width}}  {scenario.dimension}D{tags}  "
+            f"{scenario.description}"
+        )
+    print(f"\n{len(scenarios)} scenarios registered")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from .barrier import SynthesisConfig, verify_system
-    from .experiments import case_study_controller, paper_problem
+    import dataclasses
+
+    from .api import dubins_scenario, get_scenario, run
+    from .barrier import SynthesisConfig
     from .nn import load_network
     from .smt import IcpConfig
 
-    if args.controller:
-        network = load_network(args.controller)
+    if args.scenario:
+        # Start from the scenario's bundled config (it may be load-bearing)
+        # and apply only the flags the user actually passed.
+        scenario = get_scenario(args.scenario)
+        config = scenario.config
+        overrides = {}
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.gamma is not None:
+            overrides["gamma"] = args.gamma
+        if args.delta is not None:
+            overrides["icp"] = dataclasses.replace(config.icp, delta=args.delta)
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
     else:
-        network = case_study_controller(
-            args.neurons, trained=args.trained, seed=args.seed
+        seed = 0 if args.seed is None else args.seed
+        if args.controller:
+            scenario = dubins_scenario(network=load_network(args.controller))
+        else:
+            scenario = dubins_scenario(
+                hidden_neurons=args.neurons, trained=args.trained, seed=seed
+            )
+        config = SynthesisConfig(
+            seed=seed,
+            gamma=1e-6 if args.gamma is None else args.gamma,
+            icp=IcpConfig(delta=1e-3 if args.delta is None else args.delta),
         )
-    problem = paper_problem(network)
-    config = SynthesisConfig(
-        seed=args.seed, gamma=args.gamma, icp=IcpConfig(delta=args.delta)
-    )
-    report = verify_system(problem, config=config)
-    print(f"status: {report.status.value}")
-    print(f"candidate iterations: {report.candidate_iterations}")
-    print(
-        f"time: LP {report.lp_seconds:.2f}s, SMT {report.query_seconds:.2f}s, "
-        f"other {report.other_seconds:.2f}s, total {report.total_seconds:.2f}s"
-    )
-    if report.verified:
-        print(f"barrier level: {report.level:.6g}")
-        return 0
-    return 1
+    artifact = run(scenario, config=config)
+    _print_artifact(artifact)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(artifact.to_json(indent=2))
+        print(f"artifact written to {args.json}")
+    return 0 if artifact.verified else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from .api import run_batch, scenario_names
+
+    names = list(args.names) if args.names else list(scenario_names())
+    artifacts = run_batch(names, workers=args.workers)
+    width = max(len(a.scenario) for a in artifacts)
+    for artifact in artifacts:
+        level = f"level {artifact.level:.6g}" if artifact.verified else ""
+        error = f" ({artifact.error})" if artifact.error else ""
+        print(
+            f"{artifact.scenario:<{width}}  {artifact.status:<14} "
+            f"{artifact.total_seconds:7.2f}s  {level}{error}"
+        )
+    if args.json:
+        payload = json.dumps([a.to_dict() for a in artifacts], indent=2)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"artifacts written to {args.json}")
+    return 0 if all(a.verified for a in artifacts) else 1
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -146,8 +260,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_falsify(args: argparse.Namespace) -> int:
+    from .api import paper_problem
     from .barrier.falsify import falsify_cmaes, falsify_random
-    from .experiments import paper_problem
     from .learning import proportional_controller_network
 
     gain = -1.0 if args.unsafe_controller else 1.0
@@ -175,7 +289,9 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     from .experiments import PAPER_NEURON_COUNTS, format_table1, run_table1
 
     widths = tuple(args.widths) if args.widths else PAPER_NEURON_COUNTS
-    rows = run_table1(neuron_counts=widths, seeds=tuple(args.seeds))
+    rows = run_table1(
+        neuron_counts=widths, seeds=tuple(args.seeds), workers=args.workers
+    )
     print(format_table1(rows))
     return 0
 
@@ -205,7 +321,9 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "scenarios": _cmd_scenarios,
     "verify": _cmd_verify,
+    "batch": _cmd_batch,
     "train": _cmd_train,
     "falsify": _cmd_falsify,
     "table1": _cmd_table1,

@@ -18,15 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..api import VerificationPipeline, dubins_scenario, run
 from ..barrier import (
     PolynomialTemplate,
     QuadraticTemplate,
     SynthesisConfig,
-    verify_system,
 )
 from ..learning import proportional_controller_network
 from ..smt import IcpConfig
-from .setup import case_study_controller, paper_problem
 
 __all__ = [
     "AblationRow",
@@ -67,12 +66,12 @@ def run_delta_sweep(
     seed: int = 0,
 ) -> list[AblationRow]:
     """Verification outcome vs solver precision δ."""
-    problem = paper_problem(case_study_controller(hidden_neurons))
+    scenario = dubins_scenario(hidden_neurons=hidden_neurons)
     rows = []
     for delta in deltas:
         config = SynthesisConfig(seed=seed, icp=IcpConfig(delta=delta))
-        report = verify_system(problem, config=config)
-        rows.append(_row(f"delta={delta:g}", report))
+        artifact = run(scenario, config=config)
+        rows.append(_row(f"delta={delta:g}", artifact.report))
     return rows
 
 
@@ -86,7 +85,7 @@ def run_template_comparison(
     the ablation documents exactly where the paper's quadratic choice
     is load-bearing.
     """
-    problem = paper_problem(case_study_controller(hidden_neurons))
+    problem = dubins_scenario(hidden_neurons=hidden_neurons).problem()
     templates = [
         ("quadratic", QuadraticTemplate(2)),
         ("quadratic+linear", QuadraticTemplate(2, include_linear=True)),
@@ -97,8 +96,8 @@ def run_template_comparison(
         # Non-quadratic templates cannot pass level-set selection (no
         # closed-form geometry); cap the CEX loop so the sweep stays fast.
         config = SynthesisConfig(seed=seed, max_candidate_iterations=3)
-        report = verify_system(problem, template=template, config=config)
-        rows.append(_row(label, report))
+        pipeline = VerificationPipeline(template=template, config=config)
+        rows.append(_row(label, pipeline.run(problem).report))
     return rows
 
 
@@ -108,12 +107,12 @@ def run_trace_count_sweep(
     seed: int = 0,
 ) -> list[AblationRow]:
     """Seed-trace count vs candidate iterations (CEX refinements)."""
-    problem = paper_problem(case_study_controller(hidden_neurons))
+    scenario = dubins_scenario(hidden_neurons=hidden_neurons)
     rows = []
     for count in trace_counts:
         config = SynthesisConfig(seed=seed, num_seed_traces=count)
-        report = verify_system(problem, config=config)
-        rows.append(_row(f"traces={count}", report))
+        artifact = run(scenario, config=config)
+        rows.append(_row(f"traces={count}", artifact.report))
     return rows
 
 
@@ -136,9 +135,9 @@ def run_activation_comparison(
             # logsig(0) = 0.5: cancel the offset through the output bias.
             output = network.layers[-1]
             output.biases = output.biases - 0.5 * output.weights.sum(axis=1)
-        problem = paper_problem(network)
-        report = verify_system(problem, config=SynthesisConfig(seed=seed))
-        rows.append(_row(f"activation={name}", report))
+        scenario = dubins_scenario(network=network, name=f"dubins-{name}")
+        artifact = run(scenario, config=SynthesisConfig(seed=seed))
+        rows.append(_row(f"activation={name}", artifact.report))
     return rows
 
 

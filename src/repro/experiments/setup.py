@@ -1,23 +1,21 @@
-"""Canonical case-study setup shared by all experiments.
+"""Canonical case-study setup (Section 4.3 constants).
 
-Collects the constants of Section 4.3 in one place:
-
-* ``X0`` — rectangle with diagonal corners ``(-1, -pi/16)`` and
-  ``(1, pi/16)``;
-* ``U`` — complement of the rectangle with corners
-  ``(-5, -(pi/2 - eps))`` and ``(5, pi/2 - eps)``;
-* ``gamma = 1e-6`` for the Lie-derivative slack;
-* speed ``V = 1`` and a straight-line target path.
+The definitions moved to :mod:`repro.api.scenario` — the single public
+home of scenario setup — and are re-exported here so existing imports
+(``from repro.experiments.setup import paper_problem``) keep working.
 """
 
 from __future__ import annotations
 
-import math
-
-from ..barrier import Rectangle, RectangleComplement, VerificationProblem
-from ..dynamics import error_dynamics_system
-from ..learning import proportional_controller_network, train_paper_controller
-from ..nn import FeedforwardNetwork
+from ..api.scenario import (
+    EPSILON,
+    GAMMA,
+    SPEED,
+    case_study_controller,
+    paper_initial_set,
+    paper_problem,
+    paper_unsafe_set,
+)
 
 __all__ = [
     "EPSILON",
@@ -28,60 +26,3 @@ __all__ = [
     "paper_problem",
     "case_study_controller",
 ]
-
-#: the paper's unsafe-set shrink parameter (U excludes a strip below pi/2)
-EPSILON = 0.1
-#: Lie-derivative slack of Eq. (5)
-GAMMA = 1.0e-6
-#: constant vehicle speed V
-SPEED = 1.0
-
-
-def paper_initial_set() -> Rectangle:
-    """``X0 = [-1, 1] x [-pi/16, pi/16]``."""
-    return Rectangle([-1.0, -math.pi / 16.0], [1.0, math.pi / 16.0])
-
-
-def paper_unsafe_set(epsilon: float = EPSILON) -> RectangleComplement:
-    """``U`` = outside ``[-5, 5] x [-(pi/2 - eps), pi/2 - eps]``."""
-    bound = math.pi / 2.0 - epsilon
-    return RectangleComplement(Rectangle([-5.0, -bound], [5.0, bound]))
-
-
-def paper_problem(
-    network: FeedforwardNetwork,
-    speed: float = SPEED,
-    epsilon: float = EPSILON,
-) -> VerificationProblem:
-    """The full verification problem for a given controller network."""
-    system = error_dynamics_system(network, speed=speed)
-    return VerificationProblem(
-        system,
-        initial_set=paper_initial_set(),
-        unsafe_set=paper_unsafe_set(epsilon),
-    )
-
-
-def case_study_controller(
-    hidden_neurons: int,
-    trained: bool = False,
-    seed: int = 0,
-    train_iterations: int = 25,
-    train_population: int = 16,
-) -> FeedforwardNetwork:
-    """A controller of the requested width.
-
-    ``trained=False`` (default) returns the deterministic hand-built
-    saturating-proportional network — verification cost depends only on
-    width, which is the Table 1 axis.  ``trained=True`` runs the paper's
-    CMA-ES policy search first (slow for large widths).
-    """
-    if not trained:
-        return proportional_controller_network(hidden_neurons)
-    result = train_paper_controller(
-        hidden_neurons=hidden_neurons,
-        seed=seed,
-        population_size=train_population,
-        max_iterations=train_iterations,
-    )
-    return result.network

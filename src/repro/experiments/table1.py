@@ -24,9 +24,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..barrier import SynthesisConfig, SynthesisStatus, verify_system
+from ..api import case_study_controller, dubins_scenario, run_batch
+from ..barrier import SynthesisConfig
 from ..smt import IcpConfig
-from .setup import case_study_controller, paper_problem
 
 __all__ = ["PAPER_NEURON_COUNTS", "Table1Row", "run_table1", "format_table1"]
 
@@ -54,38 +54,59 @@ def run_table1(
     seeds: Sequence[int] = (0, 1, 2),
     trained: bool = False,
     delta: float = 1e-3,
+    workers: int = 1,
 ) -> list[Table1Row]:
-    """Regenerate Table 1.
+    """Regenerate Table 1 through :mod:`repro.api`.
 
     Each (width, seed) pair runs the complete synthesis procedure; the
     seed drives the random seed-trace sampling, mirroring the paper's
     "each experiment uses a unique seed to generate the initial
-    simulations".
+    simulations".  ``workers > 1`` fans the runs out over worker
+    processes via :func:`repro.api.run_batch` — timing columns then
+    reflect per-run wall clock under whatever core contention the fan-out
+    creates, so keep ``workers=1`` for paper-comparable numbers.
     """
+    # The per-run seed drives only the synthesis (seed-trace sampling):
+    # each width uses one controller across all seeds.  Trained
+    # controllers are built here, in the parent, so worker processes
+    # never repeat the expensive CMA-ES search.
+    networks = {
+        neurons: case_study_controller(neurons, trained=trained)
+        for neurons in neuron_counts
+    }
+    scenarios = [
+        dubins_scenario(
+            network=networks[neurons],
+            config=SynthesisConfig(seed=seed, icp=IcpConfig(delta=delta)),
+            name=f"dubins-nh{neurons}-seed{seed}",
+        )
+        for neurons in neuron_counts
+        for seed in seeds
+    ]
+    artifacts = run_batch(scenarios, workers=max(1, workers))
+    failed = [a for a in artifacts if a.error]
+    if failed:
+        details = "; ".join(f"{a.scenario}: {a.error}" for a in failed)
+        raise RuntimeError(f"table1 runs failed — {details}")
     rows = []
-    for neurons in neuron_counts:
-        network = case_study_controller(neurons, trained=trained)
-        problem = paper_problem(network)
-        reports = []
-        for seed in seeds:
-            config = SynthesisConfig(seed=seed, icp=IcpConfig(delta=delta))
-            reports.append(verify_system(problem, config=config))
-        verified = [r for r in reports if r.status is SynthesisStatus.VERIFIED]
+    per_width = len(seeds)
+    for i, neurons in enumerate(neuron_counts):
+        group = artifacts[i * per_width : (i + 1) * per_width]
         rows.append(
             Table1Row(
                 neurons=neurons,
                 avg_iterations=float(
-                    np.mean([r.candidate_iterations for r in reports])
+                    np.mean([a.candidate_iterations for a in group])
                 ),
-                lp_seconds=float(np.mean([r.lp_seconds for r in reports])),
-                query_seconds=float(np.mean([r.query_seconds for r in reports])),
+                lp_seconds=float(np.mean([a.lp_seconds for a in group])),
+                query_seconds=float(np.mean([a.query_seconds for a in group])),
                 generator_seconds=float(
-                    np.mean([r.generator_seconds for r in reports])
+                    np.mean([a.generator_seconds for a in group])
                 ),
-                other_seconds=float(np.mean([r.other_seconds for r in reports])),
-                total_seconds=float(np.mean([r.total_seconds for r in reports])),
-                verified_fraction=len(verified) / len(reports),
-                runs=len(reports),
+                other_seconds=float(np.mean([a.other_seconds for a in group])),
+                total_seconds=float(np.mean([a.total_seconds for a in group])),
+                verified_fraction=sum(a.verified for a in group) / len(group),
+                runs=len(group),
             )
         )
     return rows

@@ -1,0 +1,78 @@
+"""VerificationPipeline: staged execution, timings, progress hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    PIPELINE_STAGES,
+    StageEvent,
+    VerificationPipeline,
+    get_scenario,
+)
+from repro.barrier import SynthesisConfig, verify_system
+
+
+@pytest.fixture(scope="module")
+def linear_run():
+    scenario = get_scenario("linear")
+    pipeline = VerificationPipeline(config=SynthesisConfig(seed=0))
+    return pipeline.run(scenario.problem())
+
+
+class TestPipelineRun:
+    def test_verifies(self, linear_run):
+        assert linear_run.verified
+        assert linear_run.report.certificate is not None
+
+    def test_all_stages_timed(self, linear_run):
+        assert set(linear_run.stage_seconds) == set(PIPELINE_STAGES)
+        assert all(s >= 0.0 for s in linear_run.stage_seconds.values())
+
+    def test_stage_timings_sum_to_about_total(self, linear_run):
+        tracked = sum(linear_run.stage_seconds.values())
+        assert tracked <= linear_run.total_seconds + 1e-6
+        # The four stages cover everything but bookkeeping.
+        assert tracked >= 0.8 * linear_run.total_seconds
+        assert linear_run.untracked_seconds == pytest.approx(
+            linear_run.total_seconds - tracked, abs=1e-9
+        )
+
+    def test_events_bracketed(self, linear_run):
+        events = linear_run.events
+        assert events, "no stage events recorded"
+        assert events[0].kind == "start"
+        # starts and ends pair up per stage
+        for stage in PIPELINE_STAGES:
+            starts = [e for e in events if e.stage == stage and e.kind == "start"]
+            ends = [e for e in events if e.stage == stage and e.kind == "end"]
+            assert len(starts) == len(ends)
+            assert all(e.seconds >= 0.0 for e in ends)
+
+    def test_event_order_starts_with_seed_sim(self, linear_run):
+        assert linear_run.events[0].stage == "seed-sim"
+        assert linear_run.events[-1].stage == "level-set"
+
+
+class TestProgressCallback:
+    def test_callback_sees_every_event(self):
+        seen: list[StageEvent] = []
+        pipeline = VerificationPipeline(
+            config=SynthesisConfig(seed=0), progress=seen.append
+        )
+        result = pipeline.run(get_scenario("linear").problem())
+        assert seen == result.events
+
+
+class TestNumericalEquivalence:
+    """The pipeline is a thin wrapper: same seed -> identical outcome as
+    the plain verify_system call."""
+
+    def test_matches_verify_system(self, linear_run):
+        problem = get_scenario("linear").problem()
+        direct = verify_system(problem, config=SynthesisConfig(seed=0))
+        report = linear_run.report
+        assert direct.status == report.status
+        assert direct.level == report.level
+        assert direct.candidate_iterations == report.candidate_iterations
+        assert direct.traces_used == report.traces_used

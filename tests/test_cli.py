@@ -16,11 +16,27 @@ class TestParser:
     def test_verify_defaults(self):
         args = build_parser().parse_args(["verify"])
         assert args.neurons == 10
-        assert args.delta == 1e-3
+        # None = flag not given (so --scenario keeps its bundled config);
+        # the effective default is still delta=1e-3.
+        assert args.delta is None
+        assert args.scenario == ""
 
     def test_table1_widths(self):
         args = build_parser().parse_args(["table1", "--widths", "4", "8"])
         assert args.widths == [4, 8]
+
+    def test_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.names == []
+        assert args.workers is None
 
 
 class TestCommands:
@@ -85,3 +101,99 @@ class TestCommands:
         assert code == 0
         assert "barrier level" in out
         assert "@" in out
+
+
+class TestScenarioCommands:
+    def test_scenarios_lists_builtins(self, capsys):
+        code = main(["scenarios"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("dubins", "linear", "pendulum", "vanderpol"):
+            assert name in out
+        count = int(out.rsplit("\n", 2)[-2].split()[0])
+        assert count >= 4
+
+    def test_verify_scenario_linear(self, capsys, tmp_path):
+        out_file = tmp_path / "artifact.json"
+        code = main(["verify", "--scenario", "linear", "--json", str(out_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status: verified" in out
+        assert "stages:" in out
+        assert "barrier level" in out
+        # the written artifact JSON-round-trips
+        from repro.api import RunArtifact
+
+        artifact = RunArtifact.from_json(out_file.read_text())
+        assert artifact.scenario == "linear"
+        assert artifact.verified
+
+    def test_verify_scenario_keeps_bundled_config(self, capsys, tmp_path):
+        """Default flags must not stomp a scenario's own config."""
+        import dataclasses
+
+        from repro.api import (
+            RunArtifact,
+            get_scenario,
+            register_scenario,
+            unregister_scenario,
+        )
+        from repro.barrier import SynthesisConfig
+
+        base = get_scenario("linear")
+        custom = dataclasses.replace(
+            base, name="custom-config", config=SynthesisConfig(seed=9)
+        )
+        register_scenario(custom)
+        out_file = tmp_path / "custom.json"
+        explicit_file = tmp_path / "explicit.json"
+        try:
+            code = main(
+                ["verify", "--scenario", "custom-config", "--json", str(out_file)]
+            )
+            code2 = main(
+                ["verify", "--scenario", "custom-config", "--seed", "0",
+                 "--json", str(explicit_file)]
+            )
+        finally:
+            unregister_scenario("custom-config")
+        assert code == 0 and code2 == 0
+        artifact = RunArtifact.from_json(out_file.read_text())
+        assert artifact.config["seed"] == 9  # bundled config survived
+        explicit = RunArtifact.from_json(explicit_file.read_text())
+        assert explicit.config["seed"] == 0  # explicit flag wins, even at default
+        capsys.readouterr()
+
+    def test_verify_scenario_explicit_flag_overrides(self, capsys, tmp_path):
+        out_file = tmp_path / "seeded.json"
+        code = main(
+            ["verify", "--scenario", "linear", "--seed", "3",
+             "--json", str(out_file)]
+        )
+        assert code == 0
+        from repro.api import RunArtifact
+
+        artifact = RunArtifact.from_json(out_file.read_text())
+        assert artifact.config["seed"] == 3
+        capsys.readouterr()
+
+    def test_verify_unknown_scenario(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown scenario"):
+            main(["verify", "--scenario", "nope"])
+
+    def test_batch_named_scenarios(self, capsys, tmp_path):
+        out_file = tmp_path / "batch.json"
+        code = main(
+            ["batch", "linear", "vanderpol", "--workers", "1",
+             "--json", str(out_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "linear" in out and "vanderpol" in out
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert [entry["scenario"] for entry in payload] == ["linear", "vanderpol"]
+        assert all(entry["verified"] for entry in payload)
