@@ -22,6 +22,9 @@ Subpackages
                      :class:`~repro.api.VerificationPipeline`, and the
                      :func:`~repro.api.run` / :func:`~repro.api.run_batch`
                      (process-parallel) runners
+``repro.engine``     pluggable solver stacks: :class:`~repro.engine.Engine`
+                     registry bundling sim/LP/SMT backends (``native``,
+                     ``vectorized``, ``parallel-smt``)
 ``repro.expr``       symbolic expressions (eval / intervals / autodiff / tapes)
 ``repro.intervals``  sound interval arithmetic
 ``repro.smt``        branch-and-prune δ-SAT solver (the dReal stand-in)
@@ -33,7 +36,19 @@ Subpackages
 ``repro.experiments`` drivers regenerating every table and figure
 """
 
-from . import api, barrier, dynamics, expr, intervals, learning, nn, reach, sim, smt
+from . import (
+    api,
+    barrier,
+    dynamics,
+    engine,
+    expr,
+    intervals,
+    learning,
+    nn,
+    reach,
+    sim,
+    smt,
+)
 from .api import (
     RunArtifact,
     Scenario,
@@ -44,6 +59,7 @@ from .api import (
     run,
     run_batch,
 )
+from .engine import Engine, get_engine, list_engines, register_engine
 from .barrier import (
     BarrierCertificate,
     Rectangle,
@@ -59,10 +75,11 @@ from .errors import ReproError
 from .learning import proportional_controller_network, train_paper_controller
 from .nn import FeedforwardNetwork, controller_network
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BarrierCertificate",
+    "Engine",
     "FeedforwardNetwork",
     "Rectangle",
     "RectangleComplement",
@@ -79,15 +96,19 @@ __all__ = [
     "barrier",
     "controller_network",
     "dynamics",
+    "engine",
     "error_dynamics_system",
     "expr",
+    "get_engine",
     "get_scenario",
     "intervals",
+    "list_engines",
     "learning",
     "list_scenarios",
     "nn",
     "proportional_controller_network",
     "reach",
+    "register_engine",
     "register_scenario",
     "run",
     "run_batch",

@@ -18,15 +18,29 @@ Modules
                         procedure with named, hookable stages
 ``repro.api.runner``    :func:`run` / :func:`run_batch` +
                         :class:`RunArtifact` (JSON round-trippable)
+
+The solver-stack registry of :mod:`repro.engine` (``native`` /
+``vectorized`` / ``parallel-smt``) is re-exported here so one import
+serves both registries::
+
+    artifact = api.run("dubins", engine="vectorized")
 """
 
+from ..engine import (
+    Engine,
+    engine_names,
+    get_engine,
+    list_engines,
+    register_engine,
+    unregister_engine,
+)
 from .pipeline import (
     PIPELINE_STAGES,
     PipelineRun,
     StageEvent,
     VerificationPipeline,
 )
-from .runner import RunArtifact, run, run_batch
+from .runner import RunArtifact, derive_scenario_seed, run, run_batch
 from .scenario import (
     EPSILON,
     GAMMA,
@@ -48,6 +62,7 @@ from .scenario import (
 
 __all__ = [
     "EPSILON",
+    "Engine",
     "GAMMA",
     "PIPELINE_STAGES",
     "PipelineRun",
@@ -57,17 +72,23 @@ __all__ = [
     "StageEvent",
     "VerificationPipeline",
     "case_study_controller",
+    "derive_scenario_seed",
     "dubins_scenario",
+    "engine_names",
+    "get_engine",
     "get_scenario",
+    "list_engines",
     "list_scenarios",
     "paper_initial_set",
     "paper_problem",
     "paper_unsafe_set",
+    "register_engine",
     "register_scenario",
     "run",
     "run_batch",
     "scenario_names",
     "synthesis_config_from_dict",
     "synthesis_config_to_dict",
+    "unregister_engine",
     "unregister_scenario",
 ]

@@ -71,6 +71,10 @@ class VerificationPipeline:
     progress:
         Optional callback receiving a :class:`StageEvent` at the start
         and end of every stage.
+    engine:
+        Solver stack: a registered engine name or
+        :class:`~repro.engine.Engine`; None defers to ``config.engine``
+        (``"native"`` by default).
     """
 
     #: stage names in execution order
@@ -81,10 +85,12 @@ class VerificationPipeline:
         template: GeneratorTemplate | None = None,
         config: SynthesisConfig | None = None,
         progress: ProgressCallback | None = None,
+        engine: "str | object | None" = None,
     ):
         self.template = template
         self.config = config
         self.progress = progress
+        self.engine = engine
 
     def run(self, problem: VerificationProblem) -> PipelineRun:
         """Execute all stages on a problem and return the traced run."""
@@ -100,5 +106,6 @@ class VerificationPipeline:
             template=self.template,
             config=self.config,
             observer=observe,
+            engine=self.engine,
         )
         return PipelineRun(report=report, events=events)

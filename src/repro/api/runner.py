@@ -8,11 +8,18 @@ fans a list of scenarios out over worker processes with
 :mod:`concurrent.futures`, preserving input order and converting
 per-scenario failures into error artifacts instead of aborting the
 batch.
+
+Both accept an ``engine`` (a registered :mod:`repro.engine` name or
+:class:`~repro.engine.Engine` object) selecting the solver stack, and
+``run_batch`` additionally takes a batch-level ``seed`` from which every
+scenario derives its own deterministic synthesis seed — artifacts are
+then bit-reproducible for any ``workers`` value.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import pickle
@@ -21,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..barrier import SynthesisConfig, SynthesisReport
+from ..engine import Engine, resolve_engine
 from ..expr import to_infix
 from .pipeline import ProgressCallback, VerificationPipeline
 from .scenario import (
@@ -30,7 +38,7 @@ from .scenario import (
     synthesis_config_to_dict,
 )
 
-__all__ = ["RunArtifact", "run", "run_batch"]
+__all__ = ["RunArtifact", "derive_scenario_seed", "run", "run_batch"]
 
 #: artifact schema version (bump on incompatible field changes)
 ARTIFACT_VERSION = 1
@@ -63,6 +71,8 @@ class RunArtifact:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     #: flattened SynthesisConfig the run used
     config: dict = field(default_factory=dict)
+    #: registry name of the engine the run executed on
+    engine: str = "native"
     #: proven barrier data: level, gamma, coefficients, W(x) as infix
     certificate: dict | None = None
     #: traceback-free error message for failed batch entries
@@ -104,8 +114,20 @@ class RunArtifact:
         return cls.from_dict(json.loads(text))
 
 
+def derive_scenario_seed(run_seed: int, scenario_name: str) -> int:
+    """Deterministic per-scenario synthesis seed for a batch run.
+
+    Hash-derived (not ``run_seed + index``) so the seed depends only on
+    the batch seed and the scenario's *name* — reordering, filtering, or
+    sharding the batch never changes any scenario's seed, and no Python
+    process-level hash randomization leaks in.
+    """
+    digest = hashlib.sha256(f"{run_seed}:{scenario_name}".encode()).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
 def _artifact_from_run(
-    scenario: Scenario, config: SynthesisConfig, pipeline_run
+    scenario: Scenario, config: SynthesisConfig, pipeline_run, engine_name: str
 ) -> RunArtifact:
     report = pipeline_run.report
     certificate = None
@@ -137,37 +159,57 @@ def _artifact_from_run(
         total_seconds=report.total_seconds,
         stage_seconds=dict(report.stage_seconds),
         config=synthesis_config_to_dict(config),
+        engine=engine_name,
         certificate=certificate,
         report=report,
     )
+
+
+def _resolve_run_engine(
+    scenario: Scenario,
+    config: SynthesisConfig,
+    engine: "str | Engine | None",
+) -> Engine:
+    """Engine precedence: explicit arg > scenario override > config."""
+    spec = engine if engine is not None else scenario.engine
+    return resolve_engine(spec if spec is not None else config.engine)
 
 
 def run(
     scenario: "str | Scenario",
     config: SynthesisConfig | None = None,
     progress: ProgressCallback | None = None,
+    engine: "str | Engine | None" = None,
 ) -> RunArtifact:
     """Verify one scenario (by registry name or object).
 
     ``config`` overrides the scenario's bundled config for this run.
+    The solver stack resolves with the precedence ``engine`` argument >
+    ``scenario.engine`` > ``config.engine`` — a scenario's engine
+    override outranks any config's (bundled or explicit); pass
+    ``engine=`` to force a different stack.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     effective = config or scenario.config
-    pipeline = VerificationPipeline(config=effective, progress=progress)
+    engine_obj = _resolve_run_engine(scenario, effective, engine)
+    pipeline = VerificationPipeline(
+        config=effective, progress=progress, engine=engine_obj
+    )
     outcome = pipeline.run(scenario.problem())
-    return _artifact_from_run(scenario, effective, outcome)
+    return _artifact_from_run(scenario, effective, outcome, engine_obj.name)
 
 
 def _execute(
     scenario: Scenario,
     config: SynthesisConfig | None,
     strip_report: bool,
+    engine: "str | Engine | None" = None,
 ) -> RunArtifact:
     """Batch worker: never raises — failures become error artifacts."""
     name = scenario.name
     try:
-        artifact = run(scenario, config=config)
+        artifact = run(scenario, config=config, engine=engine)
     except Exception as exc:  # noqa: BLE001 — one bad scenario must not kill the batch
         artifact = RunArtifact(
             scenario=name,
@@ -175,6 +217,7 @@ def _execute(
             verified=False,
             error=f"{type(exc).__name__}: {exc}",
             config={} if config is None else synthesis_config_to_dict(config),
+            engine=getattr(engine, "name", engine) or "native",
         )
     if strip_report:
         # SynthesisReport holds compiled tapes and solver state that have
@@ -206,6 +249,8 @@ def run_batch(
     scenarios: Sequence["str | Scenario"],
     workers: int | None = None,
     config: SynthesisConfig | None = None,
+    seed: int | None = None,
+    engine: "str | Engine | None" = None,
 ) -> list[RunArtifact]:
     """Verify many scenarios, process-parallel, preserving input order.
 
@@ -213,6 +258,16 @@ def run_batch(
     ``workers=1`` runs serially in-process (artifacts then keep their
     live ``report``).  Scenarios that cannot be pickled into a worker
     (e.g. lambda factories) fall back to in-process execution.
+
+    ``seed`` (optional) makes the batch reproducible end to end: every
+    scenario gets its own synthesis seed derived from
+    :func:`derive_scenario_seed` *before* any fan-out, so artifacts are
+    identical for any ``workers`` value.  ``engine`` selects the solver
+    stack for every run.  Engine specs — the argument, each scenario's
+    override, or its config's — are resolved to :class:`Engine` objects
+    eagerly in this process (failing fast on unknown names, like
+    scenario names), so user-registered engines, which spawn-started
+    workers do not inherit, still work.
     """
     resolved = _as_scenarios(scenarios)
     if not resolved:
@@ -221,30 +276,49 @@ def run_batch(
         workers = min(len(resolved), os.cpu_count() or 1)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+
+    configs: list[SynthesisConfig | None]
+    if seed is None:
+        configs = [config] * len(resolved)
+    else:
+        configs = [
+            dataclasses.replace(
+                config or scenario.config,
+                seed=derive_scenario_seed(seed, scenario.name),
+            )
+            for scenario in resolved
+        ]
+    engines = [
+        _resolve_run_engine(scenario, cfg or scenario.config, engine)
+        for scenario, cfg in zip(resolved, configs)
+    ]
+
     if workers == 1 or len(resolved) == 1:
         return [
-            _execute(scenario, config, strip_report=False)
-            for scenario in resolved
+            _execute(scenario, cfg, strip_report=False, engine=eng)
+            for scenario, cfg, eng in zip(resolved, configs, engines)
         ]
 
     picklable: list[bool] = []
-    for scenario in resolved:
+    for payload in zip(resolved, configs, engines):
         try:
-            pickle.dumps(scenario)
+            pickle.dumps(payload)
             picklable.append(True)
-        except Exception:  # noqa: BLE001 — unpicklable scenarios run inline
+        except Exception:  # noqa: BLE001 — unpicklable payloads run inline
             picklable.append(False)
 
     results: list[RunArtifact | None] = [None] * len(resolved)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
-            i: pool.submit(_execute, scenario, config, True)
+            i: pool.submit(_execute, scenario, configs[i], True, engines[i])
             for i, (scenario, ok) in enumerate(zip(resolved, picklable))
             if ok
         }
         for i, ok in enumerate(picklable):
             if not ok:
-                results[i] = _execute(resolved[i], config, strip_report=False)
+                results[i] = _execute(
+                    resolved[i], configs[i], strip_report=False, engine=engines[i]
+                )
         for i, future in futures.items():
             results[i] = future.result()
     return [artifact for artifact in results if artifact is not None]

@@ -168,6 +168,12 @@ class Scenario:
     config: SynthesisConfig = field(default_factory=SynthesisConfig)
     #: free-form grouping labels ("paper", "library", ...)
     tags: tuple[str, ...] = ()
+    #: solver stack override: a registered engine name (see
+    #: :mod:`repro.engine`); None defers to ``config.engine``.  When
+    #: set, it outranks the engine of *any* config handed to
+    #: :func:`repro.api.run` — only an explicit ``engine=`` argument
+    #: overrides it.
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -192,6 +198,10 @@ class Scenario:
     def with_config(self, config: SynthesisConfig) -> "Scenario":
         """A copy of this scenario running under a different config."""
         return dataclasses.replace(self, config=config)
+
+    def with_engine(self, engine: str | None) -> "Scenario":
+        """A copy of this scenario running on a different engine."""
+        return dataclasses.replace(self, engine=engine)
 
 
 _REGISTRY: dict[str, Scenario] = {}
@@ -241,7 +251,14 @@ def list_scenarios() -> tuple[Scenario, ...]:
 # SynthesisConfig <-> plain-dict (JSON) conversion
 # ----------------------------------------------------------------------
 def synthesis_config_to_dict(config: SynthesisConfig) -> dict:
-    """Flatten a config (incl. nested LP/ICP knobs) to JSON-safe data."""
+    """Flatten a config (incl. nested LP/ICP knobs) to JSON-safe data.
+
+    An :class:`~repro.engine.Engine` object in ``config.engine`` flattens
+    to its registry name (backend objects are not JSON material).
+    """
+    engine = config.engine
+    if not isinstance(engine, str):
+        config = dataclasses.replace(config, engine=getattr(engine, "name", str(engine)))
     return dataclasses.asdict(config)
 
 

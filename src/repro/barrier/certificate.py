@@ -26,7 +26,6 @@ from ..smt import (
     IcpConfig,
     SmtResult,
     Subproblem,
-    check_exists_on_boxes,
     ge,
     gt,
     le,
@@ -234,20 +233,34 @@ class BarrierCertificate:
         p_matrix, q_vector = quadratic_forms(self.template, self.coefficients)
         return ellipsoid_bounding_rectangle(p_matrix, q_vector, self.level, padding)
 
-    def verify(self, icp_config: IcpConfig | None = None) -> CertificateCheck:
-        """Re-run the three SMT conditions from scratch."""
+    def verify(
+        self,
+        icp_config: IcpConfig | None = None,
+        engine: "str | object | None" = None,
+    ) -> CertificateCheck:
+        """Re-run the three SMT conditions from scratch.
+
+        ``engine`` selects the δ-SAT backend (a registered engine name or
+        :class:`~repro.engine.Engine`); the default is ``"native"``'s
+        serial dispatch.
+        """
+        # Imported here: repro.engine's builtin backends wrap this
+        # package's solvers, so a module-level import would be circular.
+        from ..engine import resolve_engine
+
+        smt = resolve_engine(engine).smt
         names = self.problem.state_names
-        result5 = check_exists_on_boxes(
+        result5 = smt.check(
             condition5_subproblems(self.w_expr, self.problem, self.gamma),
             names,
             icp_config,
         )
-        result6 = check_exists_on_boxes(
+        result6 = smt.check(
             condition6_subproblems(self.w_expr, self.problem, self.level),
             names,
             icp_config,
         )
-        result7 = check_exists_on_boxes(
+        result7 = smt.check(
             condition7_subproblems(
                 self.w_expr, self.problem, self.level, self.level_region()
             ),

@@ -14,6 +14,11 @@
 Every stage is timed into :class:`SynthesisReport` with exactly the
 breakdown Table 1 reports (candidate iterations, LP seconds, SMT-query
 seconds, other, total).
+
+Every solver invocation — trace generation, LP fitting, δ-SAT checking —
+goes through the backend protocols of :mod:`repro.engine`; which stack
+runs is selected by ``SynthesisConfig.engine`` (or the ``engine``
+argument of :func:`verify_system`), ``"native"`` by default.
 """
 
 from __future__ import annotations
@@ -22,13 +27,13 @@ import contextlib
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 import numpy as np
 
 from ..errors import InfeasibleLPError, LevelSetError, SynthesisError
 from ..sim import Trace, sample_uniform
-from ..smt import IcpConfig, SmtResult, Verdict, check_exists_on_boxes
+from ..smt import IcpConfig, SmtResult, Verdict
 from .certificate import (
     BarrierCertificate,
     VerificationProblem,
@@ -37,9 +42,12 @@ from .certificate import (
     condition7_subproblems,
 )
 from .levelset import level_bounds, quadratic_forms
-from .lp import GeneratorCandidate, LpConfig, fit_generator, points_from_traces
+from .lp import GeneratorCandidate, LpConfig, points_from_traces
 from .sets import Rectangle
 from .templates import GeneratorTemplate, QuadraticTemplate
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..engine import Engine
 
 __all__ = [
     "PIPELINE_STAGES",
@@ -113,6 +121,12 @@ class SynthesisConfig:
     #: try an analytic Lyapunov candidate (linearization) before the
     #: simulation-guided LP; falls back silently if it fails check (5)
     try_lyapunov_first: bool = False
+    #: solver stack to run on: a registered engine name from
+    #: :mod:`repro.engine` (``"native"``, ``"vectorized"``,
+    #: ``"parallel-smt"``, a user-registered name) or an
+    #: :class:`~repro.engine.Engine` object (names serialize; objects
+    #: flatten to their name in :func:`synthesis_config_to_dict`)
+    engine: "str | Engine" = "native"
 
     def __post_init__(self) -> None:
         if self.gamma <= 0:
@@ -197,14 +211,23 @@ def verify_system(
     template: GeneratorTemplate | None = None,
     config: SynthesisConfig | None = None,
     observer: StageObserver | None = None,
+    engine: "str | Engine | None" = None,
 ) -> SynthesisReport:
     """Run the full Figure-1 procedure on a verification problem.
 
     ``observer`` (optional) receives a :class:`StageEvent` at the start
     and end of every named stage — the hook behind
     :class:`repro.api.VerificationPipeline`'s progress callbacks.
+
+    ``engine`` (a registered name or :class:`~repro.engine.Engine`)
+    selects the solver stack; None defers to ``config.engine``.
     """
+    # Imported here: repro.engine's builtin backends wrap this package's
+    # solvers, so a module-level import would be circular.
+    from ..engine import resolve_engine
+
     config = config or SynthesisConfig()
+    engine_obj = resolve_engine(engine if engine is not None else config.engine)
     system = problem.system
     template = template or QuadraticTemplate(system.dimension)
     rng = np.random.default_rng(config.seed)
@@ -222,7 +245,7 @@ def verify_system(
     # Stage 1: seed traces Φs.
     # ------------------------------------------------------------------
     with stage("seed-sim"):
-        traces = _seed_traces(problem, config, rng)
+        traces = _seed_traces(problem, config, rng, engine_obj)
     report.traces_used = len(traces)
 
     # ------------------------------------------------------------------
@@ -238,11 +261,13 @@ def verify_system(
 
     if config.try_lyapunov_first and isinstance(template, QuadraticTemplate):
         with stage("lp-fit"):
-            candidate = _try_lyapunov_candidate(problem, config, report)
+            candidate = _try_lyapunov_candidate(problem, config, report, engine_obj)
         if candidate is not None:
             report.generator_seconds = time.perf_counter() - generator_t0
             with stage("level-set"):
-                level = _select_level(candidate, problem, config, report, template)
+                level = _select_level(
+                    candidate, problem, config, report, template, engine_obj
+                )
             if level is not None:
                 report.level = level
                 report.status = SynthesisStatus.VERIFIED
@@ -268,7 +293,7 @@ def verify_system(
             points = points_from_traces(traces)
             lp_t0 = time.perf_counter()
             try:
-                candidate = fit_generator(
+                candidate = engine_obj.lp.fit(
                     template, points, system, config.lp, separation=separation
                 )
             except InfeasibleLPError:
@@ -283,7 +308,7 @@ def verify_system(
 
         with stage("smt-check", iteration):
             query_t0 = time.perf_counter()
-            result5 = check_exists_on_boxes(
+            result5 = engine_obj.smt.check(
                 condition5_subproblems(candidate.expression, problem, config.gamma),
                 names,
                 config.icp,
@@ -301,7 +326,7 @@ def verify_system(
         witness = result5.witness
         report.counterexamples.append(witness)
         with stage("seed-sim", iteration):
-            traces.append(_simulate_from(problem, witness, config))
+            traces.append(_simulate_from(problem, witness, config, engine_obj))
         report.traces_used = len(traces)
         candidate = None
     else:
@@ -315,7 +340,9 @@ def verify_system(
     # Stage 4: level-set selection + checks (6) and (7).
     # ------------------------------------------------------------------
     with stage("level-set"):
-        level = _select_level(candidate, problem, config, report, template)
+        level = _select_level(
+            candidate, problem, config, report, template, engine_obj
+        )
     if level is None:
         _finalize(report, t_start, generator_t0)
         return report
@@ -339,10 +366,11 @@ def verify_system(
 # Internals
 # ----------------------------------------------------------------------
 def _seed_traces(
-    problem: VerificationProblem, config: SynthesisConfig, rng: np.random.Generator
+    problem: VerificationProblem,
+    config: SynthesisConfig,
+    rng: np.random.Generator,
+    engine: "Engine",
 ) -> list[Trace]:
-    system = problem.system
-    simulator = system.simulator(method=config.integrator)
     domain = problem.domain
     starts = [sample_uniform(domain.to_box(), config.num_seed_traces, rng)]
     if config.seed_from_initial_set:
@@ -355,10 +383,12 @@ def _seed_traces(
     def left_domain(state: np.ndarray) -> bool:
         return not exit_rect.contains(state)
 
-    return simulator.simulate_batch(
+    return engine.sim.simulate(
+        problem.system,
         initial_states,
         config.trace_duration,
         config.trace_dt,
+        method=config.integrator,
         stop_condition=left_domain,
     )
 
@@ -367,6 +397,7 @@ def _try_lyapunov_candidate(
     problem: VerificationProblem,
     config: SynthesisConfig,
     report: SynthesisReport,
+    engine: "Engine",
 ) -> GeneratorCandidate | None:
     """Analytic candidate from the linearization, gated by check (5).
 
@@ -386,7 +417,7 @@ def _try_lyapunov_candidate(
     except SynthesisError:
         return None
     query_t0 = time.perf_counter()
-    result = check_exists_on_boxes(
+    result = engine.smt.check(
         condition5_subproblems(candidate.expression, problem, config.gamma),
         problem.state_names,
         config.icp,
@@ -425,16 +456,21 @@ def _unsafe_boundary_samples(
 
 
 def _simulate_from(
-    problem: VerificationProblem, start: np.ndarray, config: SynthesisConfig
+    problem: VerificationProblem,
+    start: np.ndarray,
+    config: SynthesisConfig,
+    engine: "Engine",
 ) -> Trace:
-    simulator = problem.system.simulator(method=config.integrator)
     exit_rect = problem.domain.inflate(1e-9)
-    return simulator.simulate(
-        start,
+    (trace,) = engine.sim.simulate(
+        problem.system,
+        np.asarray(start, dtype=float)[None, :],
         config.trace_duration,
         config.trace_dt,
+        method=config.integrator,
         stop_condition=lambda s: not exit_rect.contains(s),
     )
+    return trace
 
 
 def _select_level(
@@ -443,6 +479,7 @@ def _select_level(
     config: SynthesisConfig,
     report: SynthesisReport,
     template: GeneratorTemplate,
+    engine: "Engine",
 ) -> float | None:
     """Closed-form bounds, then SMT-confirmed binary search."""
     if not isinstance(template, QuadraticTemplate):
@@ -474,7 +511,7 @@ def _select_level(
     for _ in range(config.max_levelset_iterations):
         report.levelset_iterations += 1
         query_t0 = time.perf_counter()
-        result6 = check_exists_on_boxes(
+        result6 = engine.smt.check(
             condition6_subproblems(candidate.expression, problem, level),
             names,
             config.icp,
@@ -486,7 +523,7 @@ def _select_level(
             _bounding_rectangle(template, candidate, level),
         )
         if result7_subs:
-            result7 = check_exists_on_boxes(result7_subs, names, config.icp)
+            result7 = engine.smt.check(result7_subs, names, config.icp)
         else:
             result7 = SmtResult(Verdict.UNSAT, config.icp.delta)
         report.query_seconds += time.perf_counter() - query_t0

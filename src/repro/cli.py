@@ -2,7 +2,8 @@
 
 Commands
 --------
-scenarios list the registered verification scenarios
+scenarios list the registered verification scenarios (``--json`` for tooling)
+engines   list the registered solver engines (``--json`` for tooling)
 verify    run the Figure-1 verification on a registered scenario
           (``--scenario``) or on the paper's Dubins case study with a
           hand-built, trained, or JSON-loaded controller
@@ -12,6 +13,9 @@ falsify   simulation-based falsification baseline on the same problem
 table1    regenerate Table 1
 figure4   regenerate Figure 4's training-evolution metrics
 figure5   regenerate Figure 5 (phase portrait, ASCII)
+
+``verify``, ``batch``, and ``table1`` accept ``--engine`` to pick the
+solver stack (``repro engines`` lists them; default ``native``).
 """
 
 from __future__ import annotations
@@ -36,7 +40,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("scenarios", help="list registered scenarios")
+    p_scenarios = sub.add_parser("scenarios", help="list registered scenarios")
+    p_scenarios.add_argument(
+        "--json", action="store_true",
+        help="emit the registry as JSON (for tooling)",
+    )
+
+    p_engines = sub.add_parser("engines", help="list registered solver engines")
+    p_engines.add_argument(
+        "--json", action="store_true",
+        help="emit the registry as JSON (for tooling)",
+    )
 
     p_verify = sub.add_parser("verify", help="verify a controller or scenario")
     p_verify.add_argument(
@@ -65,6 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=str, default="", metavar="FILE",
         help="also write the RunArtifact as JSON",
     )
+    p_verify.add_argument(
+        "--engine", type=str, default=None,
+        help="solver engine (see `repro engines`; default: native)",
+    )
 
     p_batch = sub.add_parser(
         "batch", help="verify several scenarios in parallel"
@@ -80,6 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument(
         "--json", type=str, default="", metavar="FILE",
         help="write the list of RunArtifacts as JSON",
+    )
+    p_batch.add_argument(
+        "--engine", type=str, default=None,
+        help="solver engine for every run (see `repro engines`)",
+    )
+    p_batch.add_argument(
+        "--seed", type=int, default=None,
+        help="batch seed: each scenario derives its own deterministic "
+        "synthesis seed, making artifacts reproducible for any --workers",
     )
 
     p_train = sub.add_parser("train", help="CMA-ES policy search")
@@ -113,6 +140,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="parallelize the (width, seed) runs over worker processes",
     )
+    p_table1.add_argument(
+        "--engine", type=str, default=None,
+        help="solver engine for every run (see `repro engines`)",
+    )
 
     p_fig4 = sub.add_parser("figure4", help="regenerate Figure 4 metrics")
     p_fig4.add_argument("--neurons", type=int, default=10)
@@ -144,9 +175,24 @@ def _print_artifact(artifact) -> None:
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
     from .api import list_scenarios
 
     scenarios = list_scenarios()
+    if args.json:
+        payload = [
+            {
+                "name": s.name,
+                "description": s.description,
+                "dimension": s.dimension,
+                "tags": list(s.tags),
+                "engine": s.engine,
+            }
+            for s in scenarios
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
     width = max(len(s.name) for s in scenarios)
     for scenario in scenarios:
         tags = f" [{','.join(scenario.tags)}]" if scenario.tags else ""
@@ -155,6 +201,23 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             f"{scenario.description}"
         )
     print(f"\n{len(scenarios)} scenarios registered")
+    return 0
+
+
+def _cmd_engines(args: argparse.Namespace) -> int:
+    import json
+
+    from .engine import list_engines
+
+    engines = list_engines()
+    if args.json:
+        print(json.dumps([e.describe() for e in engines], indent=2))
+        return 0
+    width = max(len(e.name) for e in engines)
+    for engine in engines:
+        tags = f" [{','.join(engine.tags)}]" if engine.tags else ""
+        print(f"{engine.name:<{width}}{tags}  {engine.description}")
+    print(f"\n{len(engines)} engines registered")
     return 0
 
 
@@ -193,7 +256,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             gamma=1e-6 if args.gamma is None else args.gamma,
             icp=IcpConfig(delta=1e-3 if args.delta is None else args.delta),
         )
-    artifact = run(scenario, config=config)
+    artifact = run(scenario, config=config, engine=args.engine)
     _print_artifact(artifact)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -208,7 +271,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from .api import run_batch, scenario_names
 
     names = list(args.names) if args.names else list(scenario_names())
-    artifacts = run_batch(names, workers=args.workers)
+    artifacts = run_batch(
+        names, workers=args.workers, seed=args.seed, engine=args.engine
+    )
     width = max(len(a.scenario) for a in artifacts)
     for artifact in artifacts:
         level = f"level {artifact.level:.6g}" if artifact.verified else ""
@@ -290,7 +355,10 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
     widths = tuple(args.widths) if args.widths else PAPER_NEURON_COUNTS
     rows = run_table1(
-        neuron_counts=widths, seeds=tuple(args.seeds), workers=args.workers
+        neuron_counts=widths,
+        seeds=tuple(args.seeds),
+        workers=args.workers,
+        engine=args.engine,
     )
     print(format_table1(rows))
     return 0
@@ -322,6 +390,7 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "scenarios": _cmd_scenarios,
+    "engines": _cmd_engines,
     "verify": _cmd_verify,
     "batch": _cmd_batch,
     "train": _cmd_train,

@@ -134,9 +134,18 @@ def compose(plant: Plant, network: FeedforwardNetwork, name: str | None = None) 
         extended = np.concatenate([x, u])[None, :]
         return np.array([float(t.eval_points(extended)[0]) for t in field_tapes])
 
+    def numeric_batch(states: np.ndarray) -> np.ndarray:
+        # Same pipeline, one array pass per tape: y for all states, one
+        # matrix forward pass, then the plant field on (states | u).
+        y = np.stack([t.eval_points(states) for t in output_tapes], axis=1)
+        u = np.atleast_2d(network.forward(y))
+        extended = np.hstack([states, u])
+        return np.stack([t.eval_points(extended) for t in field_tapes], axis=1)
+
     return ContinuousSystem(
         state_names=plant.state_names,
         field_exprs=closed_exprs,
         numeric_override=numeric,
+        numeric_batch_override=numeric_batch,
         name=name or f"{plant.name}+nn",
     )

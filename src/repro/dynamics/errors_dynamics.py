@@ -19,8 +19,6 @@ against exactly the published expression.
 from __future__ import annotations
 
 import math
-from typing import Sequence
-
 import numpy as np
 
 from ..errors import ReproError
@@ -33,6 +31,7 @@ __all__ = [
     "error_field_exprs",
     "error_dynamics_system",
     "numeric_error_field",
+    "numeric_error_field_batch",
 ]
 
 #: State variable names of the reduced model, in order.
@@ -79,6 +78,28 @@ def numeric_error_field(
     return field
 
 
+def numeric_error_field_batch(
+    network: FeedforwardNetwork, speed: float = 1.0
+) -> "callable":
+    """Batched ``F(X) -> X_dot`` over ``(m, 2)`` state arrays.
+
+    One matrix forward pass through the network covers every state, so
+    the vectorized simulation engine pays Python overhead per *step*
+    instead of per (step, trace) pair.
+    """
+    if network.input_dimension != 2 or network.output_dimension != 1:
+        raise ReproError(
+            "the error-dynamics controller must map 2 inputs to 1 output, got "
+            f"{network.input_dimension} -> {network.output_dimension}"
+        )
+
+    def field_batch(states: np.ndarray) -> np.ndarray:
+        u = network.forward(states)[:, 0]
+        return np.stack([speed * np.sin(states[:, 1]), -u], axis=1)
+
+    return field_batch
+
+
 def error_dynamics_system(
     network: FeedforwardNetwork,
     speed: float = 1.0,
@@ -99,5 +120,6 @@ def error_dynamics_system(
         state_names=list(STATE_NAMES),
         field_exprs=exprs,
         numeric_override=numeric_error_field(network, speed),
+        numeric_batch_override=numeric_error_field_batch(network, speed),
         name=f"dubins-error-dynamics-Nh{network.hidden_sizes or [0]}",
     )

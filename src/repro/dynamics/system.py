@@ -34,6 +34,11 @@ class ContinuousSystem:
     numeric_override:
         Optional fast ``f(x) -> x_dot``; defaults to evaluating the
         compiled symbolic field.
+    numeric_batch_override:
+        Optional fast batch ``F(X) -> X_dot`` over ``(m, n)`` state
+        arrays — the hot path of the vectorized simulation engine.  When
+        absent, :meth:`f_vectorized` falls back to the compiled symbolic
+        tapes, which are themselves vectorized over points.
     name:
         Human-readable label for reports.
     """
@@ -43,6 +48,7 @@ class ContinuousSystem:
         state_names: Sequence[str],
         field_exprs: Sequence[Expr],
         numeric_override: Callable[[np.ndarray], np.ndarray] | None = None,
+        numeric_batch_override: Callable[[np.ndarray], np.ndarray] | None = None,
         name: str = "system",
     ):
         self.state_names = list(state_names)
@@ -56,6 +62,7 @@ class ContinuousSystem:
                 f"{len(self.state_names)} states"
             )
         self._numeric_override = numeric_override
+        self._numeric_batch_override = numeric_batch_override
         self._tapes: list[CompiledExpression] | None = None
 
     # ------------------------------------------------------------------
@@ -93,6 +100,24 @@ class ContinuousSystem:
         states = np.atleast_2d(np.asarray(states, dtype=float))
         if self._numeric_override is not None:
             return np.array([self._numeric_override(x) for x in states])
+        return np.stack(
+            [tape.eval_points(states) for tape in self.tapes()], axis=1
+        )
+
+    def f_vectorized(self, states: np.ndarray) -> np.ndarray:
+        """Vector field at many states through one array pass.
+
+        Unlike :meth:`f_batch` — which preserves the historical per-state
+        loop over a scalar ``numeric_override`` — this path never drops
+        to a Python loop: it uses ``numeric_batch_override`` when
+        supplied and the vectorized compiled tapes otherwise.  The
+        results agree with :meth:`f_batch` to floating-point round-off
+        (BLAS batch kernels may reorder reductions), which is why the
+        bit-exact ``native`` engine does not use it.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        if self._numeric_batch_override is not None:
+            return np.asarray(self._numeric_batch_override(states), dtype=float)
         return np.stack(
             [tape.eval_points(states) for tape in self.tapes()], axis=1
         )

@@ -1,0 +1,111 @@
+"""Pluggable solver engines for the Figure-1 procedure.
+
+An :class:`Engine` bundles one backend per solver role — simulation
+(:class:`SimBackend`), LP fitting (:class:`LpBackend`), δ-SAT checking
+(:class:`SmtBackend`) — behind a string-keyed registry, mirroring the
+scenario registry of :mod:`repro.api.scenario`.  Three engines ship
+built in:
+
+``native``        the historical scalar code paths (default;
+                  bit-identical to pre-engine behavior)
+``vectorized``    NumPy batch integrator stepping every seed trace
+                  through one array pass per RK stage
+``parallel-smt``  independent condition-(5)/(6)/(7) subproblem boxes
+                  dispatched across a thread pool
+
+Selecting one::
+
+    from repro import api
+
+    artifact = api.run("dubins", engine="vectorized")
+
+Registering a custom stack reuses any builtin backend for the roles you
+do not replace::
+
+    from repro import engine as eng
+
+    native = eng.get_engine("native")
+    eng.register_engine(eng.Engine(
+        name="my-gpu",
+        description="GPU batch simulation, native LP/SMT",
+        sim=MyGpuSimBackend(),
+        lp=native.lp,
+        smt=native.smt,
+    ))
+"""
+
+from .base import (
+    Engine,
+    LpBackend,
+    SimBackend,
+    SmtBackend,
+    engine_names,
+    get_engine,
+    list_engines,
+    register_engine,
+    resolve_engine,
+    unregister_engine,
+)
+from .native import NativeLpBackend, NativeSimBackend, SerialSmtBackend
+from .parallel import ParallelSmtBackend
+from .vectorized import VectorizedSimBackend
+
+__all__ = [
+    "Engine",
+    "LpBackend",
+    "NativeLpBackend",
+    "NativeSimBackend",
+    "ParallelSmtBackend",
+    "SerialSmtBackend",
+    "SimBackend",
+    "SmtBackend",
+    "VectorizedSimBackend",
+    "engine_names",
+    "get_engine",
+    "list_engines",
+    "register_engine",
+    "resolve_engine",
+    "unregister_engine",
+]
+
+
+def _register_builtins() -> None:
+    sim = NativeSimBackend()
+    lp = NativeLpBackend()
+    smt = SerialSmtBackend()
+    register_engine(
+        Engine(
+            name="native",
+            description="Historical scalar code paths: per-trace "
+            "simulation, HiGHS LP, serial SMT dispatch (default)",
+            sim=sim,
+            lp=lp,
+            smt=smt,
+            tags=("builtin", "default"),
+        )
+    )
+    register_engine(
+        Engine(
+            name="vectorized",
+            description="NumPy batch integrator stepping all seed traces "
+            "in one array pass; native LP and SMT",
+            sim=VectorizedSimBackend(),
+            lp=lp,
+            smt=smt,
+            tags=("builtin",),
+        )
+    )
+    register_engine(
+        Engine(
+            name="parallel-smt",
+            description="Condition-(5)/(6)/(7) subproblem boxes dispatched "
+            "across a thread pool; native simulation and LP",
+            sim=sim,
+            lp=lp,
+            smt=ParallelSmtBackend(),
+            tags=("builtin",),
+        )
+    )
+
+
+_register_builtins()

@@ -1,0 +1,75 @@
+"""The ``native`` engine: today's scalar code paths, unchanged.
+
+Each backend is a thin adapter over the pre-engine implementation —
+:class:`~repro.sim.Simulator` per-trace integration, the
+margin-maximizing LP of :func:`repro.barrier.lp.fit_generator`, and the
+serial :func:`repro.smt.check_exists_on_boxes` dispatch — so the default
+engine is bit-identical to the historical behavior (the Table-1 and
+ablation outputs do not move).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..barrier.lp import GeneratorCandidate, LpConfig
+from ..sim import Trace
+from ..smt import IcpConfig, SmtResult, Subproblem, check_exists_on_boxes
+
+__all__ = ["NativeSimBackend", "NativeLpBackend", "SerialSmtBackend"]
+
+
+class NativeSimBackend:
+    """Per-trace scalar integration through ``system.simulator()``."""
+
+    name = "native-sim"
+
+    def simulate(
+        self,
+        system,
+        initial_states: np.ndarray,
+        duration: float,
+        dt: float,
+        method: str = "rk4",
+        stop_condition: Callable[[np.ndarray], bool] | None = None,
+    ) -> list[Trace]:
+        simulator = system.simulator(method=method)
+        return simulator.simulate_batch(
+            initial_states, duration, dt, stop_condition=stop_condition
+        )
+
+
+class NativeLpBackend:
+    """The margin-maximizing LP of :func:`repro.barrier.lp.fit_generator`."""
+
+    name = "native-lp"
+
+    def fit(
+        self,
+        template,
+        points: np.ndarray,
+        system,
+        config: LpConfig | None = None,
+        separation: "tuple[np.ndarray, np.ndarray] | None" = None,
+    ) -> GeneratorCandidate:
+        from ..barrier.lp import fit_generator
+
+        return fit_generator(
+            template, points, system, config, separation=separation
+        )
+
+
+class SerialSmtBackend:
+    """Serial subproblem dispatch via :func:`check_exists_on_boxes`."""
+
+    name = "serial-smt"
+
+    def check(
+        self,
+        subproblems: Sequence[Subproblem],
+        names: Sequence[str],
+        config: IcpConfig | None = None,
+    ) -> SmtResult:
+        return check_exists_on_boxes(subproblems, names, config)

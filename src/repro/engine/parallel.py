@@ -1,0 +1,85 @@
+"""The ``parallel-smt`` engine's checker: thread-pool subproblem dispatch.
+
+The barrier conditions decompose into independent box subproblems (the
+``D \\ X0`` cover of check (5), the per-facet regions of check (7)), and
+:func:`repro.smt.check_exists_on_boxes` walks them serially.  The
+:class:`ParallelSmtBackend` dispatches each subproblem to its own
+:class:`~repro.smt.IcpSolver` on a thread pool — the branch-and-prune
+inner loop spends its time in vectorized NumPy evaluation of the
+constraint tapes, which releases the GIL, so independent subproblems
+overlap on multi-core hosts.
+
+Verdict combination matches the serial semantics exactly, including
+which witness is reported: the DELTA_SAT subproblem with the **lowest
+index** wins, not whichever thread finishes first, so the
+counterexample-guided synthesis loop stays deterministic.  Only the
+merged solver statistics differ — the serial path stops accumulating at
+the first hit, while the parallel path has already paid for every
+subproblem and reports all of it.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from ..smt import IcpConfig, SmtResult, Subproblem
+from ..smt.icp import IcpSolver
+from ..smt.result import SolverStats, Verdict
+
+__all__ = ["ParallelSmtBackend"]
+
+
+class ParallelSmtBackend:
+    """Check independent subproblems concurrently on a thread pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread-pool width cap; None picks ``min(32, cpu_count + 4)``
+        (the executor default).  Single-subproblem queries skip the pool
+        entirely.
+    """
+
+    name = "parallel-smt"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    def check(
+        self,
+        subproblems: Sequence[Subproblem],
+        names: Sequence[str],
+        config: IcpConfig | None = None,
+    ) -> SmtResult:
+        solver = IcpSolver(config)
+        delta = solver.config.delta
+        if not subproblems:
+            return SmtResult(Verdict.UNSAT, delta)
+        if len(subproblems) == 1:
+            sub = subproblems[0]
+            return solver.solve(sub.constraints, sub.region, names)
+
+        workers = self.max_workers or min(32, (os.cpu_count() or 1) + 4)
+        workers = min(workers, len(subproblems))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            results = list(
+                pool.map(
+                    lambda sub: solver.solve(sub.constraints, sub.region, names),
+                    subproblems,
+                )
+            )
+
+        merged = SolverStats()
+        for result in results:
+            merged.merge(result.stats)
+        for result in results:
+            if result.verdict is Verdict.DELTA_SAT:
+                result.stats = merged
+                return result
+        if any(result.verdict is Verdict.UNKNOWN for result in results):
+            return SmtResult(Verdict.UNKNOWN, delta, stats=merged)
+        return SmtResult(Verdict.UNSAT, delta, stats=merged)

@@ -55,6 +55,7 @@ def run_table1(
     trained: bool = False,
     delta: float = 1e-3,
     workers: int = 1,
+    engine: str | None = None,
 ) -> list[Table1Row]:
     """Regenerate Table 1 through :mod:`repro.api`.
 
@@ -65,6 +66,8 @@ def run_table1(
     processes via :func:`repro.api.run_batch` — timing columns then
     reflect per-run wall clock under whatever core contention the fan-out
     creates, so keep ``workers=1`` for paper-comparable numbers.
+    ``engine`` selects the solver stack (default ``native``, which
+    reproduces the historical numbers exactly).
     """
     # The per-run seed drives only the synthesis (seed-trace sampling):
     # each width uses one controller across all seeds.  Trained
@@ -83,7 +86,7 @@ def run_table1(
         for neurons in neuron_counts
         for seed in seeds
     ]
-    artifacts = run_batch(scenarios, workers=max(1, workers))
+    artifacts = run_batch(scenarios, workers=max(1, workers), engine=engine)
     failed = [a for a in artifacts if a.error]
     if failed:
         details = "; ".join(f"{a.scenario}: {a.error}" for a in failed)

@@ -33,8 +33,6 @@ beyond them, while the certificate is horizon-free.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
-
 import numpy as np
 
 from ..dynamics import ContinuousSystem

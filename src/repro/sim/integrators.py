@@ -19,6 +19,7 @@ __all__ = [
     "VectorField",
     "euler_step",
     "rk4_step",
+    "fixed_step_schedule",
     "FixedStepIntegrator",
     "EulerIntegrator",
     "RK4Integrator",
@@ -27,6 +28,30 @@ __all__ = [
 ]
 
 VectorField = Callable[[np.ndarray], np.ndarray]
+
+
+def fixed_step_schedule(duration: float, dt: float) -> tuple[np.ndarray, list[float]]:
+    """The canonical fixed-step time grid: ``(times, step_sizes)``.
+
+    ``times`` has ``len(step_sizes) + 1`` entries starting at 0; the
+    final step is the partial remainder whenever ``duration`` is not a
+    multiple of ``dt``.  Both the scalar simulation driver and the
+    vectorized batch integrator consume this one schedule, so their
+    traces land on identical sample times by construction.
+    """
+    if dt <= 0.0:
+        raise SimulationError(f"step size must be positive, got {dt}")
+    if duration < 0.0:
+        raise SimulationError(f"duration must be non-negative, got {duration}")
+    times = [0.0]
+    steps: list[float] = []
+    t = 0.0
+    while t < duration - 1e-12:
+        h = min(dt, duration - t)
+        steps.append(h)
+        t += h
+        times.append(t)
+    return np.asarray(times), steps
 
 
 def euler_step(f: VectorField, x: np.ndarray, dt: float) -> np.ndarray:

@@ -14,7 +14,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import SimulationError
-from .integrators import FixedStepIntegrator, get_integrator
+from .integrators import FixedStepIntegrator, fixed_step_schedule, get_integrator
 from .trace import Trace
 
 __all__ = ["Simulator", "StopCondition"]
@@ -106,17 +106,13 @@ class Simulator:
         dt: float,
         stop_condition: StopCondition | None,
     ) -> tuple[np.ndarray, np.ndarray, bool]:
-        if dt <= 0.0:
-            raise SimulationError(f"step size must be positive, got {dt}")
-        if duration < 0.0:
-            raise SimulationError(f"duration must be non-negative, got {duration}")
+        _, schedule = fixed_step_schedule(duration, dt)
         x = x0.copy()
         times = [0.0]
         states = [x.copy()]
         truncated = False
         t = 0.0
-        while t < duration - 1e-12:
-            h = min(dt, duration - t)
+        for h in schedule:
             x = self.integrator.step(self.vector_field, x, h)
             t += h
             if not np.all(np.isfinite(x)):

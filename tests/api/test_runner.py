@@ -9,6 +9,7 @@ import pytest
 
 from repro.api import (
     RunArtifact,
+    derive_scenario_seed,
     get_scenario,
     run,
     run_batch,
@@ -143,6 +144,35 @@ class TestRunBatch:
         artifacts = run_batch([custom, "vanderpol"], workers=2)
         assert [a.scenario for a in artifacts] == ["unpicklable-inline", "vanderpol"]
         assert all(a.verified for a in artifacts)
+
+    def test_seeded_batch_reproducible_across_worker_counts(self):
+        """The batch seed derives one deterministic synthesis seed per
+        scenario *before* fan-out, so artifacts match for any workers."""
+        serial = run_batch(["linear", "vanderpol"], workers=1, seed=11)
+        parallel = run_batch(["linear", "vanderpol"], workers=2, seed=11)
+        assert [a.config["seed"] for a in serial] == [
+            a.config["seed"] for a in parallel
+        ]
+        assert [a.level for a in serial] == [a.level for a in parallel]
+        assert [a.status for a in serial] == [a.status for a in parallel]
+
+    def test_seeded_batch_seeds_differ_per_scenario(self):
+        artifacts = run_batch(["linear", "vanderpol"], workers=1, seed=11)
+        seeds = [a.config["seed"] for a in artifacts]
+        assert seeds[0] != seeds[1]
+        assert seeds[0] == derive_scenario_seed(11, "linear")
+        assert seeds[1] == derive_scenario_seed(11, "vanderpol")
+
+    def test_derive_scenario_seed_is_stable(self):
+        """Order- and process-independent: depends only on (seed, name)."""
+        assert derive_scenario_seed(0, "linear") == derive_scenario_seed(0, "linear")
+        assert derive_scenario_seed(0, "linear") != derive_scenario_seed(1, "linear")
+        assert derive_scenario_seed(0, "linear") != derive_scenario_seed(0, "lineal")
+        assert 0 <= derive_scenario_seed(123, "x") < 2**32
+
+    def test_unseeded_batch_keeps_bundled_configs(self):
+        (artifact,) = run_batch(["linear"], workers=1)
+        assert artifact.config["seed"] == get_scenario("linear").config.seed
 
     def test_failing_scenario_becomes_error_artifact(self):
         # A scenario whose problem() raises: safe rectangle smaller than X0.

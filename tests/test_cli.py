@@ -37,6 +37,22 @@ class TestParser:
         args = build_parser().parse_args(["batch"])
         assert args.names == []
         assert args.workers is None
+        assert args.engine is None
+        assert args.seed is None
+
+    def test_engine_flags_parse(self):
+        assert (
+            build_parser()
+            .parse_args(["verify", "--engine", "vectorized"])
+            .engine
+            == "vectorized"
+        )
+        assert (
+            build_parser()
+            .parse_args(["table1", "--engine", "parallel-smt"])
+            .engine
+            == "parallel-smt"
+        )
 
 
 class TestCommands:
@@ -183,6 +199,20 @@ class TestScenarioCommands:
         with pytest.raises(ReproError, match="unknown scenario"):
             main(["verify", "--scenario", "nope"])
 
+    def test_scenarios_json(self, capsys):
+        import json
+
+        code = main(["scenarios", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        names = {entry["name"] for entry in payload}
+        assert {"dubins", "linear", "vanderpol"} <= names
+        for entry in payload:
+            assert set(entry) == {
+                "name", "description", "dimension", "tags", "engine",
+            }
+
     def test_batch_named_scenarios(self, capsys, tmp_path):
         out_file = tmp_path / "batch.json"
         code = main(
@@ -197,3 +227,61 @@ class TestScenarioCommands:
         payload = json.loads(out_file.read_text())
         assert [entry["scenario"] for entry in payload] == ["linear", "vanderpol"]
         assert all(entry["verified"] for entry in payload)
+
+
+class TestEngineCommands:
+    def test_engines_lists_builtins(self, capsys):
+        code = main(["engines"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("native", "vectorized", "parallel-smt"):
+            assert name in out
+        assert out.rstrip().endswith("engines registered")
+
+    def test_engines_json(self, capsys):
+        import json
+
+        code = main(["engines", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        by_name = {entry["name"]: entry for entry in payload}
+        assert {"native", "vectorized", "parallel-smt"} <= set(by_name)
+        assert by_name["vectorized"]["sim"] == "VectorizedSimBackend"
+        assert by_name["parallel-smt"]["smt"] == "ParallelSmtBackend"
+
+    def test_verify_with_engine(self, capsys, tmp_path):
+        from repro.api import RunArtifact
+
+        out_file = tmp_path / "vec.json"
+        code = main(
+            ["verify", "--scenario", "linear", "--engine", "vectorized",
+             "--json", str(out_file)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        artifact = RunArtifact.from_json(out_file.read_text())
+        assert artifact.engine == "vectorized"
+        assert artifact.verified
+
+    def test_verify_unknown_engine(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown engine"):
+            main(["verify", "--scenario", "linear", "--engine", "nope"])
+
+    def test_batch_with_engine_and_seed(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "batch.json"
+        code = main(
+            ["batch", "linear", "--workers", "1", "--engine", "parallel-smt",
+             "--seed", "5", "--json", str(out_file)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        (entry,) = json.loads(out_file.read_text())
+        assert entry["engine"] == "parallel-smt"
+        from repro.api import derive_scenario_seed
+
+        assert entry["config"]["seed"] == derive_scenario_seed(5, "linear")
