@@ -11,7 +11,8 @@ from :func:`repro.api.run`; adding a new workload is one
 The registry ships pre-populated with the paper's Dubins error-dynamics
 case study and the benchmark plants of :mod:`repro.dynamics.library`
 (linear ground truth, double integrator under linear state feedback,
-torque-limited inverted pendulum, reversed Van der Pol).
+torque-limited inverted pendulum, reversed Van der Pol,
+kinematic-bicycle lane keeping, and the 4-D cart-pole stress workload).
 
 This module is also the canonical home of the Section 4.3 constants
 (``EPSILON``, ``GAMMA``, ``SPEED``) and the case-study builders that
@@ -41,9 +42,11 @@ from ..barrier import (
 )
 from ..dynamics import (
     ContinuousSystem,
+    cartpole_plant,
     compose,
     error_dynamics_system,
     inverted_pendulum_plant,
+    kinematic_bicycle_plant,
     linear_plant,
     stable_linear_system,
     van_der_pol_system,
@@ -327,6 +330,52 @@ def _van_der_pol_reversed_system() -> ContinuousSystem:
     return van_der_pol_system(mu=1.0, reversed_time=True)
 
 
+def _bicycle_system(
+    speed: float = 1.0, wheelbase: float = 1.0, max_steer: float = 0.4
+) -> ContinuousSystem:
+    """Kinematic-bicycle lane keeping under a saturating tansig NN.
+
+    The steering law ``delta = -d_max * tanh((k1 ey + k2 epsi) / d_max)``
+    is the same saturating-proportional construction as the paper's
+    hand-built Dubins controller; gains ``k1 = 0.5``, ``k2 = 1.2`` place
+    the linearized poles of (ey, epsi) at stable ``-0.6 ± 0.37j``.
+    """
+    k1, k2 = 0.5, 1.2
+    plant = kinematic_bicycle_plant(speed=speed, wheelbase=wheelbase)
+    network = FeedforwardNetwork(
+        [
+            Layer(
+                np.array([[k1 / max_steer, k2 / max_steer]]),
+                np.zeros(1),
+                "tansig",
+            ),
+            Layer(np.array([[-max_steer]]), np.zeros(1), "linear"),
+        ]
+    )
+    return compose(plant, network, name="bicycle+lane-keep-nn")
+
+
+def _cartpole_system(max_accel: float = 10.0) -> ContinuousSystem:
+    """Cart-pole balanced by a saturating LQR-gain tansig network.
+
+    The acceleration-input benchmark form of
+    :func:`~repro.dynamics.cartpole_plant`; gains come from the
+    continuous-time LQR of the upright linearization
+    (``Q = diag(1, 1, 5, 1)``, ``R = 1``), and the tansig squash caps
+    the commanded acceleration at ``max_accel`` the same way the paper's
+    controller caps the steering rate.
+    """
+    gains = np.array([[1.0, 2.2, 28.62, 6.52]])
+    plant = cartpole_plant(control="acceleration")
+    network = FeedforwardNetwork(
+        [
+            Layer(gains / max_accel, np.zeros(1), "tansig"),
+            Layer(np.array([[max_accel]]), np.zeros(1), "linear"),
+        ]
+    )
+    return compose(plant, network, name="cartpole+lqr-nn")
+
+
 def dubins_scenario(
     hidden_neurons: int = 10,
     trained: bool = False,
@@ -410,6 +459,43 @@ def _register_builtins() -> None:
             initial_set=Rectangle([-0.15, -0.15], [0.15, 0.15]),
             unsafe_set=RectangleComplement(Rectangle([-1.0, -3.0], [1.0, 3.0])),
             tags=("library",),
+        )
+    )
+    register_scenario(
+        Scenario(
+            name="bicycle",
+            description="Kinematic-bicycle lane keeping (the paper's "
+            "autonomous-driving setting): lateral/heading error under a "
+            "saturating tansig NN steering controller",
+            system_factory=_bicycle_system,
+            initial_set=Rectangle([-0.2, -0.15], [0.2, 0.15]),
+            unsafe_set=RectangleComplement(
+                Rectangle([-1.5, -0.8], [1.5, 0.8])
+            ),
+            tags=("paper", "library"),
+        )
+    )
+    register_scenario(
+        Scenario(
+            name="cartpole",
+            description="Cart-pole balanced about the upright by a "
+            "saturating LQR-gain tansig network — a 4-dimensional "
+            "stress workload: the box-cover of D \\ X0 grows too fast "
+            "for full synthesis under honest budgets, so its config "
+            "caps the solver (expect INCONCLUSIVE; engines must agree)",
+            system_factory=_cartpole_system,
+            initial_set=Rectangle(
+                [-0.05, -0.05, -0.05, -0.05], [0.05, 0.05, 0.05, 0.05]
+            ),
+            unsafe_set=RectangleComplement(
+                Rectangle([-1.0, -1.2, -0.3, -1.2], [1.0, 1.2, 0.3, 1.2])
+            ),
+            config=SynthesisConfig(
+                icp=IcpConfig(delta=1e-2, max_boxes=50_000, time_limit=5.0),
+                max_candidate_iterations=2,
+                max_levelset_iterations=3,
+            ),
+            tags=("library", "stress"),
         )
     )
     register_scenario(

@@ -144,6 +144,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", type=str, default=None,
         help="solver engine for every run (see `repro engines`)",
     )
+    p_table1.add_argument(
+        "--scenarios", type=str, nargs="+", default=[],
+        help="registered scenario names appended as extra table rows "
+        "(e.g. bicycle cartpole)",
+    )
 
     p_fig4 = sub.add_parser("figure4", help="regenerate Figure 4 metrics")
     p_fig4.add_argument("--neurons", type=int, default=10)
@@ -359,6 +364,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         seeds=tuple(args.seeds),
         workers=args.workers,
         engine=args.engine,
+        scenarios=tuple(args.scenarios),
     )
     print(format_table1(rows))
     return 0

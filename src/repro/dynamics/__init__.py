@@ -9,8 +9,10 @@ from .errors_dynamics import (
     numeric_error_field,
 )
 from .library import (
+    cartpole_plant,
     dubins_error_plant,
     inverted_pendulum_plant,
+    kinematic_bicycle_plant,
     linear_plant,
     stable_linear_system,
     van_der_pol_system,
@@ -32,12 +34,14 @@ __all__ = [
     "Plant",
     "STATE_NAMES",
     "StraightLinePath",
+    "cartpole_plant",
     "compose",
     "dubins_error_plant",
     "error_dynamics_system",
     "error_field_exprs",
     "heading_vector",
     "inverted_pendulum_plant",
+    "kinematic_bicycle_plant",
     "linear_plant",
     "numeric_error_field",
     "stable_linear_system",

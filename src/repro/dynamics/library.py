@@ -14,17 +14,19 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import ReproError
-from ..expr import Expr, sin, var
+from ..expr import Expr, cos, sin, tan, var
 from .closed_loop import Plant
 from .errors_dynamics import error_field_exprs
 from .system import ContinuousSystem
 
 __all__ = [
+    "cartpole_plant",
+    "dubins_error_plant",
+    "inverted_pendulum_plant",
+    "kinematic_bicycle_plant",
     "linear_plant",
     "stable_linear_system",
-    "inverted_pendulum_plant",
     "van_der_pol_system",
-    "dubins_error_plant",
 ]
 
 
@@ -151,6 +153,107 @@ def van_der_pol_system(mu: float = 1.0, reversed_time: bool = True) -> Continuou
         field_exprs=exprs,
         numeric_override=numeric,
         name="van-der-pol" + ("-reversed" if reversed_time else ""),
+    )
+
+
+def kinematic_bicycle_plant(speed: float = 1.0, wheelbase: float = 1.0) -> Plant:
+    """Lane-keeping error dynamics of a kinematic bicycle.
+
+    The closest benchmark to the paper's autonomous-driving setting:
+    states are the lateral offset ``ey`` from the lane center and the
+    heading error ``epsi`` against the (straight) lane; the steering
+    angle ``delta`` is the input.
+
+    ``ey'   = V sin(epsi)``,
+    ``epsi' = (V / L) tan(delta)``.
+
+    A saturating NN controller keeps ``delta`` well inside
+    ``(-pi/2, pi/2)``, so the ``tan`` never meets its pole on the closed
+    loop.
+    """
+    if speed <= 0 or wheelbase <= 0:
+        raise ReproError("speed and wheelbase must be positive")
+    epsi, delta = var("epsi"), var("delta")
+    exprs = [
+        speed * sin(epsi),
+        (speed / wheelbase) * tan(delta),
+    ]
+    return Plant(
+        state_names=["ey", "epsi"],
+        input_names=["delta"],
+        field_exprs=exprs,
+        name="kinematic-bicycle",
+    )
+
+
+def cartpole_plant(
+    cart_mass: float = 1.0,
+    pole_mass: float = 0.1,
+    pole_length: float = 0.5,
+    gravity: float = 9.81,
+    control: str = "force",
+) -> Plant:
+    """Frictionless cart-pole (inverted pendulum on a cart).
+
+    States ``(pos, vel, theta, omega)`` with ``theta`` measured from the
+    *upright* equilibrium (gravity destabilizing).
+
+    ``control="force"`` uses the full Lagrangian dynamics with the
+    horizontal force ``F`` as input:
+
+    ``vel'   = (F + m sin(th) (l om^2 - g cos(th))) / (M + m sin^2(th))``,
+    ``omega' = (-F cos(th) - m l om^2 cos(th) sin(th) + (M+m) g sin(th))
+               / (l (M + m sin^2(th)))``.
+
+    ``control="acceleration"`` is the feedback-linearized benchmark form
+    (the cart tracks a commanded acceleration ``a``):
+
+    ``vel' = a``,  ``omega' = (g sin(th) - a cos(th)) / l``.
+
+    The rational force form exercises interval extended division but its
+    quotient enclosures are too loose for tractable δ-SAT refutation;
+    the acceleration form is what verification benchmarks use.
+    """
+    if cart_mass <= 0 or pole_mass <= 0 or pole_length <= 0:
+        raise ReproError("masses and pole length must be positive")
+    vel, theta, omega = var("vel"), var("theta"), var("omega")
+    sin_th = sin(theta)
+    cos_th = cos(theta)
+    if control == "acceleration":
+        acc = var("acc")
+        exprs = [
+            vel,
+            1.0 * acc,
+            omega,
+            (gravity * sin_th - acc * cos_th) * (1.0 / pole_length),
+        ]
+        return Plant(
+            state_names=["pos", "vel", "theta", "omega"],
+            input_names=["acc"],
+            field_exprs=exprs,
+            name="cartpole-acc",
+        )
+    if control != "force":
+        raise ReproError(f"unknown cartpole control mode {control!r}")
+    force = var("force")
+    denom = cart_mass + pole_mass * sin_th * sin_th
+    exprs = [
+        vel,
+        (force + pole_mass * sin_th * (pole_length * omega * omega - gravity * cos_th))
+        / denom,
+        omega,
+        (
+            -1.0 * force * cos_th
+            - pole_mass * pole_length * omega * omega * cos_th * sin_th
+            + (cart_mass + pole_mass) * gravity * sin_th
+        )
+        / (pole_length * denom),
+    ]
+    return Plant(
+        state_names=["pos", "vel", "theta", "omega"],
+        input_names=["force"],
+        field_exprs=exprs,
+        name="cartpole",
     )
 
 

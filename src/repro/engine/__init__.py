@@ -11,7 +11,11 @@ built in:
 ``vectorized``    NumPy batch integrator stepping every seed trace
                   through one array pass per RK stage
 ``parallel-smt``  independent condition-(5)/(6)/(7) subproblem boxes
-                  dispatched across a thread pool
+                  dispatched across a thread pool, each solved by the
+                  batched structure-of-arrays ICP solver
+``batched-icp``   the whole δ-SAT frontier in one
+                  :class:`~repro.intervals.BoxArray` with frontier-wide
+                  vectorized HC4 contraction (fastest single-core SMT)
 
 Selecting one::
 
@@ -46,11 +50,13 @@ from .base import (
     resolve_engine,
     unregister_engine,
 )
+from .batched import BatchedSmtBackend
 from .native import NativeLpBackend, NativeSimBackend, SerialSmtBackend
 from .parallel import ParallelSmtBackend
 from .vectorized import VectorizedSimBackend
 
 __all__ = [
+    "BatchedSmtBackend",
     "Engine",
     "LpBackend",
     "NativeLpBackend",
@@ -99,10 +105,23 @@ def _register_builtins() -> None:
         Engine(
             name="parallel-smt",
             description="Condition-(5)/(6)/(7) subproblem boxes dispatched "
-            "across a thread pool; native simulation and LP",
+            "across a thread pool, each on the batched ICP solver; "
+            "native simulation and LP",
             sim=sim,
             lp=lp,
             smt=ParallelSmtBackend(),
+            tags=("builtin",),
+        )
+    )
+    register_engine(
+        Engine(
+            name="batched-icp",
+            description="Structure-of-arrays branch-and-prune: union-"
+            "seeded BoxArray frontier with frontier-wide vectorized HC4 "
+            "contraction; vectorized simulation, native LP",
+            sim=VectorizedSimBackend(),
+            lp=lp,
+            smt=BatchedSmtBackend(),
             tags=("builtin",),
         )
     )

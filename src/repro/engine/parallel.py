@@ -4,10 +4,11 @@ The barrier conditions decompose into independent box subproblems (the
 ``D \\ X0`` cover of check (5), the per-facet regions of check (7)), and
 :func:`repro.smt.check_exists_on_boxes` walks them serially.  The
 :class:`ParallelSmtBackend` dispatches each subproblem to its own
-:class:`~repro.smt.IcpSolver` on a thread pool — the branch-and-prune
-inner loop spends its time in vectorized NumPy evaluation of the
-constraint tapes, which releases the GIL, so independent subproblems
-overlap on multi-core hosts.
+solver on a thread pool — by default the structure-of-arrays
+:class:`~repro.smt.BatchedIcpSolver`, so conditions (5)/(6)/(7) each
+run the frontier-wide vectorized HC4 contractor *and* overlap on
+multi-core hosts (the NumPy passes release the GIL).  Pass
+``solver_factory=IcpSolver`` to restore the scalar per-box solver.
 
 Verdict combination matches the serial semantics exactly, including
 which witness is reported: the DELTA_SAT subproblem with the **lowest
@@ -22,10 +23,10 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..smt import IcpConfig, SmtResult, Subproblem
-from ..smt.icp import IcpSolver
+from ..smt.icp_batched import BatchedIcpSolver
 from ..smt.result import SolverStats, Verdict
 
 __all__ = ["ParallelSmtBackend"]
@@ -40,14 +41,23 @@ class ParallelSmtBackend:
         Thread-pool width cap; None picks ``min(32, cpu_count + 4)``
         (the executor default).  Single-subproblem queries skip the pool
         entirely.
+    solver_factory:
+        Callable building the per-query conjunction solver from an
+        :class:`~repro.smt.IcpConfig`; the default is the vectorized
+        :class:`~repro.smt.BatchedIcpSolver`.
     """
 
     name = "parallel-smt"
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        solver_factory: "Callable[[IcpConfig | None], object]" = BatchedIcpSolver,
+    ):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+        self.solver_factory = solver_factory
 
     def check(
         self,
@@ -55,7 +65,7 @@ class ParallelSmtBackend:
         names: Sequence[str],
         config: IcpConfig | None = None,
     ) -> SmtResult:
-        solver = IcpSolver(config)
+        solver = self.solver_factory(config)
         delta = solver.config.delta
         if not subproblems:
             return SmtResult(Verdict.UNSAT, delta)

@@ -24,7 +24,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..api import case_study_controller, dubins_scenario, run_batch
+import dataclasses
+
+from ..api import case_study_controller, dubins_scenario, get_scenario, run_batch
 from ..barrier import SynthesisConfig
 from ..smt import IcpConfig
 
@@ -36,7 +38,12 @@ PAPER_NEURON_COUNTS = (10, 20, 40, 50, 70, 80, 90, 100, 300, 500, 700, 1000)
 
 @dataclass
 class Table1Row:
-    """Aggregated results for one network width."""
+    """Aggregated results for one network width (or named scenario).
+
+    ``label`` is empty for the paper's width-sweep rows (the ``neurons``
+    column identifies them); registered-scenario rows carry the scenario
+    name instead and leave ``neurons`` at 0.
+    """
 
     neurons: int
     avg_iterations: float
@@ -47,6 +54,7 @@ class Table1Row:
     total_seconds: float
     verified_fraction: float
     runs: int
+    label: str = ""
 
 
 def run_table1(
@@ -56,6 +64,7 @@ def run_table1(
     delta: float = 1e-3,
     workers: int = 1,
     engine: str | None = None,
+    scenarios: Sequence[str] = (),
 ) -> list[Table1Row]:
     """Regenerate Table 1 through :mod:`repro.api`.
 
@@ -68,6 +77,12 @@ def run_table1(
     creates, so keep ``workers=1`` for paper-comparable numbers.
     ``engine`` selects the solver stack (default ``native``, which
     reproduces the historical numbers exactly).
+
+    ``scenarios`` appends one row per registered scenario name (e.g.
+    ``("bicycle", "cartpole")``), run over the same seeds and reported
+    in the same columns — the table-1 treatment for workloads beyond
+    the paper's width sweep.  Scenario rows keep their registered
+    synthesis config (seed overridden per run).
     """
     # The per-run seed drives only the synthesis (seed-trace sampling):
     # each width uses one controller across all seeds.  Trained
@@ -77,7 +92,7 @@ def run_table1(
         neurons: case_study_controller(neurons, trained=trained)
         for neurons in neuron_counts
     }
-    scenarios = [
+    workloads = [
         dubins_scenario(
             network=networks[neurons],
             config=SynthesisConfig(seed=seed, icp=IcpConfig(delta=delta)),
@@ -86,14 +101,26 @@ def run_table1(
         for neurons in neuron_counts
         for seed in seeds
     ]
-    artifacts = run_batch(scenarios, workers=max(1, workers), engine=engine)
+    scenario_runs = [
+        dataclasses.replace(
+            get_scenario(name),
+            name=f"{name}-seed{seed}",
+            config=dataclasses.replace(get_scenario(name).config, seed=seed),
+        )
+        for name in scenarios
+        for seed in seeds
+    ]
+    artifacts = run_batch(
+        list(workloads) + scenario_runs, workers=max(1, workers), engine=engine
+    )
     failed = [a for a in artifacts if a.error]
     if failed:
         details = "; ".join(f"{a.scenario}: {a.error}" for a in failed)
         raise RuntimeError(f"table1 runs failed — {details}")
-    rows = []
     per_width = len(seeds)
-    for i, neurons in enumerate(neuron_counts):
+    labels = [(n, "") for n in neuron_counts] + [(0, name) for name in scenarios]
+    rows = []
+    for i, (neurons, label) in enumerate(labels):
         group = artifacts[i * per_width : (i + 1) * per_width]
         rows.append(
             Table1Row(
@@ -110,6 +137,7 @@ def run_table1(
                 total_seconds=float(np.mean([a.total_seconds for a in group])),
                 verified_fraction=sum(a.verified for a in group) / len(group),
                 runs=len(group),
+                label=label,
             )
         )
     return rows
@@ -118,13 +146,14 @@ def run_table1(
 def format_table1(rows: Sequence[Table1Row]) -> str:
     """Render rows in the paper's column layout."""
     header = (
-        f"{'Neurons':>8} {'AvgIter':>8} {'LP(s)':>8} {'Query(s)':>9} "
+        f"{'Neurons':>10} {'AvgIter':>8} {'LP(s)':>8} {'Query(s)':>9} "
         f"{'Gen(s)':>8} {'Other(s)':>9} {'Total(s)':>9} {'Verified':>9}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
+        name = row.label or str(row.neurons)
         lines.append(
-            f"{row.neurons:>8d} {row.avg_iterations:>8.1f} {row.lp_seconds:>8.2f} "
+            f"{name:>10} {row.avg_iterations:>8.1f} {row.lp_seconds:>8.2f} "
             f"{row.query_seconds:>9.2f} {row.generator_seconds:>8.2f} "
             f"{row.other_seconds:>9.2f} {row.total_seconds:>9.2f} "
             f"{row.verified_fraction:>8.0%}"

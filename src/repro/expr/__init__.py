@@ -28,7 +28,7 @@ from .build import (
 )
 from .compile import CompiledExpression, compile_expression
 from .differentiate import differentiate, gradient
-from .evaluate import evaluate, evaluate_box
+from .evaluate import evaluate, evaluate_box, evaluate_box_array
 from .node import (
     Add,
     Const,
@@ -76,6 +76,7 @@ __all__ = [
     "dot",
     "evaluate",
     "evaluate_box",
+    "evaluate_box_array",
     "exp",
     "gradient",
     "log",

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..errors import EvaluationError
 from ..intervals import Box, Interval
+from ..intervals.rounding import TRIG_SLACK as _TRIG_SLACK
 from .node import (
     Add,
     Const,
@@ -53,7 +54,6 @@ _HALF_PI = 0.5 * math.pi
 _EPS = np.finfo(float).eps
 _REL = 8.0 * _EPS
 _ABS = 8.0 * np.finfo(float).tiny
-_TRIG_SLACK = 1e-12
 
 
 class CompiledExpression:
@@ -116,6 +116,29 @@ class CompiledExpression:
 
     def __len__(self) -> int:
         return len(self._tape)
+
+    @property
+    def instructions(self) -> tuple[tuple, ...]:
+        """The flat instruction tape (read-only view).
+
+        Each entry is ``(op, slot, *operands)``: ``("const", slot, value)``,
+        ``("var", slot, var_index)``, ``("pow", slot, base_slot, exponent)``,
+        unary ``(op, slot, child_slot)``, or binary
+        ``(op, slot, left_slot, right_slot)``.  The frontier-wide HC4
+        contractor (:mod:`repro.smt.hc4`) walks this tape forward and
+        backward instead of re-deriving its own flattening.
+        """
+        return tuple(self._tape)
+
+    @property
+    def n_slots(self) -> int:
+        """Number of value slots the tape writes."""
+        return self._n_slots
+
+    @property
+    def result_slot(self) -> int:
+        """Slot holding the root's value after a tape pass."""
+        return self._result_slot
 
     # ------------------------------------------------------------------
     # Vectorized numeric evaluation
@@ -180,6 +203,17 @@ class CompiledExpression:
         arr = box.to_array()
         lo, hi = self.eval_boxes(arr[None, :, 0], arr[None, :, 1])
         return Interval(float(lo[0]), float(hi[0]))
+
+    def eval_box_array(self, boxes: "BoxArray") -> "IntervalArray":
+        """Sound bounds over a whole :class:`~repro.intervals.BoxArray`.
+
+        One tape pass for the full frontier; returns an
+        :class:`~repro.intervals.IntervalArray` of shape ``(m,)``.
+        """
+        from ..intervals import IntervalArray
+
+        lo, hi = self.eval_boxes(boxes.lo, boxes.hi)
+        return IntervalArray(lo, hi)
 
 
 def compile_expression(

@@ -16,6 +16,7 @@ from typing import Union
 
 import numpy as np
 
+from .array import IntervalArray
 from .interval import Interval
 
 __all__ = [
@@ -39,41 +40,46 @@ __all__ = [
     "interval_relu_bounds",
 ]
 
-Scalar = Union[Interval, float, int]
+Scalar = Union[Interval, "IntervalArray", float, int]
+
+#: types that carry interval semantics through the ``i*`` dispatchers;
+#: :class:`IntervalArray` rides along so one expression walker serves the
+#: scalar, interval, and batched-interval modes alike
+_INTERVALS = (Interval, IntervalArray)
 
 
-def _lift(value: Scalar) -> Interval | float:
-    return value if isinstance(value, Interval) else float(value)
+def _lift(value: Scalar) -> "Interval | IntervalArray | float":
+    return value if isinstance(value, _INTERVALS) else float(value)
 
 
 def isin(x: Scalar):
     """Interval/scalar sine."""
     x = _lift(x)
-    return x.sin() if isinstance(x, Interval) else math.sin(x)
+    return x.sin() if isinstance(x, _INTERVALS) else math.sin(x)
 
 
 def icos(x: Scalar):
     """Interval/scalar cosine."""
     x = _lift(x)
-    return x.cos() if isinstance(x, Interval) else math.cos(x)
+    return x.cos() if isinstance(x, _INTERVALS) else math.cos(x)
 
 
 def itan(x: Scalar):
     """Interval/scalar tangent."""
     x = _lift(x)
-    return x.tan() if isinstance(x, Interval) else math.tan(x)
+    return x.tan() if isinstance(x, _INTERVALS) else math.tan(x)
 
 
 def itanh(x: Scalar):
     """Interval/scalar hyperbolic tangent (the paper's ``tansig``)."""
     x = _lift(x)
-    return x.tanh() if isinstance(x, Interval) else math.tanh(x)
+    return x.tanh() if isinstance(x, _INTERVALS) else math.tanh(x)
 
 
 def isigmoid(x: Scalar):
     """Interval/scalar logistic sigmoid."""
     x = _lift(x)
-    if isinstance(x, Interval):
+    if isinstance(x, _INTERVALS):
         return x.sigmoid()
     if x >= 0.0:
         return 1.0 / (1.0 + math.exp(-x))
@@ -84,39 +90,44 @@ def isigmoid(x: Scalar):
 def iexp(x: Scalar):
     """Interval/scalar exponential."""
     x = _lift(x)
-    return x.exp() if isinstance(x, Interval) else math.exp(x)
+    return x.exp() if isinstance(x, _INTERVALS) else math.exp(x)
 
 
 def ilog(x: Scalar):
     """Interval/scalar natural logarithm."""
     x = _lift(x)
-    return x.log() if isinstance(x, Interval) else math.log(x)
+    return x.log() if isinstance(x, _INTERVALS) else math.log(x)
 
 
 def isqrt(x: Scalar):
     """Interval/scalar square root."""
     x = _lift(x)
-    return x.sqrt() if isinstance(x, Interval) else math.sqrt(x)
+    return x.sqrt() if isinstance(x, _INTERVALS) else math.sqrt(x)
 
 
 def iabs(x: Scalar):
     """Interval/scalar absolute value."""
     x = _lift(x)
-    return x.abs() if isinstance(x, Interval) else abs(x)
+    return x.abs() if isinstance(x, _INTERVALS) else abs(x)
 
 
 def iatan(x: Scalar):
     """Interval/scalar arctangent."""
     x = _lift(x)
-    return x.atan() if isinstance(x, Interval) else math.atan(x)
+    return x.atan() if isinstance(x, _INTERVALS) else math.atan(x)
 
 
 def imin(a: Scalar, b: Scalar):
     """Pointwise minimum in either semantics."""
     a = _lift(a)
     b = _lift(b)
-    if isinstance(a, Interval) or isinstance(b, Interval):
-        a = a if isinstance(a, Interval) else Interval.point(a)
+    if isinstance(a, _INTERVALS) or isinstance(b, _INTERVALS):
+        # min is commutative: lead with the "wider" type so its
+        # coercion handles the other operand (array > interval > float).
+        if not isinstance(a, _INTERVALS) or (
+            isinstance(b, IntervalArray) and not isinstance(a, IntervalArray)
+        ):
+            a, b = b, a
         return a.min_with(b)
     return min(a, b)
 
@@ -125,8 +136,13 @@ def imax(a: Scalar, b: Scalar):
     """Pointwise maximum in either semantics."""
     a = _lift(a)
     b = _lift(b)
-    if isinstance(a, Interval) or isinstance(b, Interval):
-        a = a if isinstance(a, Interval) else Interval.point(a)
+    if isinstance(a, _INTERVALS) or isinstance(b, _INTERVALS):
+        # max is commutative: lead with the "wider" type so its
+        # coercion handles the other operand (array > interval > float).
+        if not isinstance(a, _INTERVALS) or (
+            isinstance(b, IntervalArray) and not isinstance(a, IntervalArray)
+        ):
+            a, b = b, a
         return a.max_with(b)
     return max(a, b)
 
@@ -134,7 +150,7 @@ def imax(a: Scalar, b: Scalar):
 def ipow(x: Scalar, n: int):
     """Integer power in either semantics."""
     x = _lift(x)
-    return x**n if isinstance(x, Interval) else float(x) ** n
+    return x**n if isinstance(x, _INTERVALS) else float(x) ** n
 
 
 # ----------------------------------------------------------------------

@@ -15,16 +15,13 @@ import math
 from typing import Iterable, Iterator
 
 from ..errors import DomainError, EmptyIntervalError, IntervalError
-from .rounding import next_down, next_up, round_down, round_up
+from .rounding import next_down, next_up, round_down, round_up, trig_slack
 
 __all__ = ["Interval"]
 
 _INF = math.inf
 _PI = math.pi
 _TWO_PI = 2.0 * math.pi
-# Tolerance used when locating trig critical points; float pi is inexact,
-# so containment tests are inflated by this relative slack.
-_TRIG_SLACK = 1e-12
 
 
 class Interval:
@@ -358,11 +355,14 @@ class Interval:
         """Tangent; returns the whole line when a pole may lie inside."""
         if not self.is_finite() or self.width() >= _PI:
             return Interval.entire()
-        # Poles at pi/2 + k*pi.
-        k_lo = math.ceil((self.lo - _PI / 2.0) / _PI - _TRIG_SLACK * (1.0 + abs(self.lo)))
-        pole = _PI / 2.0 + k_lo * _PI
-        slack = _TRIG_SLACK * (1.0 + abs(pole))
-        if self.lo - slack <= pole <= self.hi + slack:
+        # Poles at pi/2 + k*pi; the slack is relative to the interval
+        # magnitude, the same formula the vectorized paths use, so the
+        # pole-containment decision is bit-identical across the scalar
+        # and array implementations.
+        slack = trig_slack(self.magnitude())
+        k = math.ceil((self.lo - slack - _PI / 2.0) / _PI)
+        pole = _PI / 2.0 + k * _PI
+        if pole <= self.hi + slack:
             return Interval.entire()
         return Interval(round_down(math.tan(self.lo)), round_up(math.tan(self.hi)))
 
@@ -433,7 +433,7 @@ def _periodic_image(ival: Interval, func, peak_offset: float) -> Interval:
 
 def _contains_critical(ival: Interval, offset: float) -> bool:
     """Does ``ival`` (slightly inflated) contain ``offset + 2*pi*k`` for some k?"""
-    slack = _TRIG_SLACK * (1.0 + ival.magnitude())
+    slack = trig_slack(ival.magnitude())
     k = math.ceil((ival.lo - slack - offset) / _TWO_PI)
     point = offset + _TWO_PI * k
     return point <= ival.hi + slack

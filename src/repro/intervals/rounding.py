@@ -13,15 +13,46 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 __all__ = [
+    "PAD",
+    "TRIG_SLACK",
     "next_down",
+    "next_down_array",
     "next_up",
+    "next_up_array",
     "round_down",
     "round_up",
+    "trig_slack",
     "widen",
 ]
 
 _INF = math.inf
+
+#: Relative slack used when locating trig critical points and poles: the
+#: float representation of pi is inexact, so containment tests are
+#: inflated by ``TRIG_SLACK * (1 + magnitude)``.  This is the single
+#: source of truth shared by the scalar :class:`~repro.intervals.Interval`,
+#: the batched :class:`~repro.intervals.IntervalArray`, and the compiled
+#: tape semantics of :mod:`repro.expr.compile` — keeping the three
+#: implementations' critical-point decisions bit-identical.
+TRIG_SLACK = 1e-12
+
+#: Relative padding applied by backward (inverse) contractor rules whose
+#: inverses go through transcendental kernels; shared by the scalar and
+#: frontier-vectorized HC4 implementations.
+PAD = 1e-12
+
+
+def trig_slack(magnitude):
+    """Absolute slack for trig critical-point tests at a given magnitude.
+
+    Accepts a float or an ndarray of magnitudes; the formula is the
+    shared definition used by every interval implementation in the
+    package.
+    """
+    return TRIG_SLACK * (1.0 + magnitude)
 
 
 def next_down(value: float) -> float:
@@ -59,3 +90,27 @@ def round_up(value: float, exact: bool = False) -> float:
 def widen(lower: float, upper: float) -> tuple[float, float]:
     """Widen both endpoints outward by one ulp each."""
     return next_down(lower), next_up(upper)
+
+
+def next_down_array(values: np.ndarray, ulps: int = 1) -> np.ndarray:
+    """Vectorized :func:`next_down`: ``ulps`` steps toward ``-inf``.
+
+    ``np.nextafter`` matches ``math.nextafter`` bit-for-bit (identity at
+    ``-inf``, NaN passthrough), so one step reproduces the scalar
+    rounding exactly.  ``ulps=2`` is used by the array ops whose NumPy
+    kernels (pow, exp, log, tan, tanh, sigmoid, atan) may differ from the
+    libm scalars by up to one ulp — the extra step keeps the array result
+    a superset of the scalar one.
+    """
+    out = values
+    for _ in range(ulps):
+        out = np.nextafter(out, -_INF)
+    return out
+
+
+def next_up_array(values: np.ndarray, ulps: int = 1) -> np.ndarray:
+    """Vectorized :func:`next_up` (see :func:`next_down_array`)."""
+    out = values
+    for _ in range(ulps):
+        out = np.nextafter(out, _INF)
+    return out

@@ -10,15 +10,19 @@ exponentials, sigmoids).
 from .constraint import Constraint, Relation, Status, eq, ge, gt, le, lt
 from .contractor import contract_fixpoint, hc4_revise
 from .formula import And, Atom, Formula, Or, conjunction_of, to_dnf
+from .hc4 import FrontierContractor, contract_frontier
 from .icp import IcpConfig, IcpSolver, solve_conjunction
+from .icp_batched import BatchedIcpSolver, solve_conjunction_batched
 from .queries import Subproblem, check_exists, check_exists_on_boxes
 from .result import SmtResult, SolverStats, Verdict
 
 __all__ = [
     "And",
     "Atom",
+    "BatchedIcpSolver",
     "Constraint",
     "Formula",
+    "FrontierContractor",
     "IcpConfig",
     "IcpSolver",
     "Or",
@@ -32,6 +36,7 @@ __all__ = [
     "check_exists_on_boxes",
     "conjunction_of",
     "contract_fixpoint",
+    "contract_frontier",
     "eq",
     "ge",
     "gt",
@@ -39,5 +44,6 @@ __all__ = [
     "le",
     "lt",
     "solve_conjunction",
+    "solve_conjunction_batched",
     "to_dnf",
 ]

@@ -38,6 +38,7 @@ from ..expr.node import (
     postorder,
 )
 from ..intervals import Box, Interval
+from ..intervals.rounding import PAD as _PAD
 from .constraint import Constraint, Relation
 
 __all__ = ["hc4_revise", "contract_fixpoint"]
@@ -304,9 +305,6 @@ def _odd_root(ival: Interval, n: int) -> Interval:
         return math.copysign(abs(v) ** (1.0 / n), v)
 
     return Interval(_pad_down(root(ival.lo)), _pad_up(root(ival.hi)))
-
-
-_PAD = 1e-12
 
 
 def _pad_down(v: float) -> float:

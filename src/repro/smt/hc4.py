@@ -1,0 +1,667 @@
+"""Frontier-wide HC4-revise: vectorized forward-backward contraction.
+
+:mod:`repro.smt.contractor` runs the classic HC4 algorithm one box at a
+time with scalar :class:`~repro.intervals.Interval` objects — correct,
+but the dominant serial cost of every hard δ-SAT query.  This module
+re-runs the *same* algorithm across the **whole solver frontier at
+once**: every expression-DAG node holds one batch of intervals of shape
+``(m,)`` (one member per frontier box) instead of one scalar interval,
+so a forward-backward sweep costs one NumPy pass per node rather than
+``m`` Python interpreter walks.
+
+Two things keep the vectorized pass fast on the narrow frontiers real
+branch-and-prune searches produce:
+
+* **Raw endpoint arrays.**  The hot loop carries ``(lo, hi)`` ndarray
+  pairs directly (transcendentals borrow the
+  :class:`~repro.intervals.IntervalArray` kernels), avoiding wrapper
+  churn on the ~10³ NumPy calls a revise pass makes.
+* **Constant folding.**  Tape slots holding constants are kept as plain
+  floats: multiplying by a coefficient costs two ufuncs instead of a
+  four-product hull, and backward rules skip the (provably no-op)
+  tightening of constant children entirely.  Polynomial Lie derivatives
+  are mostly ``const * monomial`` sums, so this removes the bulk of the
+  extended-division work.
+
+The per-box semantics follow the scalar contractor rule-for-rule
+(including extended division through zero and the even/odd ``pow``
+backward rules); where the scalar code raises
+:class:`~repro.errors.EmptyIntervalError` to prune a box, the batched
+code marks the box's row in an ``alive`` mask and keeps going.  The
+cross-check tests in ``tests/smt/test_hc4_batched.py`` assert the two
+implementations agree on which boxes are refuted and that the batched
+contraction always contains the true solution set.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..expr import CompiledExpression
+from ..intervals import BoxArray, IntervalArray
+from ..intervals.rounding import PAD, next_down_array, next_up_array
+from .constraint import Constraint, Relation
+
+__all__ = ["FrontierContractor", "contract_frontier"]
+
+_INF = math.inf
+_HALF_PI = 0.5 * math.pi
+
+_down = next_down_array
+_up = next_up_array
+
+#: forward ops that can empty a member (domain violations); everything
+#: else maps non-empty members to non-empty members
+_DOMAIN_OPS = frozenset({"sqrt", "log"})
+
+
+def _relation_bounds(relation: Relation) -> tuple[float, float]:
+    if relation in (Relation.LE, Relation.LT):
+        return (-_INF, 0.0)
+    if relation in (Relation.GE, Relation.GT):
+        return (0.0, _INF)
+    return (0.0, 0.0)
+
+
+class FrontierContractor:
+    """HC4-revise for one constraint, batched over a whole frontier.
+
+    Built once per (constraint, variable order) pair; :meth:`revise`
+    then contracts any :class:`~repro.intervals.BoxArray` in one
+    vectorized forward-backward sweep.
+    """
+
+    def __init__(self, constraint: Constraint, variable_names: Sequence[str]):
+        tape: CompiledExpression = constraint.compiled(variable_names)
+        self._instructions = tape.instructions
+        self._n_slots = tape.n_slots
+        self._root = tape.result_slot
+        self._target_bounds = _relation_bounds(constraint.relation)
+        #: slots whose value is a constant, with that constant
+        self._const: dict[int, float] = {
+            instr[1]: float(instr[2])
+            for instr in self._instructions
+            if instr[0] == "const"
+        }
+
+    def revise(self, boxes: BoxArray) -> tuple[BoxArray, np.ndarray]:
+        """One forward-backward pass over every box at once.
+
+        Returns ``(contracted, alive)``: rows of ``contracted`` where
+        ``alive`` is False were proven empty (the scalar contractor
+        would have returned None for them) and hold their *input*
+        bounds.
+        """
+        m = len(boxes)
+        alive = np.ones(m, dtype=bool)
+        if m == 0:
+            return boxes, alive
+        const = self._const
+
+        # Forward pass: raw (lo, hi) pair per slot; const slots stay float.
+        forward: list = [None] * self._n_slots
+        for instr in self._instructions:
+            op, slot = instr[0], instr[1]
+            if op == "const":
+                forward[slot] = instr[2]
+            elif op == "var":
+                forward[slot] = (boxes.lo[:, instr[2]], boxes.hi[:, instr[2]])
+            else:
+                value = _forward_op(op, instr, forward, m)
+                if op in _DOMAIN_OPS:
+                    lo, hi = value
+                    emp = lo > hi
+                    if emp.any():
+                        # Mirror the scalar EmptyIntervalError: the box
+                        # left the function domain.  Park dead rows on
+                        # the whole line to keep arithmetic NaN-free.
+                        alive &= ~emp
+                        value = (
+                            np.where(emp, -_INF, lo),
+                            np.where(emp, _INF, hi),
+                        )
+                forward[slot] = value
+
+        # Project the root onto the relation's satisfying set.
+        root = forward[self._root]
+        t_lo, t_hi = self._target_bounds
+        if isinstance(root, float):
+            # Constant constraint: nothing to contract; rows live iff the
+            # constant satisfies the relation.
+            if not (t_lo <= root <= t_hi):
+                return boxes, np.zeros(m, dtype=bool)
+            return boxes, alive
+        p_lo = np.maximum(root[0], t_lo)
+        p_hi = np.minimum(root[1], t_hi)
+        emp = p_lo > p_hi
+        if emp.any():
+            alive &= ~emp
+            p_lo = np.where(emp, root[0], p_lo)
+            p_hi = np.where(emp, root[1], p_hi)
+
+        # Backward pass: per-slot targets, children tightened after
+        # parents; empties flip rows dead instead of raising.  Constant
+        # slots are never tightened (their target stays the point value,
+        # and with targets ⊆ forward the scalar exclusion check cannot
+        # fire), so rules treat them as plain scalars.
+        targets: list = list(forward)
+        targets[self._root] = (p_lo, p_hi)
+
+        def tighten(slot: int, cand_lo, cand_hi) -> None:
+            nonlocal alive
+            current = targets[slot]
+            if isinstance(current, float):
+                # Folded-constant subexpression (e.g. an Add of two
+                # Consts): nothing upstream to narrow.
+                return
+            cur_lo, cur_hi = current
+            lo = np.maximum(cur_lo, cand_lo)
+            hi = np.minimum(cur_hi, cand_hi)
+            emp = lo > hi
+            if emp.any():
+                alive = alive & ~emp
+                # Dead rows keep their previous target so later rules
+                # still see well-formed intervals.
+                lo = np.where(emp, cur_lo, lo)
+                hi = np.where(emp, cur_hi, hi)
+            targets[slot] = (lo, hi)
+
+        for instr in reversed(self._instructions):
+            op = instr[0]
+            if op in ("const", "var"):
+                continue
+            dead = _backward_op(instr, targets, forward, tighten, const, m)
+            if dead is not None and dead.any():
+                alive &= ~dead
+
+        # Read back variable targets, intersecting duplicate occurrences.
+        by_var: dict[int, tuple] = {}
+        for instr in self._instructions:
+            if instr[0] != "var":
+                continue
+            t = targets[instr[1]]
+            seen = by_var.get(instr[2])
+            if seen is None:
+                by_var[instr[2]] = t
+            else:
+                by_var[instr[2]] = (
+                    np.maximum(seen[0], t[0]),
+                    np.minimum(seen[1], t[1]),
+                )
+
+        lo = boxes.lo.copy()
+        hi = boxes.hi.copy()
+        for index, (t_lo_arr, t_hi_arr) in by_var.items():
+            lo[:, index] = np.maximum(lo[:, index], t_lo_arr)
+            hi[:, index] = np.minimum(hi[:, index], t_hi_arr)
+        emp = (lo > hi).any(axis=1)
+        if emp.any():
+            alive &= ~emp
+            # Keep dead rows at their original bounds (they are pruned by
+            # the caller; canonical-empty columns would poison widths).
+            lo[emp] = boxes.lo[emp]
+            hi[emp] = boxes.hi[emp]
+        return BoxArray(lo, hi), alive
+
+
+def contract_frontier(
+    contractors: Sequence[FrontierContractor],
+    boxes: BoxArray,
+    max_rounds: int = 4,
+    min_shrink: float = 0.01,
+) -> tuple[BoxArray, np.ndarray]:
+    """Round-robin HC4 over all constraints, whole frontier at once.
+
+    The per-box semantics mirror
+    :func:`repro.smt.contractor.contract_fixpoint`: each box iterates
+    until a full round shrinks its summed widths by less than
+    ``min_shrink`` relatively, or ``max_rounds`` rounds elapse; boxes
+    proven empty are flagged in the returned ``alive`` mask.
+    """
+    m = len(boxes)
+    alive = np.ones(m, dtype=bool)
+    if m == 0:
+        return boxes, alive
+    active = np.ones(m, dtype=bool)
+    current = boxes
+    for _ in range(max_rounds):
+        before = current.widths().sum(axis=1)
+        for contractor in contractors:
+            contracted, ok = contractor.revise(current)
+            newly_dead = active & ~ok
+            if newly_dead.any():
+                alive &= ~newly_dead
+            # Only rows still iterating take the contraction; frozen and
+            # dead rows keep their bounds (matching the scalar loop,
+            # which never revisits a box after its early stop).
+            if active.all():
+                current = contracted
+            else:
+                keep = ~active
+                current = BoxArray(
+                    np.where(keep[:, None], current.lo, contracted.lo),
+                    np.where(keep[:, None], current.hi, contracted.hi),
+                )
+            active &= alive
+            if not active.any():
+                return current, alive
+        after = current.widths().sum(axis=1)
+        with np.errstate(invalid="ignore"):
+            shrunk = (before - after) / np.maximum(before, 1e-300)
+        stop = (before <= 0.0) | (shrunk < min_shrink) | ~np.isfinite(before)
+        active &= ~stop
+        active &= alive
+        if not active.any():
+            break
+    return current, alive
+
+
+# ----------------------------------------------------------------------
+# Forward instruction semantics over raw (lo, hi) pairs
+# ----------------------------------------------------------------------
+def _expand(value, m: int) -> tuple[np.ndarray, np.ndarray]:
+    """Promote a constant operand to endpoint arrays (rare slow path)."""
+    if isinstance(value, float) or isinstance(value, int):
+        arr = np.full(m, float(value))
+        return arr, arr
+    return value
+
+
+def _forward_op(op: str, instr: tuple, forward: list, m: int):
+    if op in ("add", "sub", "mul", "div", "min", "max"):
+        a = forward[instr[2]]
+        b = forward[instr[3]]
+        a_const = isinstance(a, float)
+        b_const = isinstance(b, float)
+        if a_const and b_const:
+            return _fold_const(op, a, b)
+        if op == "add":
+            if a_const:
+                return _down(a + b[0]), _up(a + b[1])
+            if b_const:
+                return _down(a[0] + b), _up(a[1] + b)
+            return _down(a[0] + b[0]), _up(a[1] + b[1])
+        if op == "sub":
+            if a_const:
+                return _down(a - b[1]), _up(a - b[0])
+            if b_const:
+                return _down(a[0] - b), _up(a[1] - b)
+            return _down(a[0] - b[1]), _up(a[1] - b[0])
+        if op == "mul":
+            if a_const:
+                return _const_mul(a, b)
+            if b_const:
+                return _const_mul(b, a)
+            return _ia_binary(a, b, m, "__mul__")
+        if op == "div":
+            if b_const and b != 0.0:
+                return _const_mul_like_div(b, a)
+            return _ia_binary(a, b, m, "__truediv__")
+        if op == "min":
+            a = _expand(a, m)
+            b = _expand(b, m)
+            return np.minimum(a[0], b[0]), np.minimum(a[1], b[1])
+        a = _expand(a, m)
+        b = _expand(b, m)
+        return np.maximum(a[0], b[0]), np.maximum(a[1], b[1])
+    a = forward[instr[2]]
+    if isinstance(a, float):
+        a = _expand(a, m)
+    if op == "neg":
+        return -a[1], -a[0]
+    if op == "pow":
+        res = IntervalArray(a[0], a[1]) ** instr[3]
+        return res.lo, res.hi
+    res = getattr(IntervalArray(a[0], a[1]), op)()
+    return res.lo, res.hi
+
+
+def _fold_const(op: str, a: float, b: float) -> float:
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        return a / b if b != 0.0 else math.nan
+    if op == "min":
+        return min(a, b)
+    return max(a, b)
+
+
+def _const_mul(c: float, x) -> tuple[np.ndarray, np.ndarray]:
+    """``c * [lo, hi]`` with outward rounding (two ufuncs + widening)."""
+    if c == 0.0:
+        # 0 * [lo, hi] is exactly {0} even for unbounded operands
+        # (0 * inf would otherwise poison the row with NaN).
+        zero = np.zeros_like(x[0])
+        return zero, zero.copy()
+    if c > 0.0:
+        return _down(c * x[0]), _up(c * x[1])
+    return _down(c * x[1]), _up(c * x[0])
+
+
+def _const_mul_like_div(c: float, x) -> tuple[np.ndarray, np.ndarray]:
+    """``[lo, hi] / c`` for a nonzero constant denominator."""
+    if c > 0.0:
+        return _down(x[0] / c), _up(x[1] / c)
+    return _down(x[1] / c), _up(x[0] / c)
+
+
+def _ia_binary(a, b, m: int, method: str) -> tuple[np.ndarray, np.ndarray]:
+    a = _expand(a, m)
+    b = _expand(b, m)
+    res = getattr(IntervalArray(a[0], a[1]), method)(IntervalArray(b[0], b[1]))
+    return res.lo, res.hi
+
+
+# ----------------------------------------------------------------------
+# Backward (inverse) instruction semantics
+# ----------------------------------------------------------------------
+def _backward_op(instr, targets, forward, tighten, const, m) -> np.ndarray | None:
+    """Apply one node's backward rule; returns extra dead-row mask."""
+    op, slot = instr[0], instr[1]
+    target = targets[slot]
+    if isinstance(target, float):
+        # Constant subexpression: nothing upstream to tighten.
+        return None
+    t_lo, t_hi = target
+    if op == "add":
+        left, right = instr[2], instr[3]
+        if right not in const:
+            f = forward[left]
+            if isinstance(f, float):
+                tighten(right, _down(t_lo - f), _up(t_hi - f))
+            else:
+                tighten(right, _down(t_lo - f[1]), _up(t_hi - f[0]))
+        if left not in const:
+            f = forward[right]
+            if isinstance(f, float):
+                tighten(left, _down(t_lo - f), _up(t_hi - f))
+            else:
+                tighten(left, _down(t_lo - f[1]), _up(t_hi - f[0]))
+        return None
+    if op == "sub":
+        left, right = instr[2], instr[3]
+        if left not in const:
+            f = forward[right]
+            if isinstance(f, float):
+                tighten(left, _down(t_lo + f), _up(t_hi + f))
+            else:
+                tighten(left, _down(t_lo + f[0]), _up(t_hi + f[1]))
+        if right not in const:
+            f = forward[left]
+            if isinstance(f, float):
+                tighten(right, _down(f - t_hi), _up(f - t_lo))
+            else:
+                tighten(right, _down(f[0] - t_hi), _up(f[1] - t_lo))
+        return None
+    if op == "mul":
+        left, right = instr[2], instr[3]
+        dead = None
+        if left not in const:
+            got = _backward_mul_child(left, right, target, forward, const, tighten, m)
+            dead = _merge(dead, got)
+        if right not in const:
+            got = _backward_mul_child(right, left, target, forward, const, tighten, m)
+            dead = _merge(dead, got)
+        return dead
+    if op == "div":
+        left, right = instr[2], instr[3]
+        dead = None
+        if left not in const:
+            # num target = target * den
+            f = forward[right]
+            if isinstance(f, float):
+                tighten(left, *_const_mul(f, target))
+            else:
+                cand = IntervalArray(t_lo, t_hi) * IntervalArray(f[0], f[1])
+                tighten(left, cand.lo, cand.hi)
+        if right not in const:
+            f = _expand(forward[left], m)
+            num = IntervalArray(f[0], f[1])
+            cand = num.extended_divide_hull(IntervalArray(t_lo, t_hi))
+            dead = _merge(dead, _tighten_hull(right, cand, tighten))
+        return dead
+    if op == "neg":
+        child = instr[2]
+        if child not in const:
+            tighten(child, -t_hi, -t_lo)
+        return None
+    if op == "pow":
+        base = instr[2]
+        if base in const:
+            return None
+        return _backward_pow(base, instr[3], target, forward, tighten, m)
+    if op == "min":
+        bound_hi = np.full(m, _INF)
+        for child in (instr[2], instr[3]):
+            if child not in const:
+                tighten(child, t_lo, bound_hi)
+        return None
+    if op == "max":
+        bound_lo = np.full(m, -_INF)
+        for child in (instr[2], instr[3]):
+            if child not in const:
+                tighten(child, bound_lo, t_hi)
+        return None
+    child = instr[2]
+    if child in const:
+        return None
+    return _backward_unary(op, child, target, tighten, m)
+
+
+def _merge(a: np.ndarray | None, b: np.ndarray | None) -> np.ndarray | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a | b
+
+
+def _backward_mul_child(
+    child: int, other: int, target, forward, const, tighten, m
+) -> np.ndarray | None:
+    """Tighten ``child`` of ``child * other`` given the node target."""
+    t_lo, t_hi = target
+    c = const.get(other)
+    if c is not None:
+        if c != 0.0:
+            tighten(child, *_const_mul_like_div(c, target))
+            return None
+        # child * 0 == 0: infeasible unless the target admits zero.
+        return ~((t_lo <= 0.0) & (0.0 <= t_hi))
+    f = _expand(forward[other], m)
+    cand = IntervalArray(t_lo, t_hi).extended_divide_hull(
+        IntervalArray(f[0], f[1])
+    )
+    return _tighten_hull(child, cand, tighten)
+
+
+def _tighten_hull(slot: int, cand: IntervalArray, tighten) -> np.ndarray | None:
+    """Tighten with an extended-division hull; empty members mean dead rows."""
+    emp = cand.empty_mask()
+    if emp.any():
+        lo = np.where(emp, -_INF, cand.lo)
+        hi = np.where(emp, _INF, cand.hi)
+        tighten(slot, lo, hi)
+        return emp
+    tighten(slot, cand.lo, cand.hi)
+    return None
+
+
+def _pad_down(values: np.ndarray) -> np.ndarray:
+    finite = np.isfinite(values)
+    return np.where(finite, values - PAD * (1.0 + np.abs(values)), values)
+
+
+def _pad_up(values: np.ndarray) -> np.ndarray:
+    finite = np.isfinite(values)
+    return np.where(finite, values + PAD * (1.0 + np.abs(values)), values)
+
+
+def _backward_pow(
+    base_slot: int, n: int, target, forward, tighten, m
+) -> np.ndarray | None:
+    t_lo, t_hi = target
+    if n == 0:
+        return ~((t_lo <= 1.0) & (1.0 <= t_hi))
+    dead = None
+    if n < 0:
+        # x^-n = 1 / x^n: invert through the reciprocal, then recurse shape.
+        ones = np.ones(m)
+        recip = IntervalArray(ones, ones).extended_divide_hull(
+            IntervalArray(t_lo, t_hi)
+        )
+        emp = recip.empty_mask()
+        if emp.any():
+            dead = emp
+            t_lo = np.where(emp, -_INF, recip.lo)
+            t_hi = np.where(emp, _INF, recip.hi)
+        else:
+            t_lo, t_hi = recip.lo, recip.hi
+        n = -n
+    if n % 2 == 1:
+        with np.errstate(invalid="ignore"):
+            lo = np.where(
+                np.isfinite(t_lo),
+                np.copysign(np.abs(t_lo) ** (1.0 / n), t_lo),
+                t_lo,
+            )
+            hi = np.where(
+                np.isfinite(t_hi),
+                np.copysign(np.abs(t_hi) ** (1.0 / n), t_hi),
+                t_hi,
+            )
+        tighten(base_slot, _pad_down(lo), _pad_up(hi))
+        return dead
+    # Even power: image is nonnegative.
+    c_lo = np.maximum(t_lo, 0.0)
+    c_hi = t_hi
+    emp = c_lo > c_hi
+    if emp.any():
+        dead = _merge(dead, emp)
+        c_lo = np.where(emp, 0.0, c_lo)
+        c_hi = np.where(emp, 0.0, c_hi)
+    with np.errstate(invalid="ignore", over="ignore"):
+        hi_root = np.where(c_hi < _INF, c_hi ** (1.0 / n), _INF)
+        lo_root = c_lo ** (1.0 / n)
+    hi_root = _pad_up(hi_root)
+    lo_root = _pad_down(lo_root)
+    child_f = _expand(forward[base_slot], m)
+    pos = child_f[0] >= 0.0
+    neg = child_f[1] <= 0.0
+    cand_lo = np.where(pos, np.maximum(lo_root, 0.0), -hi_root)
+    cand_hi = np.where(neg, np.minimum(-lo_root, 0.0), hi_root)
+    tighten(base_slot, cand_lo, cand_hi)
+    return dead
+
+
+def _backward_unary(op: str, child_slot: int, target, tighten, m) -> np.ndarray | None:
+    """Vectorized mirror of the scalar ``_inverse_unary`` rules."""
+    t_lo, t_hi = target
+    if op == "tanh":
+        dead = (t_hi < -1.0) | (t_lo > 1.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            lo = np.where(
+                t_lo <= -1.0,
+                -_INF,
+                _pad_down(np.arctanh(np.clip(t_lo, -1.0, 1.0))),
+            )
+            hi = np.where(
+                t_hi >= 1.0,
+                _INF,
+                _pad_up(np.arctanh(np.clip(t_hi, -1.0, 1.0))),
+            )
+        tighten(child_slot, np.minimum(lo, hi), hi)
+        return dead if dead.any() else None
+    if op == "sigmoid":
+        dead = (t_hi < 0.0) | (t_lo > 1.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            lo = np.where(
+                t_lo <= 0.0,
+                -_INF,
+                _pad_down(_logit(np.clip(t_lo, 0.0, 1.0))),
+            )
+            hi = np.where(
+                t_hi >= 1.0,
+                _INF,
+                _pad_up(_logit(np.clip(t_hi, 0.0, 1.0))),
+            )
+        tighten(child_slot, np.minimum(lo, hi), hi)
+        return dead if dead.any() else None
+    if op == "exp":
+        dead = t_hi <= 0.0
+        any_dead = dead.any()
+        # No subnormal clamp (see IntervalArray.log): np.log is correct
+        # down to 5e-324; clamping would cut the child's true preimage.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            lo = np.where(
+                t_lo <= 0.0,
+                -_INF,
+                _pad_down(np.log(np.abs(t_lo))),
+            )
+            hi = np.where(
+                t_hi < _INF,
+                _pad_up(np.log(np.abs(t_hi))),
+                _INF,
+            )
+        if any_dead:
+            lo = np.where(dead, -_INF, lo)
+            hi = np.where(dead, _INF, hi)
+        tighten(child_slot, np.minimum(lo, hi), hi)
+        return dead if any_dead else None
+    if op == "log":
+        with np.errstate(over="ignore"):
+            lo = np.where(t_lo == -_INF, 0.0, _pad_down(np.exp(t_lo)))
+            hi = np.where(t_hi == _INF, _INF, _pad_up(np.exp(t_hi)))
+        tighten(child_slot, np.maximum(lo, 0.0), hi)
+        return None
+    if op == "sqrt":
+        c_lo = np.maximum(t_lo, 0.0)
+        dead = c_lo > t_hi
+        any_dead = dead.any()
+        if any_dead:
+            c_lo = np.where(dead, 0.0, c_lo)
+            c_hi = np.where(dead, 0.0, t_hi)
+        else:
+            c_hi = t_hi
+        squared = IntervalArray(c_lo, c_hi).sq()
+        tighten(child_slot, _pad_down(squared.lo), _pad_up(squared.hi))
+        return dead if any_dead else None
+    if op == "abs":
+        c_hi = t_hi
+        dead = c_hi < 0.0
+        if dead.any():
+            c_hi = np.where(dead, _INF, c_hi)
+            tighten(child_slot, -c_hi, c_hi)
+            return dead
+        tighten(child_slot, -c_hi, c_hi)
+        return None
+    if op == "atan":
+        c_lo = np.maximum(t_lo, -_HALF_PI)
+        c_hi = np.minimum(t_hi, _HALF_PI)
+        dead = c_lo > c_hi
+        if dead.any():
+            c_lo = np.where(dead, 0.0, c_lo)
+            c_hi = np.where(dead, 0.0, c_hi)
+        with np.errstate(invalid="ignore"):
+            lo = np.where(
+                c_lo <= -_HALF_PI + 1e-12, -_INF, _pad_down(np.tan(c_lo))
+            )
+            hi = np.where(
+                c_hi >= _HALF_PI - 1e-12, _INF, _pad_up(np.tan(c_hi))
+            )
+        tighten(child_slot, lo, hi)
+        return dead if dead.any() else None
+    # sin / cos / tan: periodic inverse skipped (identity is sound).
+    return None
+
+
+def _logit(p: np.ndarray) -> np.ndarray:
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.log(p / (1.0 - p))

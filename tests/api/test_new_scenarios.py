@@ -1,0 +1,87 @@
+"""The bicycle and cartpole scenario registrations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import get_scenario, scenario_names
+from repro.dynamics import cartpole_plant, kinematic_bicycle_plant
+from repro.experiments import format_table1, run_table1
+
+
+class TestRegistration:
+    def test_listed(self):
+        assert {"bicycle", "cartpole"} <= set(scenario_names())
+
+    def test_bicycle_shape(self):
+        scenario = get_scenario("bicycle")
+        assert scenario.dimension == 2
+        assert "paper" in scenario.tags
+        problem = scenario.problem()
+        assert problem.system.state_names == ["ey", "epsi"]
+
+    def test_cartpole_shape(self):
+        scenario = get_scenario("cartpole")
+        assert scenario.dimension == 4
+        problem = scenario.problem()
+        assert problem.system.state_names == ["pos", "vel", "theta", "omega"]
+        # the stress workload ships a bounded solver budget
+        assert scenario.config.icp.max_boxes <= 100_000
+        assert scenario.config.icp.time_limit is not None
+
+
+class TestClosedLoopDynamics:
+    def test_bicycle_converges_from_initial_corner(self):
+        problem = get_scenario("bicycle").problem()
+        x0 = problem.initial_set.upper
+        trace = problem.system.simulator().simulate(x0, 10.0, 0.02)
+        assert np.abs(trace.states[-1]).max() < 1e-2
+        # never leaves the safe rectangle on the way
+        safe = problem.unsafe_set.safe_rectangle
+        assert all(safe.contains(s) for s in trace.states)
+
+    def test_cartpole_balances_from_initial_corner(self):
+        problem = get_scenario("cartpole").problem()
+        x0 = problem.initial_set.upper
+        trace = problem.system.simulator().simulate(x0, 8.0, 0.02)
+        assert np.abs(trace.states[-1]).max() < 1e-2
+        safe = problem.unsafe_set.safe_rectangle
+        assert all(safe.contains(s) for s in trace.states)
+
+
+class TestPlants:
+    def test_bicycle_plant_fields(self):
+        plant = kinematic_bicycle_plant(speed=2.0, wheelbase=0.5)
+        assert plant.state_names == ["ey", "epsi"]
+        assert plant.input_names == ["delta"]
+
+    def test_cartpole_force_vs_acceleration_agree_at_origin(self):
+        import repro.expr as ex
+
+        force = cartpole_plant(control="force")
+        acc = cartpole_plant(control="acceleration")
+        env_f = {"pos": 0.0, "vel": 0.0, "theta": 0.01, "omega": 0.0, "force": 0.0}
+        env_a = {"pos": 0.0, "vel": 0.0, "theta": 0.01, "omega": 0.0, "acc": 0.0}
+        # with zero input and a tiny angle, the force form's pole
+        # acceleration is the acceleration form's scaled by (M+m)/M
+        om_f = ex.evaluate(force.field_exprs[3], env_f)
+        om_a = ex.evaluate(acc.field_exprs[3], env_a)
+        assert abs(om_f - om_a * 1.1) < abs(om_a) * 1e-3
+        # momentum conservation: with F=0 the cart recoils opposite the
+        # falling pole — vel' = -m g sin(th) cos(th) / (M + m sin^2(th))
+        v_f = ex.evaluate(force.field_exprs[1], env_f)
+        expected = -0.1 * 9.81 * np.sin(0.01) * np.cos(0.01) / (1.0 + 0.1 * np.sin(0.01) ** 2)
+        assert v_f == pytest.approx(expected, rel=1e-9)
+        assert v_f < 0.0
+
+
+class TestTable1Coverage:
+    def test_scenario_rows(self):
+        rows = run_table1(neuron_counts=(4,), seeds=(0,), scenarios=("bicycle",))
+        assert len(rows) == 2
+        assert rows[0].label == "" and rows[0].neurons == 4
+        assert rows[1].label == "bicycle"
+        assert rows[1].verified_fraction == 1.0
+        rendered = format_table1(rows)
+        assert "bicycle" in rendered

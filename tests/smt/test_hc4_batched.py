@@ -1,0 +1,227 @@
+"""Frontier-wide HC4 vs the scalar contractor, plus edge-case rules.
+
+Two properties anchor the batched contractor:
+
+* **Soundness** — the contracted frontier must contain every true
+  solution of the constraint inside the original boxes (checked by
+  dense sampling), and a row may be flagged dead only when the box
+  really contains no solution.
+* **Agreement** — on the same frontier the batched pass prunes the same
+  boxes as per-box :func:`repro.smt.contractor.hc4_revise` and contracts
+  to (ulp-comparably) the same sub-boxes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.expr import cos, exp, sin, sqrt, tanh, var
+from repro.intervals import Box, BoxArray, Interval
+from repro.smt import (
+    FrontierContractor,
+    contract_fixpoint,
+    contract_frontier,
+    hc4_revise,
+)
+from repro.smt.constraint import eq, ge, gt, le
+
+RNG = np.random.default_rng(7)
+X, Y = var("x"), var("y")
+NAMES = ["x", "y"]
+
+
+def random_frontier(m, scale=3.0):
+    lo = RNG.uniform(-scale, scale, (m, 2))
+    hi = lo + RNG.exponential(scale / 2.0, (m, 2))
+    return BoxArray(lo, hi)
+
+
+def sample_solutions(constraint, box_lo, box_hi, n=300):
+    """Points of the box satisfying the constraint numerically."""
+    pts = RNG.uniform(box_lo, box_hi, (n, len(box_lo)))
+    tape = constraint.compiled(NAMES)
+    vals = tape.eval_points(pts)
+    rel = constraint.relation.value
+    if rel == "<=":
+        keep = vals <= 0
+    elif rel == "<":
+        keep = vals < 0
+    elif rel == ">=":
+        keep = vals >= 0
+    elif rel == ">":
+        keep = vals > 0
+    else:
+        keep = np.abs(vals) <= 1e-9
+    return pts[keep]
+
+
+CONSTRAINTS = [
+    ge(X * X + Y * Y, 1.0),
+    le(X * X + Y * Y, 2.0),
+    ge(X * Y, 0.5),                      # extended division via Mul backward
+    eq(X * Y - 1.0, 0.0),                # through-zero extended division
+    le(X ** 2 - Y, 0.0),                 # even pow backward
+    ge(X ** 3 + Y, 0.0),                 # odd pow backward
+    le(X ** -2 - Y, 0.0),                # negative exponent backward
+    ge(sin(X) + cos(Y), 1.2),
+    le(tanh(X) - Y, 0.0),
+    ge(exp(X) - 2.0 * Y, 0.0),
+    ge(sqrt(X + 4.0) - Y, 1.0),
+    gt(X / Y, 2.0),                      # Div node, denominator may span 0
+    le(2.0 * X + 3.0 * Y - 1.0, 0.0),    # pure const-affine fast paths
+]
+
+
+@pytest.mark.parametrize("constraint", CONSTRAINTS, ids=lambda c: repr(c)[:40])
+def test_revise_sound_and_agrees_with_scalar(constraint):
+    frontier = random_frontier(40)
+    contractor = FrontierContractor(constraint, NAMES)
+    contracted, alive = contractor.revise(frontier)
+
+    for i in range(len(frontier)):
+        box = frontier.box_at(i)
+        scalar = hc4_revise(constraint, box, NAMES)
+        sols = sample_solutions(constraint, frontier.lo[i], frontier.hi[i])
+        if not alive[i]:
+            # dead row: the box must genuinely contain no solution
+            assert len(sols) == 0, f"row {i} wrongly pruned"
+            assert scalar is None or len(sols) == 0
+            continue
+        # soundness: every sampled solution survives the contraction
+        if len(sols):
+            inside = (
+                (contracted.lo[i] - 1e-9 <= sols)
+                & (sols <= contracted.hi[i] + 1e-9)
+            ).all()
+            assert inside, f"row {i} lost solutions"
+        # agreement: batched and scalar contract to comparable boxes
+        if scalar is not None:
+            s = scalar.to_array()
+            assert np.allclose(contracted.lo[i], s[:, 0], atol=1e-6)
+            assert np.allclose(contracted.hi[i], s[:, 1], atol=1e-6)
+
+
+@pytest.mark.parametrize("constraint", CONSTRAINTS[:8], ids=lambda c: repr(c)[:40])
+def test_contract_frontier_matches_fixpoint(constraint):
+    frontier = random_frontier(25)
+    contractors = [FrontierContractor(constraint, NAMES)]
+    contracted, alive = contract_frontier(contractors, frontier, max_rounds=2)
+    for i in range(len(frontier)):
+        scalar = contract_fixpoint(
+            [constraint], frontier.box_at(i), NAMES, max_rounds=2
+        )
+        if scalar is None:
+            sols = sample_solutions(constraint, frontier.lo[i], frontier.hi[i])
+            assert not alive[i] or len(sols) == 0
+            continue
+        if alive[i]:
+            s = scalar.to_array()
+            assert np.allclose(contracted.lo[i], s[:, 0], atol=1e-6)
+            assert np.allclose(contracted.hi[i], s[:, 1], atol=1e-6)
+
+
+class TestEdgeCases:
+    def test_empty_contraction_kills_row(self):
+        frontier = BoxArray.from_boxes(
+            [
+                Box([Interval(0.0, 1.0), Interval(0.0, 1.0)]),   # no solution
+                Box([Interval(4.0, 6.0), Interval(0.0, 1.0)]),   # solutions
+            ]
+        )
+        contractor = FrontierContractor(ge(X, 3.0), NAMES)
+        contracted, alive = contractor.revise(frontier)
+        assert alive.tolist() == [False, True]
+        assert contracted.lo[1, 0] >= 4.0 - 1e-12
+
+    def test_extended_division_through_zero(self):
+        # x * y == 1 with y spanning zero: the hull is entire, so x keeps
+        # its bounds, but x is tightened where y is one-sided.
+        frontier = BoxArray.from_boxes(
+            [
+                Box([Interval(-8.0, 8.0), Interval(-1.0, 1.0)]),
+                Box([Interval(-8.0, 8.0), Interval(0.5, 1.0)]),
+            ]
+        )
+        contractor = FrontierContractor(eq(X * Y - 1.0, 0.0), NAMES)
+        contracted, alive = contractor.revise(frontier)
+        assert alive.all()
+        # one-sided row: x = 1/y ∈ [1, 2]
+        assert contracted.lo[1, 0] >= 1.0 - 1e-6
+        assert contracted.hi[1, 0] <= 2.0 + 1e-6
+
+    def test_even_pow_backward_symmetric(self):
+        frontier = BoxArray.from_box(
+            Box([Interval(-5.0, 5.0), Interval(0.0, 4.0)])
+        )
+        # x^2 <= y <= 4  =>  x in [-2, 2] (up to contractor padding)
+        contractor = FrontierContractor(le(X ** 2 - 4.0, 0.0), NAMES)
+        contracted, alive = contractor.revise(frontier)
+        assert alive[0]
+        assert contracted.lo[0, 0] == pytest.approx(-2.0, abs=1e-6)
+        assert contracted.hi[0, 0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_even_pow_backward_sign_aware(self):
+        # child known nonnegative: only the positive root survives
+        frontier = BoxArray.from_box(
+            Box([Interval(0.5, 5.0), Interval(0.0, 1.0)])
+        )
+        contractor = FrontierContractor(le(X ** 2 - 4.0, 0.0), NAMES)
+        contracted, alive = contractor.revise(frontier)
+        assert alive[0]
+        assert contracted.lo[0, 0] >= 0.5 - 1e-12
+        assert contracted.hi[0, 0] == pytest.approx(2.0, abs=1e-6)
+
+    def test_odd_pow_backward(self):
+        frontier = BoxArray.from_box(
+            Box([Interval(-5.0, 5.0), Interval(0.0, 1.0)])
+        )
+        # x^3 <= 8  =>  x <= 2
+        contractor = FrontierContractor(le(X ** 3 - 8.0, 0.0), NAMES)
+        contracted, alive = contractor.revise(frontier)
+        assert alive[0]
+        assert contracted.hi[0, 0] == pytest.approx(2.0, abs=1e-5)
+        assert contracted.lo[0, 0] == -5.0
+
+    def test_unbounded_endpoints_survive(self):
+        # forward values become unbounded through 1/x near 0 — the pass
+        # must stay NaN-free and sound
+        frontier = BoxArray.from_boxes(
+            [
+                Box([Interval(-1.0, 1.0), Interval(-1.0, 1.0)]),
+                Box([Interval(1e-300, 1.0), Interval(-1.0, 1.0)]),
+            ]
+        )
+        contractor = FrontierContractor(ge(1.0 / X - Y, 0.0), NAMES)
+        contracted, alive = contractor.revise(frontier)
+        assert not np.isnan(contracted.lo).any()
+        assert not np.isnan(contracted.hi).any()
+        assert alive[1]
+
+    def test_sqrt_domain_violation_kills_row(self):
+        frontier = BoxArray.from_boxes(
+            [
+                Box([Interval(-9.0, -5.0), Interval(0.0, 1.0)]),  # x+4 < 0
+                Box([Interval(0.0, 5.0), Interval(0.0, 1.0)]),
+            ]
+        )
+        contractor = FrontierContractor(ge(sqrt(X + 4.0), 0.0), NAMES)
+        contracted, alive = contractor.revise(frontier)
+        assert alive.tolist() == [False, True]
+
+    def test_constant_constraint_decides_rows(self):
+        frontier = random_frontier(3)
+        sat = FrontierContractor(ge(var("x") * 0.0 + 1.0, 0.5), NAMES)
+        contracted, alive = sat.revise(frontier)
+        assert alive.all()
+        unsat = FrontierContractor(ge(var("x") * 0.0 + 1.0, 2.0), NAMES)
+        contracted, alive = unsat.revise(frontier)
+        assert not alive.any()
+
+    def test_empty_frontier_noop(self):
+        contractor = FrontierContractor(ge(X, 0.0), NAMES)
+        empty = BoxArray.empty(2)
+        contracted, alive = contractor.revise(empty)
+        assert len(contracted) == 0 and alive.shape == (0,)
+        contracted, alive = contract_frontier([contractor], empty)
+        assert len(contracted) == 0

@@ -1,0 +1,191 @@
+"""Batched branch-and-prune vs the scalar solver: verdicts and witnesses.
+
+``BatchedIcpSolver.solve`` mirrors the scalar search decision for
+decision, so single-region queries must return the same verdict and the
+same witness.  ``solve_union`` trades the per-region traversal for one
+union frontier; verdicts stay identical and witnesses must still
+validate and respect the serial lowest-region-first contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.expr import cos, exp, sin, sqrt, tanh, var
+from repro.intervals import Box, Interval
+from repro.smt import (
+    BatchedIcpSolver,
+    IcpConfig,
+    IcpSolver,
+    Verdict,
+    eq,
+    ge,
+    gt,
+    le,
+    solve_conjunction_batched,
+)
+
+X, Y = var("x"), var("y")
+NAMES = ["x", "y"]
+BOX22 = Box([Interval(-2.0, 2.0), Interval(-2.0, 2.0)])
+
+
+CASES = [
+    ([ge(X * X + Y * Y, 1.0), le(X * X + Y * Y, 1.1)], BOX22),
+    ([ge(sin(X) + cos(Y), 1.9)], Box([Interval(-4, 4), Interval(-4, 4)])),
+    ([ge(sin(X) + cos(Y), 2.5)], Box([Interval(-4, 4), Interval(-4, 4)])),
+    ([le(tanh(X) * 2.0 - Y, 0.0), ge(X - Y * Y, 0.5)], Box([Interval(-3, 3), Interval(-3, 3)])),
+    ([eq(X * X - 2.0, 0.0)], Box([Interval(0, 2), Interval(0, 1)])),
+    ([ge(exp(X) - 3.0 * Y, 0.0), le(X + Y, -1.0), ge(Y, 0.25)], Box([Interval(-3, 3), Interval(-3, 3)])),
+    ([ge(sqrt(X) - Y, 1.0)], Box([Interval(0, 4), Interval(-1, 1)])),
+    ([gt(X / Y, 10.0), le(X, 0.5), ge(Y, 0.001)], Box([Interval(0, 1), Interval(0.001, 1)])),
+    ([ge(X * Y, 100.0)], BOX22),
+]
+
+
+@pytest.mark.parametrize("case", range(len(CASES)))
+def test_solve_matches_scalar(case):
+    constraints, region = CASES[case]
+    config = IcpConfig(delta=1e-3)
+    scalar = IcpSolver(config).solve(constraints, region, NAMES)
+    batched = BatchedIcpSolver(config).solve(constraints, region, NAMES)
+    assert batched.verdict is scalar.verdict
+    if scalar.verdict is Verdict.DELTA_SAT:
+        np.testing.assert_allclose(
+            batched.witness, scalar.witness, atol=config.delta
+        )
+        assert batched.witness_validated == scalar.witness_validated
+
+
+def test_no_constraints_trivially_sat():
+    result = BatchedIcpSolver().solve([], BOX22, NAMES)
+    assert result.verdict is Verdict.DELTA_SAT
+    np.testing.assert_allclose(result.witness, [0.0, 0.0])
+
+
+def test_unbounded_region_rejected():
+    from repro.errors import SolverError
+
+    region = Box([Interval.entire(), Interval(0, 1)])
+    with pytest.raises(SolverError):
+        BatchedIcpSolver().solve([ge(X, 0.0)], region, NAMES)
+
+
+def test_max_boxes_budget_unknown():
+    config = IcpConfig(delta=1e-9, max_boxes=50)
+    result = BatchedIcpSolver(config).solve(
+        [eq(X * X + Y * Y - 1.9, 0.0)], BOX22, NAMES
+    )
+    assert result.verdict is Verdict.UNKNOWN
+
+
+def test_contractor_disabled_still_correct():
+    config = IcpConfig(delta=1e-3, use_contractor=False)
+    scalar = IcpSolver(config).solve([ge(X * X + Y * Y, 1.0)], BOX22, NAMES)
+    batched = BatchedIcpSolver(config).solve([ge(X * X + Y * Y, 1.0)], BOX22, NAMES)
+    assert batched.verdict is scalar.verdict is Verdict.DELTA_SAT
+    np.testing.assert_allclose(batched.witness, scalar.witness, atol=1e-3)
+
+
+def test_solve_conjunction_batched_wrapper():
+    result = solve_conjunction_batched([ge(X, 1.5)], BOX22, NAMES)
+    assert result.verdict is Verdict.DELTA_SAT
+    assert result.witness[0] >= 1.5 - 1e-3
+
+
+class TestSolveUnion:
+    def test_unsat_union(self):
+        constraint = ge(X, 100.0)
+        regions = [
+            Box([Interval(-1.0, 0.0), Interval(0, 1)]),
+            Box([Interval(0.0, 1.0), Interval(0, 1)]),
+            Box([Interval(1.0, 2.0), Interval(0, 1)]),
+        ]
+        result = BatchedIcpSolver().solve_union([constraint], regions, NAMES)
+        assert result.verdict is Verdict.UNSAT
+
+    def test_lowest_region_witness_wins(self):
+        # both regions satisfy; the serial contract says region 0 reports
+        constraint = le(X, 10.0)
+        regions = [
+            Box([Interval(5.0, 6.0), Interval(0, 1)]),
+            Box([Interval(-6.0, -5.0), Interval(0, 1)]),
+        ]
+        result = BatchedIcpSolver().solve_union([constraint], regions, NAMES)
+        assert result.verdict is Verdict.DELTA_SAT
+        assert 5.0 <= result.witness[0] <= 6.0
+
+    def test_later_region_wins_only_after_earlier_refuted(self):
+        constraint = ge(X, 1.0)
+        regions = [
+            Box([Interval(-3.0, -2.0), Interval(0, 1)]),  # unsat
+            Box([Interval(0.0, 2.0), Interval(0, 1)]),    # sat
+        ]
+        result = BatchedIcpSolver().solve_union([constraint], regions, NAMES)
+        assert result.verdict is Verdict.DELTA_SAT
+        assert result.witness[0] >= 1.0 - 1e-3
+
+    def test_matches_serial_verdict_on_hard_conjunction(self):
+        constraints = [ge(sin(X) * 4.0 - Y * Y, 0.5), le(X, 1.0)]
+        regions = [
+            Box([Interval(-4.0, -2.0), Interval(-2, 2)]),
+            Box([Interval(-2.0, 0.0), Interval(-2, 2)]),
+            Box([Interval(0.0, 2.0), Interval(-2, 2)]),
+        ]
+        config = IcpConfig(delta=1e-3)
+        serial_verdicts = [
+            IcpSolver(config).solve(constraints, r, NAMES).verdict
+            for r in regions
+        ]
+        union = BatchedIcpSolver(config).solve_union(constraints, regions, NAMES)
+        expected = (
+            Verdict.DELTA_SAT
+            if Verdict.DELTA_SAT in serial_verdicts
+            else Verdict.UNSAT
+        )
+        assert union.verdict is expected
+        if union.verdict is Verdict.DELTA_SAT:
+            assert union.witness_validated
+
+    def test_empty_regions_unsat(self):
+        result = BatchedIcpSolver().solve_union([ge(X, 0.0)], [], NAMES)
+        assert result.verdict is Verdict.UNSAT
+
+    def test_no_constraints_first_region_midpoint(self):
+        regions = [
+            Box([Interval(2.0, 4.0), Interval(0, 1)]),
+            Box([Interval(-4.0, -2.0), Interval(0, 1)]),
+        ]
+        result = BatchedIcpSolver().solve_union([], regions, NAMES)
+        assert result.verdict is Verdict.DELTA_SAT
+        np.testing.assert_allclose(result.witness, [3.0, 0.5])
+
+    def test_budget_exhaustion_matches_serial(self):
+        # serial semantics under exhaustion: region 0 burns its budget
+        # (UNKNOWN), but a later region's δ-SAT still reports — the
+        # union search must agree, with its budget scaled to the
+        # serial aggregate (max_boxes per region).
+        config = IcpConfig(delta=1e-9, max_boxes=60)
+        constraints = [eq(X * X + Y * Y - 1.9, 0.0)]
+        regions = [BOX22, Box([Interval(0, 1), Interval(0, 1)])]
+        serial = [
+            IcpSolver(config).solve(constraints, r, NAMES) for r in regions
+        ]
+        union = BatchedIcpSolver(config).solve_union(
+            constraints, regions, NAMES
+        )
+        expected = (
+            Verdict.DELTA_SAT
+            if any(r.verdict is Verdict.DELTA_SAT for r in serial)
+            else Verdict.UNKNOWN
+        )
+        assert union.verdict is expected
+
+    def test_budget_unknown_when_no_region_resolves(self):
+        config = IcpConfig(delta=1e-12, max_boxes=40, use_contractor=False)
+        regions = [BOX22, Box([Interval(-3, -1), Interval(-3, -1)])]
+        result = BatchedIcpSolver(config).solve_union(
+            [eq(X * X + Y * Y - 1.9, 0.0)], regions, NAMES
+        )
+        assert result.verdict is Verdict.UNKNOWN
