@@ -1,0 +1,88 @@
+"""Sweep-runner benchmark: throughput and cache-hit speedup.
+
+Runs a small dubins-family grid (cheap widths/speeds, paper config)
+twice against a fresh artifact store: the cold pass measures raw
+sweep throughput (scenarios/min across worker processes); the warm pass
+must be served entirely from the content-addressed cache and reproduce
+the identical aggregate report.
+
+Writes ``benchmarks/results/BENCH_sweep.json``.  Acceptance bars: the
+warm pass hits the cache on every point and is >= 20x faster than the
+cold pass.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.api import sweep
+from repro.store import ArtifactStore
+
+#: cheap corner of the dubins family: ~1-3s per point on one core
+GRID = {"speed": "1:2:3", "nn_width": "8,10"}
+WORKERS = 2
+HIT_SPEEDUP_BAR = 20.0
+
+
+def test_sweep_throughput(emit, results_dir, tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+
+    t0 = time.perf_counter()
+    cold = sweep("dubins", grid=GRID, workers=WORKERS, cache=store)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = sweep("dubins", grid=GRID, workers=WORKERS, cache=store)
+    warm_s = time.perf_counter() - t0
+
+    total = cold.total
+    cold_rate = total / cold_s * 60.0
+    warm_rate = total / warm_s * 60.0 if warm_s > 0 else float("inf")
+    hit_rate = warm.cache_hits / warm.total
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+
+    payload = {
+        "benchmark": "sweep-runner throughput + cache-hit rate",
+        "family": "dubins",
+        "grid": GRID,
+        "workers": WORKERS,
+        "points": total,
+        "cold": {
+            "wall_seconds": round(cold_s, 4),
+            "scenarios_per_minute": round(cold_rate, 2),
+            "cache_hits": cold.cache_hits,
+            "verified_fraction": cold.verified_fraction,
+        },
+        "warm": {
+            "wall_seconds": round(warm_s, 4),
+            "scenarios_per_minute": round(warm_rate, 2),
+            "cache_hits": warm.cache_hits,
+            "cache_hit_rate": hit_rate,
+            "speedup_vs_cold": round(speedup, 1),
+        },
+        "store": {
+            "artifacts": store.stats().artifacts,
+            "bytes": store.stats().bytes,
+        },
+        "hit_speedup_bar": HIT_SPEEDUP_BAR,
+    }
+    (results_dir / "BENCH_sweep.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    lines = [
+        f"dubins sweep, {total} points, {WORKERS} workers:",
+        f"  cold  {cold_s:8.2f}s   {cold_rate:8.1f} scenarios/min  "
+        f"(hits {cold.cache_hits}/{total})",
+        f"  warm  {warm_s:8.2f}s   {warm_rate:8.1f} scenarios/min  "
+        f"(hits {warm.cache_hits}/{total}, {speedup:.0f}x)",
+        f"  verified fraction: {cold.verified_fraction:.0%}",
+    ]
+    emit("sweep", "\n".join(lines))
+
+    assert hit_rate == 1.0, f"warm pass missed the cache: {hit_rate:.0%}"
+    assert warm.aggregate() == cold.aggregate(), "aggregate drifted on cache hits"
+    assert speedup >= HIT_SPEEDUP_BAR, (
+        f"cache-hit speedup {speedup:.1f}x below the {HIT_SPEEDUP_BAR}x bar"
+    )

@@ -1,0 +1,739 @@
+"""Scenario families: typed, parameterized scenario factories.
+
+A :class:`ScenarioFamily` turns one hand-built :class:`Scenario` into an
+unbounded parameterized workload: a registered factory taking typed
+parameters (``dubins(nn_width, speed)``, ``bicycle(wheelbase,
+lane_width, speed)``, ...) that instantiates concrete scenarios on
+demand.  Families carry :class:`ParamSpec` metadata — kind, default,
+bounds — so parameter points can be validated, coerced, *enumerated*
+(:meth:`ScenarioFamily.grid`) and *sampled*
+(:meth:`ScenarioFamily.sample`) without touching the factory.
+
+Instantiated scenarios record their ``(family, params)`` identity, which
+is what the content-addressed artifact cache of :mod:`repro.store` keys
+runs on, and what :func:`repro.api.sweep` shards across worker
+processes.
+
+A string-keyed registry mirrors the scenario and engine registries;
+``repro families`` lists it.  Five families ship built in: ``dubins``,
+``bicycle``, ``cartpole``, ``pendulum``, and ``linear``.
+
+The grid mini-language used by the CLI (``repro sweep dubins --grid
+speed=2:6:3 nn_width=8,10``) is :func:`parse_grid_values`:
+``lo:hi:count`` is an inclusive linspace, ``a,b,c`` an explicit list,
+and a bare token a single value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..barrier import Rectangle, RectangleComplement, SynthesisConfig
+from ..dynamics import (
+    ContinuousSystem,
+    cartpole_plant,
+    compose,
+    inverted_pendulum_plant,
+    kinematic_bicycle_plant,
+    stable_linear_system,
+)
+from ..errors import ReproError
+from ..nn import FeedforwardNetwork, Layer
+from ..smt import IcpConfig
+from .scenario import (
+    GAMMA,
+    Scenario,
+    _dubins_system,
+    paper_initial_set,
+    paper_unsafe_set,
+)
+
+__all__ = [
+    "ParamSpec",
+    "ScenarioFamily",
+    "family_names",
+    "format_param_value",
+    "get_family",
+    "list_families",
+    "parse_grid_values",
+    "parse_point_spec",
+    "register_family",
+    "unregister_family",
+]
+
+
+# ----------------------------------------------------------------------
+# Parameter specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParamSpec:
+    """One typed parameter of a scenario family.
+
+    Parameters
+    ----------
+    name:
+        The keyword the family's factory accepts.
+    kind:
+        ``"float"``, ``"int"``, or ``"choice"`` — drives coercion,
+        validation, and random sampling.
+    default:
+        Value used when an instantiation omits the parameter.
+    low, high:
+        Inclusive bounds for numeric parameters; both are required for
+        :meth:`ScenarioFamily.sample` and enforced (when set) by
+        :meth:`ScenarioFamily.instantiate`.
+    choices:
+        The admissible values of a ``"choice"`` parameter.
+    """
+
+    name: str
+    kind: str = "float"
+    default: float | int | str | None = None
+    low: float | None = None
+    high: float | None = None
+    choices: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("float", "int", "choice"):
+            raise ReproError(
+                f"parameter {self.name!r}: kind must be float/int/choice, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "choice" and not self.choices:
+            raise ReproError(f"choice parameter {self.name!r} needs choices")
+
+    def coerce(self, value: object) -> float | int | str:
+        """Validate ``value`` against this spec and return it typed.
+
+        Floats are accepted for ``"int"`` parameters only when integral
+        (``8.0`` coerces to ``8``; ``8.5`` raises), so grid specs like
+        ``nn_width=8:16:3`` stay exact.
+        """
+        if self.kind == "choice":
+            value = str(value)
+            if value not in self.choices:
+                raise ReproError(
+                    f"parameter {self.name!r}: {value!r} is not one of "
+                    f"{', '.join(self.choices)}"
+                )
+            return value
+        try:
+            number = float(value)
+        except (TypeError, ValueError):
+            raise ReproError(
+                f"parameter {self.name!r}: expected a number, got {value!r}"
+            ) from None
+        if not math.isfinite(number):
+            raise ReproError(f"parameter {self.name!r} must be finite")
+        if self.kind == "int":
+            if not float(number).is_integer():
+                raise ReproError(
+                    f"parameter {self.name!r} must be an integer, got {value!r}"
+                )
+            result: float | int = int(number)
+        else:
+            result = number
+        if self.low is not None and number < self.low:
+            raise ReproError(
+                f"parameter {self.name!r}={value!r} below minimum {self.low}"
+            )
+        if self.high is not None and number > self.high:
+            raise ReproError(
+                f"parameter {self.name!r}={value!r} above maximum {self.high}"
+            )
+        return result
+
+
+def format_param_value(value: float | int | str) -> str:
+    """Canonical short rendering of a parameter value.
+
+    Used for instantiated scenario names (``dubins[speed=2,nn_width=8]``)
+    and report keys; floats use ``%g`` so ``2.0`` prints as ``2``.
+
+    >>> format_param_value(2.0)
+    '2'
+    >>> format_param_value(0.125)
+    '0.125'
+    >>> format_param_value("tansig")
+    'tansig'
+    """
+    if isinstance(value, bool) or isinstance(value, str):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:g}"
+
+
+# ----------------------------------------------------------------------
+# Grid / point spec parsing (the CLI mini-language)
+# ----------------------------------------------------------------------
+def parse_grid_values(text: str) -> list[float | str]:
+    """Parse one grid value spec into a list of raw values.
+
+    Three forms:
+
+    * ``lo:hi:count`` — inclusive linspace with ``count`` points,
+    * ``a,b,c`` — explicit comma-separated list,
+    * a bare token — a single value.
+
+    Numeric tokens parse to floats (the family's :class:`ParamSpec`
+    coerces them later); anything else stays a string (for ``choice``
+    parameters).
+
+    >>> parse_grid_values("2:6:3")
+    [2.0, 4.0, 6.0]
+    >>> parse_grid_values("8,10")
+    [8.0, 10.0]
+    >>> parse_grid_values("1.5")
+    [1.5]
+    >>> parse_grid_values("rk4,euler")
+    ['rk4', 'euler']
+    """
+    text = text.strip()
+    if not text:
+        raise ReproError("empty grid value spec")
+    if ":" in text:
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise ReproError(
+                f"range spec must be lo:hi:count, got {text!r}"
+            )
+        try:
+            lo, hi = float(parts[0]), float(parts[1])
+            count = int(parts[2])
+        except ValueError:
+            raise ReproError(f"bad range spec {text!r}") from None
+        if count < 1:
+            raise ReproError(f"range spec {text!r}: count must be >= 1")
+        if count == 1:
+            return [lo]
+        return [float(v) for v in np.linspace(lo, hi, count)]
+    values: list[float | str] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            raise ReproError(f"empty element in list spec {text!r}")
+        try:
+            values.append(float(token))
+        except ValueError:
+            values.append(token)
+    return values
+
+
+def parse_point_spec(text: str) -> tuple[str, dict[str, float | str]]:
+    """Parse a single-point family spec ``family:key=value,key=value``.
+
+    Used by ``repro table1 --families`` and anywhere one concrete
+    instantiation (not a grid) is named on a command line.
+
+    >>> parse_point_spec("bicycle:wheelbase=1.2,speed=2")
+    ('bicycle', {'wheelbase': 1.2, 'speed': 2.0})
+    >>> parse_point_spec("dubins")
+    ('dubins', {})
+    """
+    name, _, rest = text.partition(":")
+    name = name.strip()
+    if not name:
+        raise ReproError(f"family point spec {text!r} needs a family name")
+    params: dict[str, float | str] = {}
+    if rest.strip():
+        for token in rest.split(","):
+            key, eq, value = token.partition("=")
+            key, value = key.strip(), value.strip()
+            if not eq or not key or not value:
+                raise ReproError(
+                    f"bad parameter token {token!r} in {text!r} "
+                    "(expected key=value)"
+                )
+            try:
+                params[key] = float(value)
+            except ValueError:
+                params[key] = value
+    return name, params
+
+
+# ----------------------------------------------------------------------
+# ScenarioFamily
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A registered factory mapping typed parameters to scenarios.
+
+    Parameters
+    ----------
+    name:
+        Registry key (``repro families``, :func:`repro.api.sweep`).
+    description:
+        One-line human summary.
+    factory:
+        Module-level callable taking the family's parameters as
+        keywords and returning a :class:`Scenario`.  Module-level (or
+        :func:`functools.partial` over module-level) so instantiated
+        scenarios pickle into sweep worker processes.
+    parameters:
+        The typed :class:`ParamSpec` tuple; instantiation rejects
+        anything outside it.
+    tags:
+        Free-form grouping labels.
+    """
+
+    name: str
+    description: str
+    factory: Callable[..., Scenario]
+    parameters: tuple[ParamSpec, ...]
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("families need a non-empty name")
+        if not callable(self.factory):
+            raise ReproError("family factory must be callable")
+        seen = set()
+        for spec in self.parameters:
+            if spec.name in seen:
+                raise ReproError(
+                    f"family {self.name!r}: duplicate parameter {spec.name!r}"
+                )
+            seen.add(spec.name)
+
+    @property
+    def parameter_names(self) -> tuple[str, ...]:
+        """The declared parameter names, in declaration order."""
+        return tuple(spec.name for spec in self.parameters)
+
+    def spec(self, name: str) -> ParamSpec:
+        """Look up one parameter spec by name."""
+        for spec in self.parameters:
+            if spec.name == name:
+                return spec
+        known = ", ".join(self.parameter_names) or "<none>"
+        raise ReproError(
+            f"family {self.name!r} has no parameter {name!r} "
+            f"(parameters: {known})"
+        )
+
+    def resolve_params(
+        self, params: Mapping[str, object]
+    ) -> dict[str, float | int | str]:
+        """Coerce/validate a parameter mapping, filling in defaults."""
+        unknown = set(params) - set(self.parameter_names)
+        if unknown:
+            known = ", ".join(self.parameter_names) or "<none>"
+            raise ReproError(
+                f"family {self.name!r}: unknown parameter(s) "
+                f"{', '.join(sorted(unknown))} (parameters: {known})"
+            )
+        resolved: dict[str, float | int | str] = {}
+        for spec in self.parameters:
+            if spec.name in params:
+                resolved[spec.name] = spec.coerce(params[spec.name])
+            elif spec.default is not None:
+                resolved[spec.name] = spec.coerce(spec.default)
+            else:
+                raise ReproError(
+                    f"family {self.name!r}: parameter {spec.name!r} has no "
+                    "default and was not given"
+                )
+        return resolved
+
+    def scenario_name(self, params: Mapping[str, float | int | str]) -> str:
+        """Canonical instantiated-scenario name (params name-sorted)."""
+        inner = ",".join(
+            f"{key}={format_param_value(params[key])}" for key in sorted(params)
+        )
+        return f"{self.name}[{inner}]"
+
+    def instantiate(self, **params: object) -> Scenario:
+        """Build the concrete :class:`Scenario` for one parameter point.
+
+        Parameters are validated and coerced against the family's specs
+        (defaults fill the gaps); the returned scenario carries its
+        ``(family, params)`` identity and the canonical name
+        ``family[key=value,...]``.
+        """
+        resolved = self.resolve_params(params)
+        scenario = self.factory(**resolved)
+        return dataclasses.replace(
+            scenario,
+            name=self.scenario_name(resolved),
+            family=self.name,
+            family_params=tuple(sorted(resolved.items())),
+        )
+
+    def grid(
+        self, axes: Mapping[str, Sequence[object] | str]
+    ) -> list[dict[str, float | int | str]]:
+        """Cartesian product of per-parameter value lists.
+
+        Each axis value may be a sequence of raw values or a grid spec
+        string for :func:`parse_grid_values`.  Unswept parameters keep
+        their defaults (they are *not* part of the returned points).
+        Axis order follows the family's parameter declaration order, so
+        the point list is deterministic regardless of mapping order.
+        """
+        expanded: dict[str, list[float | int | str]] = {}
+        for name, values in axes.items():
+            spec = self.spec(name)
+            raw = parse_grid_values(values) if isinstance(values, str) else values
+            coerced = [spec.coerce(v) for v in raw]
+            if not coerced:
+                raise ReproError(f"grid axis {name!r} has no values")
+            expanded[name] = coerced
+        ordered = [n for n in self.parameter_names if n in expanded]
+        points = [
+            dict(zip(ordered, combo))
+            for combo in itertools.product(*(expanded[n] for n in ordered))
+        ]
+        return points
+
+    def sample(
+        self,
+        count: int,
+        seed: int = 0,
+        overrides: Mapping[str, object] | None = None,
+    ) -> list[dict[str, float | int | str]]:
+        """Draw ``count`` random parameter points (uniform in bounds).
+
+        Numeric parameters need ``low``/``high`` in their spec; choice
+        parameters draw uniformly from their choices.  ``overrides``
+        pins named parameters to fixed values instead of sampling them.
+        Deterministic in ``seed``.
+        """
+        if count < 1:
+            raise ReproError("sample count must be >= 1")
+        rng = np.random.default_rng(seed)
+        fixed = dict(overrides or {})
+        points = []
+        for _ in range(count):
+            point: dict[str, float | int | str] = {}
+            for spec in self.parameters:
+                if spec.name in fixed:
+                    point[spec.name] = spec.coerce(fixed[spec.name])
+                    continue
+                if spec.kind == "choice":
+                    point[spec.name] = str(rng.choice(list(spec.choices)))
+                    continue
+                if spec.low is None or spec.high is None:
+                    raise ReproError(
+                        f"family {self.name!r}: parameter {spec.name!r} has "
+                        "no low/high bounds — pin it via overrides to sample"
+                    )
+                if spec.kind == "int":
+                    point[spec.name] = int(
+                        rng.integers(int(spec.low), int(spec.high) + 1)
+                    )
+                else:
+                    point[spec.name] = float(
+                        rng.uniform(spec.low, spec.high)
+                    )
+            points.append(point)
+        return points
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_FAMILIES: dict[str, ScenarioFamily] = {}
+
+
+def register_family(
+    family: ScenarioFamily, replace: bool = False
+) -> ScenarioFamily:
+    """Add a family to the global registry and return it.
+
+    Re-registering an existing name raises unless ``replace=True``.
+    """
+    if not replace and family.name in _FAMILIES:
+        raise ReproError(
+            f"family {family.name!r} is already registered "
+            "(pass replace=True to overwrite)"
+        )
+    _FAMILIES[family.name] = family
+    return family
+
+
+def unregister_family(name: str) -> None:
+    """Remove a family from the registry (missing names are ignored)."""
+    _FAMILIES.pop(name, None)
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """Look up a registered family by name."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FAMILIES)) or "<none>"
+        raise ReproError(
+            f"unknown family {name!r}; registered families: {known}"
+        ) from None
+
+
+def family_names() -> tuple[str, ...]:
+    """Registered family names, sorted."""
+    return tuple(sorted(_FAMILIES))
+
+
+def list_families() -> tuple[ScenarioFamily, ...]:
+    """All registered families, sorted by name."""
+    return tuple(_FAMILIES[name] for name in sorted(_FAMILIES))
+
+
+# ----------------------------------------------------------------------
+# Built-in family system builders (module-level: picklable)
+# ----------------------------------------------------------------------
+def _bicycle_family_system(
+    speed: float, wheelbase: float, max_steer: float = 0.4
+) -> ContinuousSystem:
+    """Kinematic bicycle + the registered saturating lane-keeping NN."""
+    k1, k2 = 0.5, 1.2
+    plant = kinematic_bicycle_plant(speed=speed, wheelbase=wheelbase)
+    network = FeedforwardNetwork(
+        [
+            Layer(
+                np.array([[k1 / max_steer, k2 / max_steer]]),
+                np.zeros(1),
+                "tansig",
+            ),
+            Layer(np.array([[-max_steer]]), np.zeros(1), "linear"),
+        ]
+    )
+    return compose(plant, network, name="bicycle+lane-keep-nn")
+
+
+def _pendulum_family_system(
+    mass: float, length: float, damping: float
+) -> ContinuousSystem:
+    """Inverted pendulum + the registered saturating tansig PD network."""
+    plant = inverted_pendulum_plant(mass=mass, length=length, damping=damping)
+    kp, kd, squash = 12.0, 4.0, 0.5
+    network = FeedforwardNetwork(
+        [
+            Layer(np.array([[squash, 0.0], [0.0, squash]]), np.zeros(2), "tansig"),
+            Layer(np.array([[-kp / squash, -kd / squash]]), np.zeros(1), "linear"),
+        ]
+    )
+    return compose(plant, network, name="pendulum+pd-nn")
+
+
+def _cartpole_family_system(
+    pole_length: float, max_accel: float
+) -> ContinuousSystem:
+    """Cart-pole (acceleration input) + saturating LQR-gain network."""
+    gains = np.array([[1.0, 2.2, 28.62, 6.52]])
+    plant = cartpole_plant(pole_length=pole_length, control="acceleration")
+    network = FeedforwardNetwork(
+        [
+            Layer(gains / max_accel, np.zeros(1), "tansig"),
+            Layer(np.array([[max_accel]]), np.zeros(1), "linear"),
+        ]
+    )
+    return compose(plant, network, name="cartpole+lqr-nn")
+
+
+def _linear_family_system(damping: float, rotation: float) -> ContinuousSystem:
+    """Stable spiral ``x' = [[-a, b], [-b, -a]] x`` (a=damping, b=rotation)."""
+    return stable_linear_system(
+        np.array([[-damping, rotation], [-rotation, -damping]])
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in family scenario factories
+# ----------------------------------------------------------------------
+def _dubins_family(nn_width: int, speed: float) -> Scenario:
+    """Paper case study at an arbitrary controller width and speed."""
+    return Scenario(
+        name="dubins",
+        description=(
+            f"Dubins error dynamics, width-{nn_width} tansig controller, "
+            f"speed {format_param_value(speed)}"
+        ),
+        system_factory=functools.partial(
+            _dubins_system, hidden_neurons=nn_width, speed=speed
+        ),
+        initial_set=paper_initial_set(),
+        unsafe_set=paper_unsafe_set(),
+        config=SynthesisConfig(gamma=GAMMA),
+        tags=("paper", "family"),
+    )
+
+
+def _bicycle_family(speed: float, wheelbase: float, lane_width: float) -> Scenario:
+    """Lane keeping with the lane half-width as the unsafe boundary."""
+    half = lane_width / 2.0
+    return Scenario(
+        name="bicycle",
+        description=(
+            f"Kinematic-bicycle lane keeping, speed "
+            f"{format_param_value(speed)}, wheelbase "
+            f"{format_param_value(wheelbase)}, lane width "
+            f"{format_param_value(lane_width)}"
+        ),
+        system_factory=functools.partial(
+            _bicycle_family_system, speed=speed, wheelbase=wheelbase
+        ),
+        initial_set=Rectangle([-0.2, -0.15], [0.2, 0.15]),
+        unsafe_set=RectangleComplement(Rectangle([-half, -0.8], [half, 0.8])),
+        tags=("paper", "family"),
+    )
+
+
+def _cartpole_family(pole_length: float, max_accel: float) -> Scenario:
+    """4-D stress workload; keeps the registered capped solver budget."""
+    return Scenario(
+        name="cartpole",
+        description=(
+            f"Cart-pole, pole length {format_param_value(pole_length)}, "
+            f"acceleration cap {format_param_value(max_accel)} "
+            "(capped budget: expect inconclusive)"
+        ),
+        system_factory=functools.partial(
+            _cartpole_family_system,
+            pole_length=pole_length,
+            max_accel=max_accel,
+        ),
+        initial_set=Rectangle(
+            [-0.05, -0.05, -0.05, -0.05], [0.05, 0.05, 0.05, 0.05]
+        ),
+        unsafe_set=RectangleComplement(
+            Rectangle([-1.0, -1.2, -0.3, -1.2], [1.0, 1.2, 0.3, 1.2])
+        ),
+        config=SynthesisConfig(
+            icp=IcpConfig(delta=1e-2, max_boxes=50_000, time_limit=5.0),
+            max_candidate_iterations=2,
+            max_levelset_iterations=3,
+        ),
+        tags=("family", "stress"),
+    )
+
+
+def _pendulum_family(mass: float, length: float, damping: float) -> Scenario:
+    """Inverted pendulum across physical-parameter space."""
+    return Scenario(
+        name="pendulum",
+        description=(
+            f"Inverted pendulum, mass {format_param_value(mass)}, length "
+            f"{format_param_value(length)}, damping "
+            f"{format_param_value(damping)}"
+        ),
+        system_factory=functools.partial(
+            _pendulum_family_system, mass=mass, length=length, damping=damping
+        ),
+        initial_set=Rectangle([-0.15, -0.15], [0.15, 0.15]),
+        unsafe_set=RectangleComplement(Rectangle([-1.0, -3.0], [1.0, 3.0])),
+        tags=("family",),
+    )
+
+
+def _linear_family(damping: float, rotation: float) -> Scenario:
+    """Analytic stable spiral — the fastest family (tests, smoke runs)."""
+    return Scenario(
+        name="linear",
+        description=(
+            f"Stable linear spiral, damping {format_param_value(damping)}, "
+            f"rotation {format_param_value(rotation)}"
+        ),
+        system_factory=functools.partial(
+            _linear_family_system, damping=damping, rotation=rotation
+        ),
+        initial_set=Rectangle([-0.4, -0.4], [0.4, 0.4]),
+        unsafe_set=RectangleComplement(Rectangle([-2.0, -2.0], [2.0, 2.0])),
+        tags=("family",),
+    )
+
+
+def _register_builtin_families() -> None:
+    register_family(
+        ScenarioFamily(
+            name="dubins",
+            description="Paper case study across controller width and speed",
+            factory=_dubins_family,
+            parameters=(
+                ParamSpec(
+                    "nn_width", "int", default=10, low=2, high=1000,
+                    description="hidden-layer width of the tansig controller",
+                ),
+                ParamSpec(
+                    "speed", "float", default=1.0, low=0.25, high=6.0,
+                    description="constant vehicle speed V",
+                ),
+            ),
+            tags=("paper",),
+        )
+    )
+    register_family(
+        ScenarioFamily(
+            name="bicycle",
+            description="Lane keeping across speed, wheelbase, and lane width",
+            factory=_bicycle_family,
+            parameters=(
+                ParamSpec(
+                    "speed", "float", default=1.0, low=0.25, high=4.0,
+                    description="longitudinal speed V",
+                ),
+                ParamSpec(
+                    "wheelbase", "float", default=1.0, low=0.5, high=3.0,
+                    description="wheelbase L",
+                ),
+                ParamSpec(
+                    "lane_width", "float", default=3.0, low=1.0, high=6.0,
+                    description="full lane width (unsafe beyond half of it)",
+                ),
+            ),
+            tags=("paper",),
+        )
+    )
+    register_family(
+        ScenarioFamily(
+            name="cartpole",
+            description="4-D cart-pole stress workload across pole length "
+            "and actuation cap (capped budget)",
+            factory=_cartpole_family,
+            parameters=(
+                ParamSpec(
+                    "pole_length", "float", default=0.5, low=0.25, high=1.0,
+                    description="half-length of the pole",
+                ),
+                ParamSpec(
+                    "max_accel", "float", default=10.0, low=5.0, high=20.0,
+                    description="commanded-acceleration saturation",
+                ),
+            ),
+            tags=("stress",),
+        )
+    )
+    register_family(
+        ScenarioFamily(
+            name="pendulum",
+            description="Inverted pendulum across mass, length, and damping",
+            factory=_pendulum_family,
+            parameters=(
+                ParamSpec("mass", "float", default=0.5, low=0.1, high=1.0),
+                ParamSpec("length", "float", default=0.5, low=0.25, high=1.0),
+                ParamSpec("damping", "float", default=0.1, low=0.01, high=0.5),
+            ),
+        )
+    )
+    register_family(
+        ScenarioFamily(
+            name="linear",
+            description="Analytic stable spiral across damping and rotation "
+            "(the cheapest family — smoke tests and cache demos)",
+            factory=_linear_family,
+            parameters=(
+                ParamSpec("damping", "float", default=0.5, low=0.1, high=2.0),
+                ParamSpec("rotation", "float", default=1.0, low=0.1, high=2.0),
+            ),
+        )
+    )
+
+
+_register_builtin_families()

@@ -82,17 +82,24 @@ class RunArtifact:
     report: SynthesisReport | None = field(
         default=None, repr=False, compare=False
     )
+    #: True when this artifact came out of the :mod:`repro.store` cache
+    #: instead of a fresh solve; in-process only, never serialized (so
+    #: cached and fresh artifacts stay byte-identical as JSON)
+    cached: bool = field(default=False, repr=False, compare=False)
 
     @property
     def synthesis_config(self) -> SynthesisConfig:
         """The run's config, reconstructed from the flattened dict."""
         return synthesis_config_from_dict(self.config)
 
+    #: fields that never serialize (process-local state)
+    _TRANSIENT_FIELDS = ("report", "cached")
+
     def to_dict(self) -> dict:
         """Plain-data view (everything except the live report)."""
         data = {}
         for spec in dataclasses.fields(self):
-            if spec.name == "report":
+            if spec.name in self._TRANSIENT_FIELDS:
                 continue
             value = getattr(self, spec.name)
             data[spec.name] = dict(value) if isinstance(value, dict) else value
@@ -101,7 +108,10 @@ class RunArtifact:
     @classmethod
     def from_dict(cls, data: dict) -> "RunArtifact":
         """Rebuild an artifact from :meth:`to_dict` output."""
-        known = {f for f in cls.__dataclass_fields__ if f != "report"}
+        known = {
+            f for f in cls.__dataclass_fields__
+            if f not in cls._TRANSIENT_FIELDS
+        }
         return cls(**{k: v for k, v in data.items() if k in known})
 
     def to_json(self, indent: int | None = None) -> str:
@@ -121,6 +131,13 @@ def derive_scenario_seed(run_seed: int, scenario_name: str) -> int:
     the batch seed and the scenario's *name* — reordering, filtering, or
     sharding the batch never changes any scenario's seed, and no Python
     process-level hash randomization leaks in.
+
+    >>> derive_scenario_seed(7, "dubins") == derive_scenario_seed(7, "dubins")
+    True
+    >>> derive_scenario_seed(7, "dubins") != derive_scenario_seed(8, "dubins")
+    True
+    >>> derive_scenario_seed(7, "dubins") != derive_scenario_seed(7, "linear")
+    True
     """
     digest = hashlib.sha256(f"{run_seed}:{scenario_name}".encode()).digest()
     return int.from_bytes(digest[:4], "little")
@@ -180,6 +197,7 @@ def run(
     config: SynthesisConfig | None = None,
     progress: ProgressCallback | None = None,
     engine: "str | Engine | None" = None,
+    cache: "object | None" = None,
 ) -> RunArtifact:
     """Verify one scenario (by registry name or object).
 
@@ -188,16 +206,40 @@ def run(
     ``scenario.engine`` > ``config.engine`` — a scenario's engine
     override outranks any config's (bundled or explicit); pass
     ``engine=`` to force a different stack.
+
+    ``cache`` consults the content-addressed artifact store of
+    :mod:`repro.store` before solving and records the artifact after:
+    pass an :class:`~repro.store.ArtifactStore`, a store root path, or
+    ``True`` (default root).  ``None`` defers to the ``REPRO_CACHE``
+    env var; ``False`` disables.  A hit returns the stored artifact
+    (``artifact.cached`` is then True) without running any solver.
     """
+    from ..store import resolve_store, run_key
+
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     effective = config or scenario.config
     engine_obj = _resolve_run_engine(scenario, effective, engine)
+    store = resolve_store(cache)
+    key = None
+    if store is not None:
+        key = run_key(scenario, effective, engine_obj.name)
+        hit = store.get(key)
+        if hit is not None:
+            hit.cached = True
+            return hit
     pipeline = VerificationPipeline(
         config=effective, progress=progress, engine=engine_obj
     )
     outcome = pipeline.run(scenario.problem())
-    return _artifact_from_run(scenario, effective, outcome, engine_obj.name)
+    artifact = _artifact_from_run(scenario, effective, outcome, engine_obj.name)
+    if store is not None and key is not None and artifact.status != "inconclusive":
+        # Inconclusive means a solver *budget* ran out — wall-clock
+        # time limits make that outcome machine/load-dependent, so
+        # freezing it in a content-addressed store would serve stale
+        # "unknown"s forever.  Definite outcomes only.
+        store.put(key, artifact)
+    return artifact
 
 
 def _execute(
@@ -205,11 +247,12 @@ def _execute(
     config: SynthesisConfig | None,
     strip_report: bool,
     engine: "str | Engine | None" = None,
+    cache: "object | None" = False,
 ) -> RunArtifact:
     """Batch worker: never raises — failures become error artifacts."""
     name = scenario.name
     try:
-        artifact = run(scenario, config=config, engine=engine)
+        artifact = run(scenario, config=config, engine=engine, cache=cache)
     except Exception as exc:  # noqa: BLE001 — one bad scenario must not kill the batch
         artifact = RunArtifact(
             scenario=name,
@@ -251,6 +294,7 @@ def run_batch(
     config: SynthesisConfig | None = None,
     seed: int | None = None,
     engine: "str | Engine | None" = None,
+    cache: "object | None" = None,
 ) -> list[RunArtifact]:
     """Verify many scenarios, process-parallel, preserving input order.
 
@@ -268,7 +312,18 @@ def run_batch(
     eagerly in this process (failing fast on unknown names, like
     scenario names), so user-registered engines, which spawn-started
     workers do not inherit, still work.
+
+    ``cache`` wires every run through the :mod:`repro.store` artifact
+    cache (same semantics as :func:`run`); the store is resolved once
+    here in the parent, so the env-var/default lookup happens exactly
+    once and workers receive the concrete store.
     """
+    from ..store import resolve_store
+
+    # Resolve once, here: workers receive the concrete store, or the
+    # explicit False sentinel so an inherited REPRO_CACHE env var can
+    # never re-enable a cache this call disabled.
+    store = resolve_store(cache) or False
     resolved = _as_scenarios(scenarios)
     if not resolved:
         return []
@@ -295,7 +350,7 @@ def run_batch(
 
     if workers == 1 or len(resolved) == 1:
         return [
-            _execute(scenario, cfg, strip_report=False, engine=eng)
+            _execute(scenario, cfg, strip_report=False, engine=eng, cache=store)
             for scenario, cfg, eng in zip(resolved, configs, engines)
         ]
 
@@ -310,14 +365,17 @@ def run_batch(
     results: list[RunArtifact | None] = [None] * len(resolved)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
-            i: pool.submit(_execute, scenario, configs[i], True, engines[i])
+            i: pool.submit(
+                _execute, scenario, configs[i], True, engines[i], store
+            )
             for i, (scenario, ok) in enumerate(zip(resolved, picklable))
             if ok
         }
         for i, ok in enumerate(picklable):
             if not ok:
                 results[i] = _execute(
-                    resolved[i], configs[i], strip_report=False, engine=engines[i]
+                    resolved[i], configs[i], strip_report=False,
+                    engine=engines[i], cache=store,
                 )
         for i, future in futures.items():
             results[i] = future.result()

@@ -177,6 +177,13 @@ class Scenario:
     #: :func:`repro.api.run` — only an explicit ``engine=`` argument
     #: overrides it.
     engine: str | None = None
+    #: name of the :class:`~repro.api.family.ScenarioFamily` this
+    #: scenario was instantiated from (None for hand-built scenarios)
+    family: str | None = None
+    #: the instantiation parameters, as a name-sorted tuple of
+    #: ``(name, value)`` pairs — hashable, picklable, and the identity
+    #: half of the :mod:`repro.store` cache key for family runs
+    family_params: tuple[tuple[str, float | int | str], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -3,19 +3,25 @@
 Commands
 --------
 scenarios list the registered verification scenarios (``--json`` for tooling)
+families  list the registered scenario families + their parameters
 engines   list the registered solver engines (``--json`` for tooling)
 verify    run the Figure-1 verification on a registered scenario
           (``--scenario``) or on the paper's Dubins case study with a
           hand-built, trained, or JSON-loaded controller
 batch     verify several scenarios in parallel worker processes
+sweep     shard a family's parameter grid across workers, skipping the
+          content-addressed artifact cache's hits
 train     CMA-ES policy search; optionally save the controller
 falsify   simulation-based falsification baseline on the same problem
-table1    regenerate Table 1
+table1    regenerate Table 1 (``--families`` appends family rows)
 figure4   regenerate Figure 4's training-evolution metrics
 figure5   regenerate Figure 5 (phase portrait, ASCII)
 
-``verify``, ``batch``, and ``table1`` accept ``--engine`` to pick the
-solver stack (``repro engines`` lists them; default ``native``).
+``verify``, ``batch``, ``sweep``, and ``table1`` accept ``--engine`` to
+pick the solver stack (``repro engines`` lists them; default
+``native``).  ``sweep`` caches artifacts under ``$REPRO_STORE`` (default
+``~/.cache/repro/store``); ``REPRO_CACHE=1`` opts ``verify``/``batch``
+into the same cache.
 """
 
 from __future__ import annotations
@@ -42,6 +48,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_scenarios = sub.add_parser("scenarios", help="list registered scenarios")
     p_scenarios.add_argument(
+        "--json", action="store_true",
+        help="emit the registry as JSON (for tooling)",
+    )
+
+    p_families = sub.add_parser(
+        "families", help="list registered scenario families"
+    )
+    p_families.add_argument(
         "--json", action="store_true",
         help="emit the registry as JSON (for tooling)",
     )
@@ -109,6 +123,51 @@ def build_parser() -> argparse.ArgumentParser:
         "synthesis seed, making artifacts reproducible for any --workers",
     )
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="sweep a scenario family's parameter space (cached, sharded)",
+    )
+    p_sweep.add_argument(
+        "family", metavar="FAMILY",
+        help="registered family name (see `repro families`)",
+    )
+    p_sweep.add_argument(
+        "--grid", nargs="+", metavar="PARAM=SPEC", default=[],
+        help="parameter axes: lo:hi:count linspace (speed=2:6:3), "
+        "comma list (nn_width=8,10), or a single value",
+    )
+    p_sweep.add_argument(
+        "--samples", type=int, default=None,
+        help="instead of --grid: draw N uniform random points within "
+        "each parameter's declared bounds",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for cache misses (default: auto)",
+    )
+    p_sweep.add_argument(
+        "--seed", type=int, default=0,
+        help="sweep seed: sampling + per-point synthesis seeds derive "
+        "from it (default 0)",
+    )
+    p_sweep.add_argument(
+        "--engine", type=str, default=None,
+        help="solver engine for every run (see `repro engines`)",
+    )
+    p_sweep.add_argument(
+        "--store", type=str, default=None, metavar="DIR",
+        help="artifact cache directory (default: $REPRO_STORE or "
+        "~/.cache/repro/store)",
+    )
+    p_sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact cache (re-run every point)",
+    )
+    p_sweep.add_argument(
+        "--json", type=str, default="", metavar="FILE",
+        help="write the full sweep report (aggregate + runs) as JSON",
+    )
+
     p_train = sub.add_parser("train", help="CMA-ES policy search")
     p_train.add_argument("--neurons", type=int, default=10)
     p_train.add_argument("--seed", type=int, default=0)
@@ -148,6 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenarios", type=str, nargs="+", default=[],
         help="registered scenario names appended as extra table rows "
         "(e.g. bicycle cartpole)",
+    )
+    p_table1.add_argument(
+        "--families", type=str, nargs="+", default=[],
+        metavar="FAMILY[:K=V,...]",
+        help="family instantiations appended as extra rows "
+        "(e.g. bicycle:wheelbase=1.5 dubins:speed=2)",
     )
 
     p_fig4 = sub.add_parser("figure4", help="regenerate Figure 4 metrics")
@@ -207,6 +272,95 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         )
     print(f"\n{len(scenarios)} scenarios registered")
     return 0
+
+
+def _cmd_families(args: argparse.Namespace) -> int:
+    import json
+
+    from .api import list_families
+
+    families = list_families()
+    if args.json:
+        payload = [
+            {
+                "name": f.name,
+                "description": f.description,
+                "tags": list(f.tags),
+                "parameters": [
+                    {
+                        "name": p.name,
+                        "kind": p.kind,
+                        "default": p.default,
+                        "low": p.low,
+                        "high": p.high,
+                        "choices": list(p.choices),
+                        "description": p.description,
+                    }
+                    for p in f.parameters
+                ],
+            }
+            for f in families
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    width = max(len(f.name) for f in families)
+    for family in families:
+        params = ", ".join(
+            f"{p.name}={p.default}" for p in family.parameters
+        )
+        print(f"{family.name:<{width}}  ({params})  {family.description}")
+    print(f"\n{len(families)} families registered")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .api import sweep
+    from .errors import ReproError
+
+    grid = None
+    if args.grid:
+        grid = {}
+        for token in args.grid:
+            key, eq, value = token.partition("=")
+            if not eq or not key.strip() or not value.strip():
+                raise ReproError(
+                    f"bad --grid token {token!r} (expected PARAM=SPEC)"
+                )
+            grid[key.strip()] = value.strip()
+    cache: object
+    if args.no_cache:
+        cache = False
+    elif args.store:
+        cache = args.store
+    else:
+        cache = True
+    report = sweep(
+        args.family,
+        grid=grid,
+        samples=args.samples,
+        seed=args.seed,
+        workers=args.workers,
+        engine=args.engine,
+        cache=cache,
+    )
+    width = max((len(a.scenario) for a in report.artifacts), default=8)
+    for artifact in report.artifacts:
+        level = f"level {artifact.level:.6g}" if artifact.verified else ""
+        hit = " [cached]" if artifact.cached else ""
+        error = f" ({artifact.error})" if artifact.error else ""
+        print(
+            f"{artifact.scenario:<{width}}  {artifact.status:<14} "
+            f"{artifact.total_seconds:7.2f}s  {level}{hit}{error}"
+        )
+    print()
+    print(report.format())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report written to {args.json}")
+    return 0 if not any(a.error for a in report.artifacts) else 1
 
 
 def _cmd_engines(args: argparse.Namespace) -> int:
@@ -365,6 +519,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         workers=args.workers,
         engine=args.engine,
         scenarios=tuple(args.scenarios),
+        families=tuple(args.families),
     )
     print(format_table1(rows))
     return 0
@@ -396,9 +551,11 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "scenarios": _cmd_scenarios,
+    "families": _cmd_families,
     "engines": _cmd_engines,
     "verify": _cmd_verify,
     "batch": _cmd_batch,
+    "sweep": _cmd_sweep,
     "train": _cmd_train,
     "falsify": _cmd_falsify,
     "table1": _cmd_table1,

@@ -39,6 +39,7 @@ class BatchedSmtBackend:
         names: Sequence[str],
         config: IcpConfig | None = None,
     ) -> SmtResult:
+        """Group shared-constraint subproblems into union-seeded solves."""
         solver = BatchedIcpSolver(config)
         delta = solver.config.delta
         if not subproblems:

@@ -35,6 +35,7 @@ class NativeSimBackend:
         method: str = "rk4",
         stop_condition: Callable[[np.ndarray], bool] | None = None,
     ) -> list[Trace]:
+        """Integrate each initial state into a :class:`Trace`, serially."""
         simulator = system.simulator(method=method)
         return simulator.simulate_batch(
             initial_states, duration, dt, stop_condition=stop_condition
@@ -54,6 +55,7 @@ class NativeLpBackend:
         config: LpConfig | None = None,
         separation: "tuple[np.ndarray, np.ndarray] | None" = None,
     ) -> GeneratorCandidate:
+        """Fit a generator candidate to trace points via the margin LP."""
         from ..barrier.lp import fit_generator
 
         return fit_generator(
@@ -72,4 +74,5 @@ class SerialSmtBackend:
         names: Sequence[str],
         config: IcpConfig | None = None,
     ) -> SmtResult:
+        """Solve the subproblems one box at a time with the scalar ICP."""
         return check_exists_on_boxes(subproblems, names, config)

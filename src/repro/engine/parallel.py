@@ -65,6 +65,11 @@ class ParallelSmtBackend:
         names: Sequence[str],
         config: IcpConfig | None = None,
     ) -> SmtResult:
+        """Dispatch independent subproblem boxes across a thread pool.
+
+        Witness selection is serial-identical: results merge in input
+        order, so the reported witness matches the serial backend's.
+        """
         solver = self.solver_factory(config)
         delta = solver.config.delta
         if not subproblems:

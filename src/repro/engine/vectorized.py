@@ -75,6 +75,7 @@ class VectorizedSimBackend:
         method: str = "rk4",
         stop_condition: Callable[[np.ndarray], bool] | None = None,
     ) -> list[Trace]:
+        """Advance every initial state in one array pass per RK stage."""
         stepper = _BATCH_STEPPERS.get(method.lower())
         if stepper is None:
             # Adaptive integrators choose per-trajectory step sizes; the

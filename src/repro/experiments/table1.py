@@ -26,7 +26,14 @@ import numpy as np
 
 import dataclasses
 
-from ..api import case_study_controller, dubins_scenario, get_scenario, run_batch
+from ..api import (
+    case_study_controller,
+    dubins_scenario,
+    get_family,
+    get_scenario,
+    parse_point_spec,
+    run_batch,
+)
 from ..barrier import SynthesisConfig
 from ..smt import IcpConfig
 
@@ -65,6 +72,7 @@ def run_table1(
     workers: int = 1,
     engine: str | None = None,
     scenarios: Sequence[str] = (),
+    families: Sequence[str] = (),
 ) -> list[Table1Row]:
     """Regenerate Table 1 through :mod:`repro.api`.
 
@@ -83,6 +91,13 @@ def run_table1(
     in the same columns — the table-1 treatment for workloads beyond
     the paper's width sweep.  Scenario rows keep their registered
     synthesis config (seed overridden per run).
+
+    ``families`` appends one row per family *instantiation* spec, e.g.
+    ``("bicycle:wheelbase=1.5", "dubins:speed=2,nn_width=20")`` — each
+    parsed by :func:`repro.api.parse_point_spec`, instantiated through
+    the family registry, and run over the same seeds.  Family rows are
+    labeled with the instantiated scenario name
+    (``bicycle[lane_width=3,speed=1,wheelbase=1.5]``).
     """
     # The per-run seed drives only the synthesis (seed-trace sampling):
     # each width uses one controller across all seeds.  Trained
@@ -110,15 +125,34 @@ def run_table1(
         for name in scenarios
         for seed in seeds
     ]
+    family_points = [
+        get_family(fname).instantiate(**params)
+        for fname, params in (parse_point_spec(spec) for spec in families)
+    ]
+    family_runs = [
+        dataclasses.replace(
+            point,
+            name=f"{point.name}-seed{seed}",
+            config=dataclasses.replace(point.config, seed=seed),
+        )
+        for point in family_points
+        for seed in seeds
+    ]
     artifacts = run_batch(
-        list(workloads) + scenario_runs, workers=max(1, workers), engine=engine
+        list(workloads) + scenario_runs + family_runs,
+        workers=max(1, workers),
+        engine=engine,
     )
     failed = [a for a in artifacts if a.error]
     if failed:
         details = "; ".join(f"{a.scenario}: {a.error}" for a in failed)
         raise RuntimeError(f"table1 runs failed — {details}")
     per_width = len(seeds)
-    labels = [(n, "") for n in neuron_counts] + [(0, name) for name in scenarios]
+    labels = (
+        [(n, "") for n in neuron_counts]
+        + [(0, name) for name in scenarios]
+        + [(0, point.name) for point in family_points]
+    )
     rows = []
     for i, (neurons, label) in enumerate(labels):
         group = artifacts[i * per_width : (i + 1) * per_width]

@@ -74,7 +74,7 @@ class IntervalArray:
     Examples
     --------
     >>> x = IntervalArray([0.0, -1.0], [1.0, 2.0])
-    >>> (x + x).hi[0] >= 2.0
+    >>> bool((x + x).hi[0] >= 2.0)
     True
     >>> x.contains(0.5).tolist()
     [True, True]
@@ -128,10 +128,12 @@ class IntervalArray:
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, ...]:
+        """Shape shared by the ``lo``/``hi`` endpoint arrays."""
         return self.lo.shape
 
     @property
     def size(self) -> int:
+        """Total number of interval members in the batch."""
         return self.lo.size
 
     def __len__(self) -> int:
@@ -196,6 +198,7 @@ class IntervalArray:
         return (self.lo <= other.lo) & (other.hi <= self.hi)
 
     def strictly_contains_zero(self) -> np.ndarray:
+        """Per-member mask: does the open interior contain zero?"""
         return (self.lo < 0.0) & (0.0 < self.hi)
 
     # ------------------------------------------------------------------
@@ -324,12 +327,14 @@ class IntervalArray:
         return IntervalArray(lo, hi)
 
     def min_with(self, other: "IntervalArray | float") -> "IntervalArray":
+        """Per-member interval image of ``min(self, other)``."""
         other = _coerce(other, self.shape)
         return IntervalArray(
             np.minimum(self.lo, other.lo), np.minimum(self.hi, other.hi)
         )
 
     def max_with(self, other: "IntervalArray | float") -> "IntervalArray":
+        """Per-member interval image of ``max(self, other)``."""
         other = _coerce(other, self.shape)
         return IntervalArray(
             np.maximum(self.lo, other.lo), np.maximum(self.hi, other.hi)
@@ -350,6 +355,7 @@ class IntervalArray:
         return IntervalArray(lo, hi)
 
     def exp(self) -> "IntervalArray":
+        """Exponential (monotone; endpoints widened by 2 ulps)."""
         with np.errstate(over="ignore"):
             lo = np.maximum(next_down_array(np.exp(self.lo), 2), 0.0)
             hi = next_up_array(np.exp(self.hi), 2)
@@ -378,6 +384,7 @@ class IntervalArray:
         return IntervalArray(lo, hi)
 
     def tanh(self) -> "IntervalArray":
+        """Hyperbolic tangent, clamped to [-1, 1]."""
         # NumPy's SIMD tanh strays up to ~3 ulps from libm's: widen by 4.
         return IntervalArray(
             np.maximum(next_down_array(np.tanh(self.lo), 4), -1.0),
@@ -385,6 +392,7 @@ class IntervalArray:
         )
 
     def sigmoid(self) -> "IntervalArray":
+        """Logistic sigmoid ``1 / (1 + exp(-x))``, clamped to [0, 1]."""
         # Composed through exp and a divide: widen by 4 like tanh.
         return IntervalArray(
             np.maximum(next_down_array(_sigmoid(self.lo), 4), 0.0),
@@ -392,15 +400,18 @@ class IntervalArray:
         )
 
     def atan(self) -> "IntervalArray":
+        """Arctangent (monotone; endpoints widened by 2 ulps)."""
         return IntervalArray(
             next_down_array(np.arctan(self.lo), 2),
             next_up_array(np.arctan(self.hi), 2),
         )
 
     def sin(self) -> "IntervalArray":
+        """Sine, with peak/trough detection across the period."""
         return _periodic_image(self, np.sin, peak_offset=_HALF_PI)
 
     def cos(self) -> "IntervalArray":
+        """Cosine, with peak/trough detection across the period."""
         return _periodic_image(self, np.cos, peak_offset=0.0)
 
     def tan(self) -> "IntervalArray":
@@ -632,6 +643,7 @@ class BoxArray:
     # ------------------------------------------------------------------
     @property
     def dimension(self) -> int:
+        """Ambient state dimension ``n`` of every box in the frontier."""
         return self.lo.shape[1]
 
     def __len__(self) -> int:

@@ -1,0 +1,38 @@
+"""Persistent content-addressed artifact store (the sweep cache).
+
+One import serves the whole caching surface::
+
+    from repro.store import ArtifactStore, run_key
+
+    store = ArtifactStore("/tmp/my-store")
+    key = run_key(scenario, config, "native")
+    hit = store.get(key)          # None on a miss
+    store.put(key, artifact)      # atomic write
+
+:func:`repro.api.run` / ``run_batch`` consult a store when asked (the
+``cache`` argument or the ``REPRO_CACHE`` env var) and
+:func:`repro.api.sweep` caches by default — see :mod:`repro.store.cache`
+for the fingerprint/key scheme and the env vars.
+"""
+
+from .cache import (
+    CACHE_ENV,
+    STORE_ENV,
+    ArtifactStore,
+    StoreStats,
+    default_store_root,
+    resolve_store,
+    run_fingerprint,
+    run_key,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CACHE_ENV",
+    "STORE_ENV",
+    "StoreStats",
+    "default_store_root",
+    "resolve_store",
+    "run_fingerprint",
+    "run_key",
+]

@@ -1,0 +1,226 @@
+"""Scenario families: specs, registry, grid/sample enumeration."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.api import (
+    ParamSpec,
+    Scenario,
+    ScenarioFamily,
+    family_names,
+    get_family,
+    list_families,
+    parse_grid_values,
+    parse_point_spec,
+    register_family,
+    unregister_family,
+)
+from repro.api.family import format_param_value
+from repro.errors import ReproError
+
+
+# ----------------------------------------------------------------------
+# ParamSpec
+# ----------------------------------------------------------------------
+class TestParamSpec:
+    def test_float_coercion(self):
+        spec = ParamSpec("speed", "float", default=1.0, low=0.5, high=2.0)
+        assert spec.coerce("1.5") == 1.5
+        assert spec.coerce(1) == 1.0
+
+    def test_int_rejects_fractional(self):
+        spec = ParamSpec("width", "int", default=10)
+        assert spec.coerce(8.0) == 8
+        assert isinstance(spec.coerce(8.0), int)
+        with pytest.raises(ReproError, match="integer"):
+            spec.coerce(8.5)
+
+    def test_bounds_enforced(self):
+        spec = ParamSpec("speed", "float", low=0.5, high=2.0)
+        with pytest.raises(ReproError, match="below minimum"):
+            spec.coerce(0.1)
+        with pytest.raises(ReproError, match="above maximum"):
+            spec.coerce(3.0)
+
+    def test_choice_validation(self):
+        spec = ParamSpec("method", "choice", choices=("rk4", "euler"))
+        assert spec.coerce("rk4") == "rk4"
+        with pytest.raises(ReproError, match="not one of"):
+            spec.coerce("midpoint")
+
+    def test_choice_without_choices_rejected(self):
+        with pytest.raises(ReproError, match="needs choices"):
+            ParamSpec("method", "choice")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="kind"):
+            ParamSpec("x", "complex")
+
+    def test_non_numeric_rejected(self):
+        spec = ParamSpec("speed", "float")
+        with pytest.raises(ReproError, match="expected a number"):
+            spec.coerce("fast")
+
+
+# ----------------------------------------------------------------------
+# Grid spec mini-language
+# ----------------------------------------------------------------------
+class TestGridSpecs:
+    def test_linspace(self):
+        assert parse_grid_values("2:6:3") == [2.0, 4.0, 6.0]
+
+    def test_linspace_single_point(self):
+        assert parse_grid_values("2:6:1") == [2.0]
+
+    def test_comma_list(self):
+        assert parse_grid_values("8,10") == [8.0, 10.0]
+
+    def test_single_value(self):
+        assert parse_grid_values("1.5") == [1.5]
+
+    def test_string_choices(self):
+        assert parse_grid_values("rk4,euler") == ["rk4", "euler"]
+
+    @pytest.mark.parametrize("bad", ["", "1:2", "1:2:3:4", "a:b:c", "2:6:0", "1,,2"])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ReproError):
+            parse_grid_values(bad)
+
+    def test_point_spec(self):
+        name, params = parse_point_spec("bicycle:wheelbase=1.2,speed=2")
+        assert name == "bicycle"
+        assert params == {"wheelbase": 1.2, "speed": 2.0}
+
+    def test_point_spec_no_params(self):
+        assert parse_point_spec("dubins") == ("dubins", {})
+
+    def test_point_spec_malformed(self):
+        with pytest.raises(ReproError):
+            parse_point_spec("dubins:speed")
+
+    def test_format_param_value(self):
+        assert format_param_value(2.0) == "2"
+        assert format_param_value(8) == "8"
+        assert format_param_value(0.125) == "0.125"
+
+
+# ----------------------------------------------------------------------
+# Builtin families
+# ----------------------------------------------------------------------
+class TestBuiltinFamilies:
+    def test_builtins_registered(self):
+        names = family_names()
+        for expected in ("dubins", "bicycle", "cartpole", "pendulum", "linear"):
+            assert expected in names
+
+    def test_list_families_sorted(self):
+        families = list_families()
+        assert [f.name for f in families] == sorted(f.name for f in families)
+
+    def test_instantiate_defaults(self):
+        scenario = get_family("dubins").instantiate()
+        assert isinstance(scenario, Scenario)
+        assert scenario.family == "dubins"
+        assert scenario.name == "dubins[nn_width=10,speed=1]"
+        assert dict(scenario.family_params) == {"nn_width": 10, "speed": 1.0}
+
+    def test_instantiate_rejects_unknown_param(self):
+        with pytest.raises(ReproError, match="unknown parameter"):
+            get_family("dubins").instantiate(wheelbase=2.0)
+
+    def test_instantiated_scenario_pickles(self):
+        scenario = get_family("bicycle").instantiate(wheelbase=1.5)
+        clone = pickle.loads(pickle.dumps(scenario))
+        assert clone.name == scenario.name
+        assert clone.family_params == scenario.family_params
+
+    def test_instantiated_system_builds(self):
+        scenario = get_family("linear").instantiate(damping=0.7)
+        system = scenario.system_factory()
+        assert system.dimension == scenario.dimension
+
+    def test_bicycle_lane_width_moves_unsafe_set(self):
+        narrow = get_family("bicycle").instantiate(lane_width=2.0)
+        wide = get_family("bicycle").instantiate(lane_width=4.0)
+        assert narrow.unsafe_set.safe_rectangle.upper[0] == 1.0
+        assert wide.unsafe_set.safe_rectangle.upper[0] == 2.0
+
+    def test_grid_enumeration(self):
+        fam = get_family("dubins")
+        points = fam.grid({"speed": "1:2:2", "nn_width": [8, 10]})
+        assert len(points) == 4
+        assert {"nn_width": 8, "speed": 1.0} in points
+        widths = {p["nn_width"] for p in points}
+        assert widths == {8, 10}
+        assert all(isinstance(p["nn_width"], int) for p in points)
+
+    def test_grid_deterministic_order(self):
+        fam = get_family("dubins")
+        a = fam.grid({"speed": "1:2:2", "nn_width": "8,10"})
+        b = fam.grid({"nn_width": "8,10", "speed": "1:2:2"})
+        assert a == b  # declaration order, not mapping order
+
+    def test_sample_deterministic_and_bounded(self):
+        fam = get_family("pendulum")
+        a = fam.sample(5, seed=3)
+        b = fam.sample(5, seed=3)
+        assert a == b
+        assert fam.sample(5, seed=4) != a
+        for point in a:
+            assert 0.1 <= point["mass"] <= 1.0
+            assert 0.25 <= point["length"] <= 1.0
+
+    def test_sample_with_overrides(self):
+        fam = get_family("dubins")
+        points = fam.sample(3, seed=0, overrides={"speed": 1.0})
+        assert all(p["speed"] == 1.0 for p in points)
+        assert all(isinstance(p["nn_width"], int) for p in points)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def _toy_factory() -> Scenario:
+    return get_family("linear").factory(damping=0.5, rotation=1.0)
+
+
+class TestRegistry:
+    def test_register_and_unregister(self):
+        family = ScenarioFamily(
+            name="toy-family",
+            description="test-only",
+            factory=lambda: _toy_factory(),
+            parameters=(),
+        )
+        try:
+            register_family(family)
+            assert get_family("toy-family") is family
+            with pytest.raises(ReproError, match="already registered"):
+                register_family(family)
+            register_family(family, replace=True)
+        finally:
+            unregister_family("toy-family")
+        with pytest.raises(ReproError, match="unknown family"):
+            get_family("toy-family")
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(ReproError, match="duplicate parameter"):
+            ScenarioFamily(
+                name="dup",
+                description="",
+                factory=_toy_factory,
+                parameters=(ParamSpec("a"), ParamSpec("a")),
+            )
+
+    def test_missing_required_parameter(self):
+        family = ScenarioFamily(
+            name="no-default",
+            description="",
+            factory=_toy_factory,
+            parameters=(ParamSpec("a", "float"),),
+        )
+        with pytest.raises(ReproError, match="no default"):
+            family.resolve_params({})

@@ -1,0 +1,193 @@
+"""Sweep runner: sharding, cache skipping, deterministic aggregates."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.errors import ReproError
+from repro.store import ArtifactStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+GRID = {"damping": "0.4:0.8:3"}
+
+
+class TestSweep:
+    def test_grid_sweep_end_to_end(self, store):
+        report = api.sweep("linear", grid=GRID, workers=1, cache=store)
+        assert report.family == "linear"
+        assert report.total == 3
+        assert report.cache_hits == 0
+        assert report.verified_fraction == 1.0
+        assert len(report.points) == len(report.artifacts) == 3
+        assert store.stats().artifacts == 3
+
+    def test_second_invocation_all_hits_identical_aggregate(self, store):
+        cold = api.sweep("linear", grid=GRID, workers=1, cache=store)
+        warm = api.sweep("linear", grid=GRID, workers=1, cache=store)
+        assert warm.cache_hits == warm.total == 3
+        assert warm.aggregate() == cold.aggregate()
+        assert [a.to_json() for a in warm.artifacts] == [
+            a.to_json() for a in cold.artifacts
+        ]
+
+    def test_partial_cache_reuses_overlap(self, store):
+        api.sweep("linear", grid={"damping": "0.4,0.6"}, workers=1, cache=store)
+        grown = api.sweep(
+            "linear", grid={"damping": "0.4,0.6,0.8"}, workers=1, cache=store
+        )
+        assert grown.total == 3
+        assert grown.cache_hits == 2
+
+    def test_sweep_without_cache(self):
+        report = api.sweep("linear", grid={"damping": [0.5]}, workers=1, cache=False)
+        assert report.cache_hits == 0
+        assert report.total == 1
+
+    def test_random_sampling_sweep(self, store):
+        report = api.sweep(
+            "linear", samples=2, seed=5, workers=1, cache=store
+        )
+        assert report.total == 2
+        again = api.sweep("linear", samples=2, seed=5, workers=1, cache=store)
+        assert again.cache_hits == 2  # same seed -> same points -> hits
+
+    def test_seed_changes_points_and_keys(self, store):
+        api.sweep("linear", grid=GRID, workers=1, cache=store)
+        reseeded = api.sweep("linear", grid=GRID, seed=1, workers=1, cache=store)
+        assert reseeded.cache_hits == 0  # per-point synthesis seed differs
+
+    def test_parallel_matches_serial(self, store):
+        serial = api.sweep("linear", grid=GRID, workers=1, cache=False)
+        parallel = api.sweep("linear", grid=GRID, workers=2, cache=store)
+        assert [a.scenario for a in parallel.artifacts] == [
+            a.scenario for a in serial.artifacts
+        ]
+        assert [a.level for a in parallel.artifacts] == [
+            a.level for a in serial.artifacts
+        ]
+
+    def test_aggregate_structure(self, store):
+        report = api.sweep("linear", grid=GRID, workers=1, cache=store)
+        agg = report.aggregate()
+        assert agg["total"] == 3
+        assert agg["statuses"] == {"verified": 3}
+        assert set(agg["level_quantiles"]) == {"min", "q25", "median", "q75", "max"}
+        assert set(agg["by_param"]) == {"damping"}
+        assert all(
+            info["runs"] == 1 for info in agg["by_param"]["damping"].values()
+        )
+
+    def test_report_to_dict_json_serializable(self, store):
+        report = api.sweep("linear", grid={"damping": [0.5]}, workers=1, cache=store)
+        payload = json.dumps(report.to_dict(), sort_keys=True)
+        assert "aggregate" in json.loads(payload)
+
+    def test_grid_with_overrides_pins_unswept_params(self):
+        report = api.sweep(
+            "linear",
+            grid={"damping": "0.4,0.6"},
+            overrides={"rotation": 1.5},
+            workers=1,
+            cache=False,
+        )
+        assert all(p["rotation"] == 1.5 for p in report.points)
+        assert [a.scenario for a in report.artifacts] == [
+            "linear[damping=0.4,rotation=1.5]",
+            "linear[damping=0.6,rotation=1.5]",
+        ]
+
+    def test_grid_overrides_cannot_pin_swept_axis(self):
+        with pytest.raises(ReproError, match="conflict with swept"):
+            api.sweep(
+                "linear",
+                grid={"damping": "0.4,0.6"},
+                overrides={"damping": 0.5},
+                cache=False,
+            )
+
+    def test_errors(self):
+        with pytest.raises(ReproError, match="grid or a sample count"):
+            api.sweep("linear")
+        with pytest.raises(ReproError, match="not both"):
+            api.sweep("linear", grid=GRID, samples=2)
+        with pytest.raises(ReproError, match="unknown family"):
+            api.sweep("no-such-family", grid=GRID)
+        with pytest.raises(ReproError, match="no parameter"):
+            api.sweep("linear", grid={"speed": "1:2:2"})
+
+
+class TestSweepCli:
+    def test_cli_sweep_twice_reports_full_hits(self, tmp_path, capsys):
+        argv = [
+            "sweep", "linear",
+            "--grid", "damping=0.4:0.8:3",
+            "--workers", "1",
+            "--store", str(tmp_path / "store"),
+            "--json", str(tmp_path / "report1.json"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache hits: 0/3" in first
+
+        argv[-1] = str(tmp_path / "report2.json")
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache hits: 3/3" in second
+        assert "[cached]" in second
+
+        report1 = json.loads((tmp_path / "report1.json").read_text())
+        report2 = json.loads((tmp_path / "report2.json").read_text())
+        assert report1["aggregate"] == report2["aggregate"]
+        assert report1["runs"] == report2["runs"]
+
+    def test_cli_no_cache(self, tmp_path, capsys):
+        argv = [
+            "sweep", "linear",
+            "--grid", "damping=0.5",
+            "--workers", "1",
+            "--no-cache",
+        ]
+        assert main(argv) == 0
+        assert "cache hits: 0/1" in capsys.readouterr().out
+
+    def test_cli_bad_grid_token(self):
+        with pytest.raises(ReproError, match="PARAM=SPEC"):
+            main(["sweep", "linear", "--grid", "damping"])
+
+    def test_cli_families_listing(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "dubins" in out and "linear" in out
+
+    def test_cli_families_json(self, capsys):
+        assert main(["families", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {f["name"] for f in payload}
+        assert {"dubins", "bicycle", "cartpole", "pendulum", "linear"} <= names
+        dubins = next(f for f in payload if f["name"] == "dubins")
+        assert {p["name"] for p in dubins["parameters"]} == {"nn_width", "speed"}
+
+
+class TestTable1Families:
+    def test_family_rows_appended(self):
+        from repro.experiments import format_table1, run_table1
+
+        rows = run_table1(
+            neuron_counts=(4,),
+            seeds=(0,),
+            families=("linear:damping=0.6",),
+        )
+        assert len(rows) == 2
+        family_row = rows[-1]
+        assert family_row.label == "linear[damping=0.6,rotation=1]"
+        assert family_row.runs == 1
+        assert family_row.label in format_table1(rows)
