@@ -59,6 +59,7 @@ from .pipeline import (
     StageEvent,
     VerificationPipeline,
 )
+from .pool import WarmPool, WarmupSpec, get_warm_pool, shutdown_warm_pool
 from .runner import RunArtifact, derive_scenario_seed, run, run_batch
 from .sweep import SweepReport, sweep
 from .scenario import (
@@ -95,6 +96,8 @@ __all__ = [
     "StageEvent",
     "SweepReport",
     "VerificationPipeline",
+    "WarmPool",
+    "WarmupSpec",
     "case_study_controller",
     "derive_scenario_seed",
     "dubins_scenario",
@@ -103,6 +106,7 @@ __all__ = [
     "get_engine",
     "get_family",
     "get_scenario",
+    "get_warm_pool",
     "list_engines",
     "list_families",
     "list_scenarios",
@@ -118,6 +122,7 @@ __all__ = [
     "run_batch",
     "run_key",
     "scenario_names",
+    "shutdown_warm_pool",
     "sweep",
     "synthesis_config_from_dict",
     "synthesis_config_to_dict",

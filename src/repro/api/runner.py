@@ -24,6 +24,7 @@ import json
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -31,6 +32,7 @@ from ..barrier import SynthesisConfig, SynthesisReport
 from ..engine import Engine, resolve_engine
 from ..expr import to_infix
 from .pipeline import ProgressCallback, VerificationPipeline
+from .pool import WarmPool
 from .scenario import (
     Scenario,
     get_scenario,
@@ -242,6 +244,33 @@ def run(
     return artifact
 
 
+def _execute_chunk(
+    payloads: "list[tuple[Scenario, SynthesisConfig | None, Engine]]",
+    cache: "object | None",
+    kernels: "bool | None" = None,
+) -> "list[RunArtifact]":
+    """Worker entry point for chunked dispatch: one task, many solves.
+
+    Chunking amortizes per-task submission/pickling overhead across
+    several scenarios; per-scenario failure isolation is unchanged
+    because :func:`_execute` never raises.
+
+    ``kernels`` pins the worker's kernel-layer switch to the parent's
+    setting at dispatch time: long-lived warm-pool workers otherwise
+    keep whatever ``repro.perf`` toggle they inherited when first
+    forked, silently ignoring a later ``use_kernels(...)`` in the
+    parent.
+    """
+    if kernels is not None:
+        from ..perf import set_enabled
+
+        set_enabled(kernels)
+    return [
+        _execute(scenario, config, True, engine, cache)
+        for scenario, config, engine in payloads
+    ]
+
+
 def _execute(
     scenario: Scenario,
     config: SynthesisConfig | None,
@@ -295,6 +324,8 @@ def run_batch(
     seed: int | None = None,
     engine: "str | Engine | None" = None,
     cache: "object | None" = None,
+    pool: "WarmPool | None" = None,
+    chunksize: int | None = None,
 ) -> list[RunArtifact]:
     """Verify many scenarios, process-parallel, preserving input order.
 
@@ -317,6 +348,14 @@ def run_batch(
     cache (same semantics as :func:`run`); the store is resolved once
     here in the parent, so the env-var/default lookup happens exactly
     once and workers receive the concrete store.
+
+    ``pool`` (optional) dispatches on a persistent
+    :class:`~repro.api.pool.WarmPool` instead of a one-shot executor —
+    the sweep runner's fast path, keeping workers (and their compiled
+    scenario kernels) warm across calls.  ``chunksize`` groups that
+    many scenarios per worker task (default: ~4 tasks per worker),
+    amortizing submission overhead; results are order-preserving and
+    per-scenario failure isolation is unchanged either way.
     """
     from ..store import resolve_store
 
@@ -331,6 +370,10 @@ def run_batch(
         workers = min(len(resolved), os.cpu_count() or 1)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if chunksize is not None and chunksize < 1:
+        # Validated up front so the error does not depend on whether
+        # the batch happens to take the serial fast path below.
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
 
     configs: list[SynthesisConfig | None]
     if seed is None:
@@ -362,21 +405,50 @@ def run_batch(
         except Exception:  # noqa: BLE001 — unpicklable payloads run inline
             picklable.append(False)
 
+    remote = [i for i, ok in enumerate(picklable) if ok]
+    if chunksize is None:
+        # ~4 tasks per worker: coarse enough to amortize dispatch, fine
+        # enough that a slow scenario cannot idle the other workers.
+        # Sized to the executor that actually runs the chunks (a
+        # supplied pool may be wider or narrower than `workers`).
+        dispatch_workers = pool.workers if pool is not None else workers
+        chunksize = max(1, -(-len(remote) // (dispatch_workers * 4)))
+
     results: list[RunArtifact | None] = [None] * len(resolved)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {
-            i: pool.submit(
-                _execute, scenario, configs[i], True, engines[i], store
+    executor = pool.executor if pool is not None else ProcessPoolExecutor(
+        max_workers=workers
+    )
+    from ..perf import enabled as _kernels_enabled
+
+    kernels = _kernels_enabled()
+    try:
+        chunks = []
+        for start in range(0, len(remote), chunksize):
+            indices = remote[start : start + chunksize]
+            payloads = [(resolved[i], configs[i], engines[i]) for i in indices]
+            chunks.append(
+                (indices, executor.submit(_execute_chunk, payloads, store, kernels))
             )
-            for i, (scenario, ok) in enumerate(zip(resolved, picklable))
-            if ok
-        }
         for i, ok in enumerate(picklable):
             if not ok:
                 results[i] = _execute(
                     resolved[i], configs[i], strip_report=False,
                     engine=engines[i], cache=store,
                 )
-        for i, future in futures.items():
-            results[i] = future.result()
+        for indices, future in chunks:
+            for i, artifact in zip(indices, future.result()):
+                results[i] = artifact
+    except BrokenProcessPool:
+        # A worker died mid-dispatch (e.g. OOM-killed).  This call
+        # fails either way, but a supplied pool must not stay poisoned
+        # for later callers — shut it down so its next use rebuilds the
+        # executor through public API (the pool also self-heals via the
+        # executor property, which probes CPython's private _broken
+        # flag; this path is the version-proof fallback).
+        if pool is not None:
+            pool.shutdown()
+        raise
+    finally:
+        if pool is None:
+            executor.shutdown()
     return [artifact for artifact in results if artifact is not None]

@@ -27,6 +27,7 @@ re-invoking the same sweep against a warm cache reproduces it *exactly*
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -39,6 +40,7 @@ from ..engine import Engine
 from ..errors import ReproError
 from ..store import resolve_store, run_key
 from .family import ScenarioFamily, format_param_value, get_family
+from .pool import WarmPool, WarmupSpec, get_warm_pool
 from .runner import (
     RunArtifact,
     _resolve_run_engine,
@@ -228,6 +230,7 @@ def sweep(
     config: SynthesisConfig | None = None,
     engine: "str | Engine | None" = None,
     cache: "object | None" = True,
+    pool: "WarmPool | bool | None" = None,
 ) -> SweepReport:
     """Sweep a family's parameter space, skipping cached work.
 
@@ -265,6 +268,13 @@ def sweep(
         (honoring ``REPRO_STORE``); a path or
         :class:`~repro.store.ArtifactStore` selects one; ``False``
         disables caching (everything re-runs).
+    pool:
+        Worker-pool policy for the miss fan-out.  ``None``/``True``
+        (default) dispatches on the process-global
+        :class:`~repro.api.pool.WarmPool`, whose workers persist across
+        sweeps and pre-compile this family's scenario kernels in their
+        initializer; a :class:`WarmPool` uses that pool; ``False``
+        restores the historical one-shot executor per call.
 
     Returns the :class:`SweepReport` with artifacts in point order.
     """
@@ -300,11 +310,31 @@ def sweep(
         misses = list(range(len(scenarios)))
 
     if misses:
+        # Pool size follows the explicit worker request or the machine,
+        # NOT the miss count: sizing by misses would tear the global
+        # warm pool down whenever consecutive sweeps have different
+        # cache-hit rates — exactly the churn the pool exists to avoid.
+        effective_workers = (
+            workers if workers is not None else (os.cpu_count() or 1)
+        )
+        warm_pool: WarmPool | None
+        if pool is False:
+            warm_pool = None
+        elif isinstance(pool, WarmPool):
+            warm_pool = pool
+            warm_pool.ensure_warm(WarmupSpec(families=(family.name,)))
+        elif effective_workers > 1 and len(misses) > 1:
+            warm_pool = get_warm_pool(
+                effective_workers, WarmupSpec(families=(family.name,))
+            )
+        else:
+            warm_pool = None
         fresh = run_batch(
             [scenarios[i] for i in misses],
-            workers=workers,
+            workers=effective_workers,
             engine=engine,
             cache=store if store is not None else False,
+            pool=warm_pool,
         )
         for i, artifact in zip(misses, fresh):
             results[i] = artifact

@@ -61,6 +61,16 @@ class Rectangle:
             np.all(point >= self.lower - tol) and np.all(point <= self.upper + tol)
         )
 
+    def contains_batch(self, points: np.ndarray, tol: float = 0.0) -> np.ndarray:
+        """Vectorized :meth:`contains` over ``(m, n)`` points -> ``(m,)`` bools.
+
+        Row ``i`` equals ``contains(points[i], tol)`` exactly (non-finite
+        coordinates fail the comparisons the same way).
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        inside = (points >= self.lower - tol) & (points <= self.upper + tol)
+        return inside.all(axis=1)
+
     def vertices(self) -> np.ndarray:
         """All ``2^n`` corner points, shape ``(2^n, n)``."""
         corners = itertools.product(*zip(self.lower, self.upper))

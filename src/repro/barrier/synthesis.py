@@ -257,6 +257,7 @@ def verify_system(
         problem.initial_set.vertices(),
         _unsafe_boundary_samples(problem, config.lp.separation_samples),
     )
+    assembler = _make_assembler(engine_obj, template, system)
     generator_t0 = time.perf_counter()
 
     if config.try_lyapunov_first and isinstance(template, QuadraticTemplate):
@@ -292,9 +293,12 @@ def verify_system(
         with stage("lp-fit", iteration):
             points = points_from_traces(traces)
             lp_t0 = time.perf_counter()
+            fit_kwargs = {"separation": separation}
+            if assembler is not None:
+                fit_kwargs["assembler"] = assembler
             try:
                 candidate = engine_obj.lp.fit(
-                    template, points, system, config.lp, separation=separation
+                    template, points, system, config.lp, **fit_kwargs
                 )
             except InfeasibleLPError:
                 report.lp_seconds += time.perf_counter() - lp_t0
@@ -365,6 +369,26 @@ def verify_system(
 # ----------------------------------------------------------------------
 # Internals
 # ----------------------------------------------------------------------
+def _make_assembler(engine: "Engine", template: GeneratorTemplate, system):
+    """A per-run incremental LP assembler, when the backend takes one.
+
+    The assembler keyword is part of the :class:`~repro.engine.LpBackend`
+    protocol but optional for implementors; inspect once per run instead
+    of guessing with try/except inside the candidate loop.
+    """
+    import inspect
+
+    from .lp import LpAssembler
+
+    try:
+        parameters = inspect.signature(engine.lp.fit).parameters
+    except (TypeError, ValueError):  # builtins / C-implemented callables
+        return None
+    if "assembler" not in parameters:
+        return None
+    return LpAssembler(template, system)
+
+
 def _seed_traces(
     problem: VerificationProblem,
     config: SynthesisConfig,
@@ -378,19 +402,35 @@ def _seed_traces(
         starts.append(problem.initial_set.center()[None, :])
     initial_states = np.vstack(starts)
 
-    exit_rect = domain.inflate(1e-9)
-
-    def left_domain(state: np.ndarray) -> bool:
-        return not exit_rect.contains(state)
-
     return engine.sim.simulate(
         problem.system,
         initial_states,
         config.trace_duration,
         config.trace_dt,
         method=config.integrator,
-        stop_condition=left_domain,
+        stop_condition=_DomainExit(domain.inflate(1e-9)),
     )
+
+
+class _DomainExit:
+    """Stop condition "the state left the (inflated) domain".
+
+    Callable per-state like any ``stop_condition``; additionally exposes
+    :meth:`batch` so batch simulators (the ``vectorized`` engine) can
+    test a whole ``(m, n)`` state block in one array pass instead of
+    ``m`` Python calls per step — the dominant seed-sim overhead once
+    integration itself is vectorized.
+    """
+
+    def __init__(self, rectangle: Rectangle):
+        self._rectangle = rectangle
+
+    def __call__(self, state: np.ndarray) -> bool:
+        return not self._rectangle.contains(state)
+
+    def batch(self, states: np.ndarray) -> np.ndarray:
+        """Row-wise stop mask, identical to mapping ``__call__``."""
+        return ~self._rectangle.contains_batch(states)
 
 
 def _try_lyapunov_candidate(
@@ -461,14 +501,13 @@ def _simulate_from(
     config: SynthesisConfig,
     engine: "Engine",
 ) -> Trace:
-    exit_rect = problem.domain.inflate(1e-9)
     (trace,) = engine.sim.simulate(
         problem.system,
         np.asarray(start, dtype=float)[None, :],
         config.trace_duration,
         config.trace_dt,
         method=config.integrator,
-        stop_condition=lambda s: not exit_rect.contains(s),
+        stop_condition=_DomainExit(problem.domain.inflate(1e-9)),
     )
     return trace
 

@@ -37,16 +37,39 @@ class GeneratorTemplate:
         """Number of unknown coefficients."""
         return len(self.monomials)
 
+    @property
+    def exponent_matrix(self) -> np.ndarray:
+        """Monomial exponents as a ``(k, n)`` integer matrix (cached).
+
+        Keyed on the monomial tuple itself, so mutating the public
+        ``monomials`` list between calls invalidates correctly.
+        """
+        token = tuple(self.monomials)
+        cached = getattr(self, "_exponent_cache", None)
+        if cached is None or cached[0] != token:
+            cached = (token, np.asarray(self.monomials, dtype=np.int64))
+            self._exponent_cache = cached
+        return cached[1]
+
     # ------------------------------------------------------------------
     # Numeric features
     # ------------------------------------------------------------------
+    # Both feature maps are vectorized over all sample states per basis
+    # function, with the per-monomial exponent vectors (and the reduced
+    # derivative exponents) precomputed once instead of re-materialized
+    # every call.  The arithmetic is exactly the historical per-monomial
+    # form — ``np.prod(points ** expo, axis=1)`` — which NumPy evaluates
+    # through its scalar-integer-exponent fast path (``x**2`` is
+    # ``x*x``); a single broadcast power over an exponent *matrix* would
+    # skip that path and drift by 1 ulp, so features stay loop-shaped on
+    # purpose (cross-checked bitwise in tests/barrier).
+
     def features(self, points: np.ndarray) -> np.ndarray:
         """Basis values ``phi_j(x_i)``, shape ``(m, k)``."""
         points = np.atleast_2d(np.asarray(points, dtype=float))
         self._check_points(points)
-        columns = [
-            np.prod(points**np.asarray(expo), axis=1) for expo in self.monomials
-        ]
+        exponents = self.exponent_matrix  # (k, n)
+        columns = [np.prod(points**expo, axis=1) for expo in exponents]
         return np.stack(columns, axis=1)
 
     def gradient_features(self, points: np.ndarray) -> np.ndarray:
@@ -55,16 +78,30 @@ class GeneratorTemplate:
         self._check_points(points)
         m, n = points.shape
         grads = np.zeros((m, n, self.basis_size))
+        for j, d, factor, reduced in self._gradient_terms(n):
+            grads[:, d, j] = factor * np.prod(points**reduced, axis=1)
+        return grads
+
+    def _gradient_terms(self, n: int) -> list[tuple[int, int, int, np.ndarray]]:
+        """Nonzero ``(j, d, expo_d, reduced-exponents)`` terms (cached).
+
+        Keyed on ``(n, monomials)`` so edits to the public ``monomials``
+        list between calls never serve stale derivative exponents.
+        """
+        key = (n, tuple(self.monomials))
+        cached = getattr(self, "_gradient_term_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        terms = []
         for j, expo in enumerate(self.monomials):
             for d in range(n):
                 if expo[d] == 0:
                     continue
                 reduced = list(expo)
                 reduced[d] -= 1
-                grads[:, d, j] = expo[d] * np.prod(
-                    points**np.asarray(reduced), axis=1
-                )
-        return grads
+                terms.append((j, d, expo[d], np.asarray(reduced)))
+        self._gradient_term_cache = (key, terms)
+        return terms
 
     def evaluate(self, coefficients: np.ndarray, points: np.ndarray) -> np.ndarray:
         """``W(x_i)`` for fixed coefficients."""

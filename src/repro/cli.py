@@ -8,6 +8,8 @@ engines   list the registered solver engines (``--json`` for tooling)
 verify    run the Figure-1 verification on a registered scenario
           (``--scenario``) or on the paper's Dubins case study with a
           hand-built, trained, or JSON-loaded controller
+profile   per-stage latency breakdown of a scenario verify
+          (``--compare`` adds the kernels-off baseline columns)
 batch     verify several scenarios in parallel worker processes
 sweep     shard a family's parameter grid across workers, skipping the
           content-addressed artifact cache's hits
@@ -96,6 +98,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument(
         "--engine", type=str, default=None,
         help="solver engine (see `repro engines`; default: native)",
+    )
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="per-stage latency breakdown of one scenario verify",
+    )
+    p_profile.add_argument(
+        "scenario", metavar="SCENARIO",
+        help="registered scenario name (see `repro scenarios`)",
+    )
+    p_profile.add_argument(
+        "--engine", type=str, default=None,
+        help="solver engine (see `repro engines`; default: scenario's own)",
+    )
+    p_profile.add_argument(
+        "--repeats", type=int, default=3,
+        help="runs per configuration; the fastest is reported (default 3)",
+    )
+    p_profile.add_argument(
+        "--compare", action="store_true",
+        help="also time the kernels-disabled interpreted path "
+        "(bit-identical results; doubles the runtime)",
+    )
+    p_profile.add_argument(
+        "--no-kernels", action="store_true",
+        help="profile with the kernel layer disabled",
+    )
+    p_profile.add_argument(
+        "--json", type=str, default="", metavar="FILE",
+        help="also write the profile report as JSON",
     )
 
     p_batch = sub.add_parser(
@@ -424,6 +456,26 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if artifact.verified else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .perf import format_profile, profile_scenario
+
+    report = profile_scenario(
+        args.scenario,
+        engine=args.engine,
+        repeats=args.repeats,
+        compare=args.compare,
+        kernels=not args.no_kernels,
+    )
+    print(format_profile(report))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"profile written to {args.json}")
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     import json
 
@@ -554,6 +606,7 @@ _COMMANDS = {
     "families": _cmd_families,
     "engines": _cmd_engines,
     "verify": _cmd_verify,
+    "profile": _cmd_profile,
     "batch": _cmd_batch,
     "sweep": _cmd_sweep,
     "train": _cmd_train,

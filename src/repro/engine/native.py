@@ -54,12 +54,14 @@ class NativeLpBackend:
         system,
         config: LpConfig | None = None,
         separation: "tuple[np.ndarray, np.ndarray] | None" = None,
+        assembler: "object | None" = None,
     ) -> GeneratorCandidate:
         """Fit a generator candidate to trace points via the margin LP."""
         from ..barrier.lp import fit_generator
 
         return fit_generator(
-            template, points, system, config, separation=separation
+            template, points, system, config,
+            separation=separation, assembler=assembler,
         )
 
 

@@ -115,12 +115,20 @@ class VectorizedSimBackend:
                 )
                 keep &= ~blown
             if stop_condition is not None:
-                stopped = np.array(
-                    [
-                        bool(stop_condition(state)) if alive else False
-                        for state, alive in zip(new_states, keep)
-                    ]
-                )
+                batch_stop = getattr(stop_condition, "batch", None)
+                if batch_stop is not None:
+                    # Vector-aware condition (e.g. the synthesis loop's
+                    # domain-exit test): one array pass for the whole
+                    # block, masked to the rows a scalar loop would
+                    # have consulted.
+                    stopped = keep & np.asarray(batch_stop(new_states), dtype=bool)
+                else:
+                    stopped = np.array(
+                        [
+                            bool(stop_condition(state)) if alive else False
+                            for state, alive in zip(new_states, keep)
+                        ]
+                    )
                 keep &= ~stopped
             counts[active[recorded]] = k + 1
             truncated[active[~keep]] = True

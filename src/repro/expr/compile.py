@@ -70,6 +70,7 @@ class CompiledExpression:
         self._tape: list[tuple] = []
         self._n_slots = 0
         self._result_slot = 0
+        self._kernel = None
         self._build(root)
 
     # ------------------------------------------------------------------
@@ -140,6 +141,25 @@ class CompiledExpression:
         """Slot holding the root's value after a tape pass."""
         return self._result_slot
 
+    def kernel(self):
+        """The tape's compiled :class:`~repro.perf.KernelPlan` (cached).
+
+        Built on first use; :meth:`eval_points` / :meth:`eval_boxes`
+        route through it whenever the kernel layer is enabled
+        (:func:`repro.perf.set_enabled`, ``REPRO_KERNELS``).
+        """
+        if self._kernel is None:
+            self._kernel = _kernel_module().KernelPlan(self)
+        return self._kernel
+
+    def __getstate__(self) -> dict:
+        # Kernel plans hold prebound closures and thread-local buffer
+        # pools — process-local state.  Drop them on pickling (workers
+        # rebuild plans on first evaluation).
+        state = self.__dict__.copy()
+        state["_kernel"] = None
+        return state
+
     # ------------------------------------------------------------------
     # Vectorized numeric evaluation
     # ------------------------------------------------------------------
@@ -151,6 +171,8 @@ class CompiledExpression:
                 f"points have {points.shape[1]} columns, expected "
                 f"{len(self.variable_names)}"
             )
+        if _kernel_module().enabled():
+            return self.kernel().eval_points(points)
         m = points.shape[0]
         slots: list[np.ndarray | None] = [None] * self._n_slots
         for instr in self._tape:
@@ -183,6 +205,8 @@ class CompiledExpression:
                 f"box arrays of shape {lower.shape}/{upper.shape} do not match "
                 f"{len(self.variable_names)} variables"
             )
+        if _kernel_module().enabled():
+            return self.kernel().eval_boxes(lower, upper)
         m = lower.shape[0]
         los: list[np.ndarray | None] = [None] * self._n_slots
         his: list[np.ndarray | None] = [None] * self._n_slots
@@ -221,6 +245,19 @@ def compile_expression(
 ) -> CompiledExpression:
     """Compile ``root`` against a fixed variable ordering."""
     return CompiledExpression(root, variable_names)
+
+
+_kernels = None
+
+
+def _kernel_module():
+    """Lazy handle to :mod:`repro.perf.kernels` (imports would be circular)."""
+    global _kernels
+    if _kernels is None:
+        from ..perf import kernels
+
+        _kernels = kernels
+    return _kernels
 
 
 # ----------------------------------------------------------------------

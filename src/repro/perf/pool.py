@@ -1,0 +1,126 @@
+"""Checkout pools of reusable kernel workspaces.
+
+Every kernel execution — a vectorized tape pass in
+:mod:`repro.perf.kernels` or an HC4 revise sweep in
+:mod:`repro.smt.hc4` — needs per-call scratch state: a slot table (one
+entry per tape slot) plus, for box kernels, prefilled constant rows.
+Allocating that state on every call is pure overhead on the narrow
+frontiers real branch-and-prune searches produce, so each compiled plan
+keeps a :class:`BufferPool` of :class:`Workspace` objects and *leases*
+one per call.
+
+The lease discipline is strict:
+
+* :meth:`BufferPool.acquire` hands out a workspace exclusively — a
+  workspace is never visible to two live executions.  If every pooled
+  workspace is leased (nested or re-entrant execution), a fresh one is
+  built rather than sharing.
+* :meth:`BufferPool.release` returns the workspace for reuse; releasing
+  a workspace that is not leased is an error (it would let two future
+  leases alias).
+* Pools are bucketed by frontier size (next power of two, minimum
+  :data:`MIN_BUCKET`), so a plan revising frontiers of 37, then 61, then
+  44 boxes reuses one 64-wide workspace instead of three exact-size
+  ones.
+* Free lists are **per-thread**: the thread-pool SMT backend can run the
+  same plan concurrently from several threads without locks or sharing.
+
+``tests/perf/test_pool.py`` pins the exclusivity and reuse semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from ..errors import ReproError
+
+__all__ = ["MIN_BUCKET", "Workspace", "BufferPool"]
+
+#: smallest bucket width — tiny frontiers share one workspace size
+MIN_BUCKET = 16
+
+
+def bucket_for(m: int) -> int:
+    """Smallest power-of-two bucket holding ``m`` members."""
+    bucket = MIN_BUCKET
+    while bucket < m:
+        bucket *= 2
+    return bucket
+
+
+class Workspace:
+    """One exclusive lease of kernel scratch state.
+
+    ``slots`` is a plain list with one entry per tape slot — the kernel
+    program's working memory.  What the entries hold is up to the plan
+    that owns the pool (endpoint-array pairs for box kernels, value
+    arrays for point kernels, floats for folded constants); the pool
+    only guarantees the *list object* is never shared between two live
+    leases, so a program may leave per-slot state behind between
+    instructions without another execution clobbering it.
+    """
+
+    __slots__ = ("bucket", "slots", "data", "_leased")
+
+    def __init__(self, bucket: int, n_slots: int):
+        self.bucket = bucket
+        self.slots: list = [None] * n_slots
+        #: plan-private per-workspace state (e.g. prefilled constant
+        #: rows of width ``bucket``), populated by the pool's ``init``
+        self.data: dict = {}
+        self._leased = False
+
+    @property
+    def leased(self) -> bool:
+        """True while checked out of the pool."""
+        return self._leased
+
+
+class BufferPool:
+    """Per-thread free lists of :class:`Workspace`, bucketed by size.
+
+    Parameters
+    ----------
+    n_slots:
+        Length of each workspace's slot table.
+    init:
+        Optional callback run once on every newly built workspace
+        (e.g. prefill constant rows); reused leases skip it.
+    """
+
+    def __init__(self, n_slots: int, init: "Callable[[Workspace], None] | None" = None):
+        self._n_slots = n_slots
+        self._init = init
+        self._local = threading.local()
+
+    def _free(self) -> dict[int, list[Workspace]]:
+        free = getattr(self._local, "free", None)
+        if free is None:
+            free = self._local.free = {}
+        return free
+
+    def acquire(self, m: int) -> Workspace:
+        """Lease a workspace whose bucket holds ``m`` members.
+
+        The returned workspace is exclusively owned by the caller until
+        :meth:`release`; concurrent or nested acquires always get
+        distinct workspaces.
+        """
+        bucket = bucket_for(m)
+        stack = self._free().get(bucket)
+        if stack:
+            ws = stack.pop()
+        else:
+            ws = Workspace(bucket, self._n_slots)
+            if self._init is not None:
+                self._init(ws)
+        ws._leased = True
+        return ws
+
+    def release(self, ws: Workspace) -> None:
+        """Return a leased workspace to this thread's free list."""
+        if not ws._leased:
+            raise ReproError("workspace released twice (double-free would alias leases)")
+        ws._leased = False
+        self._free().setdefault(ws.bucket, []).append(ws)

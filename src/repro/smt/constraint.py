@@ -73,19 +73,25 @@ class Constraint:
         self.expr = as_expr(expr)
         self.relation = Relation(relation)
         self.name = name
-        self._compiled: CompiledExpression | None = None
-        self._compiled_names: tuple[str, ...] | None = None
+        self._compiled: dict[tuple[str, ...], CompiledExpression] = {}
 
     # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------
     def compiled(self, variable_names: Sequence[str]) -> CompiledExpression:
-        """Tape compiled against ``variable_names`` (cached per ordering)."""
+        """Tape compiled against ``variable_names`` (cached per ordering).
+
+        One cache entry per distinct name tuple: alternating between two
+        variable orders never evicts (or hands back) the other order's
+        tape — a single-slot cache here would silently re-compile on
+        every flip and, worse, made downstream caches keyed per tape
+        (kernel plans, contractor plans) churn with it.
+        """
         names = tuple(variable_names)
-        if self._compiled is None or self._compiled_names != names:
-            self._compiled = compile_expression(self.expr, names)
-            self._compiled_names = names
-        return self._compiled
+        tape = self._compiled.get(names)
+        if tape is None:
+            tape = self._compiled[names] = compile_expression(self.expr, names)
+        return tape
 
     # ------------------------------------------------------------------
     # Decision logic

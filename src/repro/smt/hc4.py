@@ -9,7 +9,7 @@ once**: every expression-DAG node holds one batch of intervals of shape
 so a forward-backward sweep costs one NumPy pass per node rather than
 ``m`` Python interpreter walks.
 
-Two things keep the vectorized pass fast on the narrow frontiers real
+Three things keep the vectorized pass fast on the narrow frontiers real
 branch-and-prune searches produce:
 
 * **Raw endpoint arrays.**  The hot loop carries ``(lo, hi)`` ndarray
@@ -22,6 +22,13 @@ branch-and-prune searches produce:
   tightening of constant children entirely.  Polynomial Lie derivatives
   are mostly ``const * monomial`` sums, so this removes the bulk of the
   extended-division work.
+* **Plan compilation.**  The contractor pre-plans the tape once at
+  construction (:mod:`repro.perf` style): every instruction becomes one
+  prebound closure with its slots, constant operands, and backward rule
+  baked in, and the per-call slot tables come from an exclusive-checkout
+  :class:`~repro.perf.BufferPool` — a revise pass is a plain loop over
+  closures with zero per-call dict lookups, string dispatch, or slot
+  table allocation.
 
 The per-box semantics follow the scalar contractor rule-for-rule
 (including extended division through zero and the even/odd ``pow``
@@ -43,6 +50,7 @@ import numpy as np
 from ..expr import CompiledExpression
 from ..intervals import BoxArray, IntervalArray
 from ..intervals.rounding import PAD, next_down_array, next_up_array
+from ..perf.pool import BufferPool
 from .constraint import Constraint, Relation
 
 __all__ = ["FrontierContractor", "contract_frontier"]
@@ -53,9 +61,7 @@ _HALF_PI = 0.5 * math.pi
 _down = next_down_array
 _up = next_up_array
 
-#: forward ops that can empty a member (domain violations); everything
-#: else maps non-empty members to non-empty members
-_DOMAIN_OPS = frozenset({"sqrt", "log"})
+_BINARY_OPS = frozenset({"add", "sub", "mul", "div", "min", "max"})
 
 
 def _relation_bounds(relation: Relation) -> tuple[float, float]:
@@ -69,23 +75,28 @@ def _relation_bounds(relation: Relation) -> tuple[float, float]:
 class FrontierContractor:
     """HC4-revise for one constraint, batched over a whole frontier.
 
-    Built once per (constraint, variable order) pair; :meth:`revise`
-    then contracts any :class:`~repro.intervals.BoxArray` in one
-    vectorized forward-backward sweep.
+    Built once per (constraint, variable order) pair: construction
+    pre-plans the tape into prebound forward/backward closures (constant
+    operands folded to floats, backward rules specialized per child
+    kind).  :meth:`revise` then contracts any
+    :class:`~repro.intervals.BoxArray` in one vectorized
+    forward-backward sweep over those closures, with slot tables leased
+    from a per-contractor :class:`~repro.perf.BufferPool`.
     """
 
     def __init__(self, constraint: Constraint, variable_names: Sequence[str]):
         tape: CompiledExpression = constraint.compiled(variable_names)
-        self._instructions = tape.instructions
         self._n_slots = tape.n_slots
         self._root = tape.result_slot
         self._target_bounds = _relation_bounds(constraint.relation)
-        #: slots whose value is a constant, with that constant
-        self._const: dict[int, float] = {
-            instr[1]: float(instr[2])
-            for instr in self._instructions
-            if instr[0] == "const"
-        }
+        plan = _plan_tape(tape.instructions, tape.n_slots)
+        #: slot template: constants (and folded constant subexpressions)
+        #: prefilled as floats, everything else None
+        self._template = plan.template
+        self._forward_program = plan.forward
+        self._backward_program = plan.backward
+        self._var_reads = plan.var_reads
+        self._pool = BufferPool(tape.n_slots)
 
     def revise(self, boxes: BoxArray) -> tuple[BoxArray, np.ndarray]:
         """One forward-backward pass over every box at once.
@@ -99,31 +110,36 @@ class FrontierContractor:
         alive = np.ones(m, dtype=bool)
         if m == 0:
             return boxes, alive
-        const = self._const
 
-        # Forward pass: raw (lo, hi) pair per slot; const slots stay float.
-        forward: list = [None] * self._n_slots
-        for instr in self._instructions:
-            op, slot = instr[0], instr[1]
-            if op == "const":
-                forward[slot] = instr[2]
-            elif op == "var":
-                forward[slot] = (boxes.lo[:, instr[2]], boxes.hi[:, instr[2]])
-            else:
-                value = _forward_op(op, instr, forward, m)
-                if op in _DOMAIN_OPS:
-                    lo, hi = value
-                    emp = lo > hi
-                    if emp.any():
-                        # Mirror the scalar EmptyIntervalError: the box
-                        # left the function domain.  Park dead rows on
-                        # the whole line to keep arithmetic NaN-free.
-                        alive &= ~emp
-                        value = (
-                            np.where(emp, -_INF, lo),
-                            np.where(emp, _INF, hi),
-                        )
-                forward[slot] = value
+        ws = self._pool.acquire(m)
+        try:
+            return self._revise_in(ws, boxes, alive, m)
+        finally:
+            # The slot tables hold views of the caller's frontier; clear
+            # before the next lease so the pool never pins a dead
+            # frontier (and never leaks one revise's state into another).
+            ws.slots[:] = self._template
+            targets = ws.data.get("targets")
+            if targets is not None:
+                targets[:] = self._template
+            self._pool.release(ws)
+
+    def _revise_in(
+        self, ws, boxes: BoxArray, alive: np.ndarray, m: int
+    ) -> tuple[BoxArray, np.ndarray]:
+        blo, bhi = boxes.lo, boxes.hi
+
+        # Forward pass: raw (lo, hi) pair per slot; const slots are
+        # plain floats, prefilled from the plan template.
+        forward = ws.slots
+        forward[:] = self._template
+        for run in self._forward_program:
+            emp = run(forward, blo, bhi, m)
+            if emp is not None:
+                # Mirror the scalar EmptyIntervalError: the box left a
+                # function domain (sqrt/log).  Dead rows were parked on
+                # the whole line inside the closure.
+                alive &= ~emp
 
         # Project the root onto the relation's satisfying set.
         root = forward[self._root]
@@ -146,8 +162,11 @@ class FrontierContractor:
         # parents; empties flip rows dead instead of raising.  Constant
         # slots are never tightened (their target stays the point value,
         # and with targets ⊆ forward the scalar exclusion check cannot
-        # fire), so rules treat them as plain scalars.
-        targets: list = list(forward)
+        # fire).
+        targets = ws.data.get("targets")
+        if targets is None:
+            targets = ws.data["targets"] = [None] * self._n_slots
+        targets[:] = forward
         targets[self._root] = (p_lo, p_hi)
 
         def tighten(slot: int, cand_lo, cand_hi) -> None:
@@ -169,31 +188,26 @@ class FrontierContractor:
                 hi = np.where(emp, cur_hi, hi)
             targets[slot] = (lo, hi)
 
-        for instr in reversed(self._instructions):
-            op = instr[0]
-            if op in ("const", "var"):
-                continue
-            dead = _backward_op(instr, targets, forward, tighten, const, m)
+        for run in self._backward_program:
+            dead = run(targets, forward, tighten, m)
             if dead is not None and dead.any():
                 alive &= ~dead
 
         # Read back variable targets, intersecting duplicate occurrences.
         by_var: dict[int, tuple] = {}
-        for instr in self._instructions:
-            if instr[0] != "var":
-                continue
-            t = targets[instr[1]]
-            seen = by_var.get(instr[2])
+        for slot, index in self._var_reads:
+            t = targets[slot]
+            seen = by_var.get(index)
             if seen is None:
-                by_var[instr[2]] = t
+                by_var[index] = t
             else:
-                by_var[instr[2]] = (
+                by_var[index] = (
                     np.maximum(seen[0], t[0]),
                     np.minimum(seen[1], t[1]),
                 )
 
-        lo = boxes.lo.copy()
-        hi = boxes.hi.copy()
+        lo = blo.copy()
+        hi = bhi.copy()
         for index, (t_lo_arr, t_hi_arr) in by_var.items():
             lo[:, index] = np.maximum(lo[:, index], t_lo_arr)
             hi[:, index] = np.minimum(hi[:, index], t_hi_arr)
@@ -202,8 +216,8 @@ class FrontierContractor:
             alive &= ~emp
             # Keep dead rows at their original bounds (they are pruned by
             # the caller; canonical-empty columns would poison widths).
-            lo[emp] = boxes.lo[emp]
-            hi[emp] = boxes.hi[emp]
+            lo[emp] = blo[emp]
+            hi[emp] = bhi[emp]
         return BoxArray(lo, hi), alive
 
 
@@ -260,63 +274,214 @@ def contract_frontier(
 
 
 # ----------------------------------------------------------------------
-# Forward instruction semantics over raw (lo, hi) pairs
+# Plan compilation: one prebound closure per instruction
 # ----------------------------------------------------------------------
-def _expand(value, m: int) -> tuple[np.ndarray, np.ndarray]:
-    """Promote a constant operand to endpoint arrays (rare slow path)."""
-    if isinstance(value, float) or isinstance(value, int):
-        arr = np.full(m, float(value))
-        return arr, arr
-    return value
+class _TapePlan:
+    __slots__ = ("template", "forward", "backward", "var_reads")
+
+    def __init__(self, template, forward, backward, var_reads):
+        self.template = template
+        self.forward = forward
+        self.backward = backward
+        self.var_reads = var_reads
 
 
-def _forward_op(op: str, instr: tuple, forward: list, m: int):
-    if op in ("add", "sub", "mul", "div", "min", "max"):
-        a = forward[instr[2]]
-        b = forward[instr[3]]
-        a_const = isinstance(a, float)
-        b_const = isinstance(b, float)
-        if a_const and b_const:
-            return _fold_const(op, a, b)
-        if op == "add":
-            if a_const:
-                return _down(a + b[0]), _up(a + b[1])
-            if b_const:
-                return _down(a[0] + b), _up(a[1] + b)
-            return _down(a[0] + b[0]), _up(a[1] + b[1])
-        if op == "sub":
-            if a_const:
-                return _down(a - b[1]), _up(a - b[0])
-            if b_const:
-                return _down(a[0] - b), _up(a[1] - b)
-            return _down(a[0] - b[1]), _up(a[1] - b[0])
-        if op == "mul":
-            if a_const:
-                return _const_mul(a, b)
-            if b_const:
-                return _const_mul(b, a)
-            return _ia_binary(a, b, m, "__mul__")
-        if op == "div":
-            if b_const and b != 0.0:
-                return _const_mul_like_div(b, a)
-            return _ia_binary(a, b, m, "__truediv__")
-        if op == "min":
-            a = _expand(a, m)
-            b = _expand(b, m)
-            return np.minimum(a[0], b[0]), np.minimum(a[1], b[1])
-        a = _expand(a, m)
-        b = _expand(b, m)
-        return np.maximum(a[0], b[0]), np.maximum(a[1], b[1])
-    a = forward[instr[2]]
-    if isinstance(a, float):
-        a = _expand(a, m)
+def _plan_tape(instructions, n_slots: int) -> _TapePlan:
+    """Specialize every instruction against the tape's constant slots.
+
+    Constness is a static property of the tape: a slot is a float when
+    it holds a literal constant or a binary op of two float slots (the
+    same folding the interpreted walker applied per call).  The
+    specialization decisions here mirror the historical runtime checks
+    — ``isinstance(value, float)`` in the forward rules and
+    ``slot in const`` (literal constants only) in the backward rules —
+    so the planned program is decision-for-decision identical.
+    """
+    template: list = [None] * n_slots
+    #: literal-constant slots (the backward rules' ``const`` dict)
+    literal: dict[int, float] = {}
+    #: every float-valued slot (literals + folded binaries)
+    floats: dict[int, float] = {}
+    forward: list = []
+    backward: list = []
+    var_reads: list[tuple[int, int]] = []
+
+    for instr in instructions:
+        op, slot = instr[0], instr[1]
+        if op == "const":
+            value = instr[2]
+            template[slot] = value
+            literal[slot] = value
+            floats[slot] = value
+            continue
+        if op == "var":
+            var_reads.append((slot, instr[2]))
+            forward.append(_fwd_var(slot, instr[2]))
+            continue
+        if op in _BINARY_OPS:
+            left, right = instr[2], instr[3]
+            a_const = left in floats
+            b_const = right in floats
+            if a_const and b_const:
+                value = _fold_const(op, floats[left], floats[right])
+                template[slot] = value
+                floats[slot] = value
+                continue
+            forward.append(
+                _fwd_binary(
+                    op, slot, left, right,
+                    floats.get(left), floats.get(right),
+                )
+            )
+        elif op == "pow":
+            forward.append(
+                _fwd_pow(slot, instr[2], instr[3], floats.get(instr[2]))
+            )
+        else:
+            forward.append(_fwd_unary(op, slot, instr[2], floats.get(instr[2])))
+
+    for instr in reversed(instructions):
+        op, slot = instr[0], instr[1]
+        if op in ("const", "var") or slot in floats:
+            # Constant subexpression: the runtime walker returned early
+            # (float target), with no side effects to reproduce.
+            continue
+        rule = _plan_backward(instr, literal, floats)
+        if rule is not None:
+            backward.append(rule)
+
+    return _TapePlan(template, forward, backward, var_reads)
+
+
+# ----------------------------------------------------------------------
+# Forward closures (mirror the historical _forward_op branches)
+# ----------------------------------------------------------------------
+def _fwd_var(out: int, column: int):
+    def run(fwd, blo, bhi, m):
+        fwd[out] = (blo[:, column], bhi[:, column])
+        return None
+
+    return run
+
+
+def _fwd_binary(op, out, left, right, a_val, b_val):
+    a_const = a_val is not None
+    b_const = b_val is not None
+    if op == "add":
+        if a_const:
+            def run(fwd, blo, bhi, m):
+                b = fwd[right]
+                fwd[out] = (_down(a_val + b[0]), _up(a_val + b[1]))
+                return None
+        elif b_const:
+            def run(fwd, blo, bhi, m):
+                a = fwd[left]
+                fwd[out] = (_down(a[0] + b_val), _up(a[1] + b_val))
+                return None
+        else:
+            def run(fwd, blo, bhi, m):
+                a = fwd[left]
+                b = fwd[right]
+                fwd[out] = (_down(a[0] + b[0]), _up(a[1] + b[1]))
+                return None
+    elif op == "sub":
+        if a_const:
+            def run(fwd, blo, bhi, m):
+                b = fwd[right]
+                fwd[out] = (_down(a_val - b[1]), _up(a_val - b[0]))
+                return None
+        elif b_const:
+            def run(fwd, blo, bhi, m):
+                a = fwd[left]
+                fwd[out] = (_down(a[0] - b_val), _up(a[1] - b_val))
+                return None
+        else:
+            def run(fwd, blo, bhi, m):
+                a = fwd[left]
+                b = fwd[right]
+                fwd[out] = (_down(a[0] - b[1]), _up(a[1] - b[0]))
+                return None
+    elif op == "mul":
+        if a_const:
+            def run(fwd, blo, bhi, m):
+                fwd[out] = _const_mul(a_val, fwd[right])
+                return None
+        elif b_const:
+            def run(fwd, blo, bhi, m):
+                fwd[out] = _const_mul(b_val, fwd[left])
+                return None
+        else:
+            def run(fwd, blo, bhi, m):
+                a = fwd[left]
+                b = fwd[right]
+                res = IntervalArray(a[0], a[1]) * IntervalArray(b[0], b[1])
+                fwd[out] = (res.lo, res.hi)
+                return None
+    elif op == "div":
+        if b_const and b_val != 0.0:
+            def run(fwd, blo, bhi, m):
+                fwd[out] = _const_mul_like_div(b_val, fwd[left])
+                return None
+        else:
+            def run(fwd, blo, bhi, m):
+                a = _expand(fwd[left] if not a_const else a_val, m)
+                b = _expand(fwd[right] if not b_const else b_val, m)
+                res = IntervalArray(a[0], a[1]) / IntervalArray(b[0], b[1])
+                fwd[out] = (res.lo, res.hi)
+                return None
+    elif op == "min":
+        def run(fwd, blo, bhi, m):
+            a = _expand(fwd[left] if not a_const else a_val, m)
+            b = _expand(fwd[right] if not b_const else b_val, m)
+            fwd[out] = (np.minimum(a[0], b[0]), np.minimum(a[1], b[1]))
+            return None
+    else:  # max
+        def run(fwd, blo, bhi, m):
+            a = _expand(fwd[left] if not a_const else a_val, m)
+            b = _expand(fwd[right] if not b_const else b_val, m)
+            fwd[out] = (np.maximum(a[0], b[0]), np.maximum(a[1], b[1]))
+            return None
+    return run
+
+
+def _fwd_pow(out, child, exponent, c_val):
+    def run(fwd, blo, bhi, m):
+        a = _expand(fwd[child] if c_val is None else c_val, m)
+        res = IntervalArray(a[0], a[1]) ** exponent
+        fwd[out] = (res.lo, res.hi)
+        return None
+
+    return run
+
+
+def _fwd_unary(op, out, child, c_val):
+    domain = op in ("sqrt", "log")
     if op == "neg":
-        return -a[1], -a[0]
-    if op == "pow":
-        res = IntervalArray(a[0], a[1]) ** instr[3]
-        return res.lo, res.hi
-    res = getattr(IntervalArray(a[0], a[1]), op)()
-    return res.lo, res.hi
+        def run(fwd, blo, bhi, m):
+            a = _expand(fwd[child] if c_val is None else c_val, m)
+            fwd[out] = (-a[1], -a[0])
+            return None
+        return run
+
+    def run(fwd, blo, bhi, m):
+        a = _expand(fwd[child] if c_val is None else c_val, m)
+        res = getattr(IntervalArray(a[0], a[1]), op)()
+        value = (res.lo, res.hi)
+        if domain:
+            lo, hi = value
+            emp = lo > hi
+            if emp.any():
+                # Park dead rows on the whole line to keep arithmetic
+                # NaN-free; the caller flips them dead.
+                fwd[out] = (
+                    np.where(emp, -_INF, lo),
+                    np.where(emp, _INF, hi),
+                )
+                return emp
+        fwd[out] = value
+        return None
+
+    return run
 
 
 def _fold_const(op: str, a: float, b: float) -> float:
@@ -331,6 +496,14 @@ def _fold_const(op: str, a: float, b: float) -> float:
     if op == "min":
         return min(a, b)
     return max(a, b)
+
+
+def _expand(value, m: int) -> tuple[np.ndarray, np.ndarray]:
+    """Promote a constant operand to endpoint arrays (rare slow path)."""
+    if isinstance(value, float) or isinstance(value, int):
+        arr = np.full(m, float(value))
+        return arr, arr
+    return value
 
 
 def _const_mul(c: float, x) -> tuple[np.ndarray, np.ndarray]:
@@ -352,107 +525,239 @@ def _const_mul_like_div(c: float, x) -> tuple[np.ndarray, np.ndarray]:
     return _down(x[1] / c), _up(x[0] / c)
 
 
-def _ia_binary(a, b, m: int, method: str) -> tuple[np.ndarray, np.ndarray]:
-    a = _expand(a, m)
-    b = _expand(b, m)
-    res = getattr(IntervalArray(a[0], a[1]), method)(IntervalArray(b[0], b[1]))
-    return res.lo, res.hi
-
-
 # ----------------------------------------------------------------------
-# Backward (inverse) instruction semantics
+# Backward (inverse) closures
+#
+# Specialization mirrors the historical runtime checks exactly: a child
+# that is a *literal* constant is skipped the way ``slot in const`` did;
+# a *folded* float child keeps any dead-mask side effects its rule had
+# (extended-division emptiness, even-power emptiness) while its no-op
+# tighten is dropped.
 # ----------------------------------------------------------------------
-def _backward_op(instr, targets, forward, tighten, const, m) -> np.ndarray | None:
-    """Apply one node's backward rule; returns extra dead-row mask."""
+def _plan_backward(instr, literal: dict[int, float], floats: dict[int, float]):
     op, slot = instr[0], instr[1]
-    target = targets[slot]
-    if isinstance(target, float):
-        # Constant subexpression: nothing upstream to tighten.
-        return None
-    t_lo, t_hi = target
     if op == "add":
-        left, right = instr[2], instr[3]
-        if right not in const:
-            f = forward[left]
-            if isinstance(f, float):
-                tighten(right, _down(t_lo - f), _up(t_hi - f))
-            else:
-                tighten(right, _down(t_lo - f[1]), _up(t_hi - f[0]))
-        if left not in const:
-            f = forward[right]
-            if isinstance(f, float):
-                tighten(left, _down(t_lo - f), _up(t_hi - f))
-            else:
-                tighten(left, _down(t_lo - f[1]), _up(t_hi - f[0]))
-        return None
+        return _bwd_add(slot, instr[2], instr[3], floats)
     if op == "sub":
-        left, right = instr[2], instr[3]
-        if left not in const:
-            f = forward[right]
-            if isinstance(f, float):
-                tighten(left, _down(t_lo + f), _up(t_hi + f))
-            else:
-                tighten(left, _down(t_lo + f[0]), _up(t_hi + f[1]))
-        if right not in const:
-            f = forward[left]
-            if isinstance(f, float):
-                tighten(right, _down(f - t_hi), _up(f - t_lo))
-            else:
-                tighten(right, _down(f[0] - t_hi), _up(f[1] - t_lo))
-        return None
+        return _bwd_sub(slot, instr[2], instr[3], floats)
     if op == "mul":
-        left, right = instr[2], instr[3]
-        dead = None
-        if left not in const:
-            got = _backward_mul_child(left, right, target, forward, const, tighten, m)
-            dead = _merge(dead, got)
-        if right not in const:
-            got = _backward_mul_child(right, left, target, forward, const, tighten, m)
-            dead = _merge(dead, got)
-        return dead
+        return _bwd_mul(slot, instr[2], instr[3], literal, floats)
     if op == "div":
-        left, right = instr[2], instr[3]
-        dead = None
-        if left not in const:
-            # num target = target * den
-            f = forward[right]
-            if isinstance(f, float):
-                tighten(left, *_const_mul(f, target))
-            else:
-                cand = IntervalArray(t_lo, t_hi) * IntervalArray(f[0], f[1])
-                tighten(left, cand.lo, cand.hi)
-        if right not in const:
-            f = _expand(forward[left], m)
-            num = IntervalArray(f[0], f[1])
-            cand = num.extended_divide_hull(IntervalArray(t_lo, t_hi))
-            dead = _merge(dead, _tighten_hull(right, cand, tighten))
-        return dead
+        return _bwd_div(slot, instr[2], instr[3], literal, floats)
     if op == "neg":
         child = instr[2]
-        if child not in const:
-            tighten(child, -t_hi, -t_lo)
-        return None
-    if op == "pow":
-        base = instr[2]
-        if base in const:
+        if child in floats:
             return None
-        return _backward_pow(base, instr[3], target, forward, tighten, m)
-    if op == "min":
-        bound_hi = np.full(m, _INF)
-        for child in (instr[2], instr[3]):
-            if child not in const:
-                tighten(child, t_lo, bound_hi)
-        return None
-    if op == "max":
-        bound_lo = np.full(m, -_INF)
-        for child in (instr[2], instr[3]):
-            if child not in const:
+
+        def run_neg(targets, forward, tighten, m):
+            t_lo, t_hi = targets[slot]
+            tighten(child, -t_hi, -t_lo)
+            return None
+
+        return run_neg
+    if op == "pow":
+        base, exponent = instr[2], instr[3]
+        if base in literal:
+            return None
+        base_val = floats.get(base)
+
+        def run_pow(targets, forward, tighten, m):
+            f = forward[base] if base_val is None else base_val
+            return _backward_pow(base, exponent, targets[slot], f, tighten, m)
+
+        return run_pow
+    if op in ("min", "max"):
+        children = [c for c in (instr[2], instr[3]) if c not in floats]
+        if not children:
+            return None
+        if op == "min":
+            def run_min(targets, forward, tighten, m):
+                t_lo = targets[slot][0]
+                bound_hi = np.full(m, _INF)
+                for child in children:
+                    tighten(child, t_lo, bound_hi)
+                return None
+
+            return run_min
+
+        def run_max(targets, forward, tighten, m):
+            t_hi = targets[slot][1]
+            bound_lo = np.full(m, -_INF)
+            for child in children:
                 tighten(child, bound_lo, t_hi)
-        return None
+            return None
+
+        return run_max
+    # Transcendental / unary rules: literal children are skipped; folded
+    # children keep the target-derived dead masks (tighten no-ops).
     child = instr[2]
-    if child in const:
+    if child in literal:
         return None
-    return _backward_unary(op, child, target, tighten, m)
+    if op in ("sin", "cos", "tan"):
+        # Periodic inverse skipped (identity is sound) — no side effects.
+        return None
+
+    def run_unary(targets, forward, tighten, m):
+        return _backward_unary(op, child, targets[slot], tighten, m)
+
+    return run_unary
+
+
+def _bwd_add(slot, left, right, floats):
+    l_val = floats.get(left)
+    r_val = floats.get(right)
+    tighten_right = right not in floats
+    tighten_left = left not in floats
+    if not tighten_left and not tighten_right:
+        return None
+
+    def run(targets, forward, tighten, m):
+        t_lo, t_hi = targets[slot]
+        if tighten_right:
+            if l_val is not None:
+                tighten(right, _down(t_lo - l_val), _up(t_hi - l_val))
+            else:
+                f = forward[left]
+                tighten(right, _down(t_lo - f[1]), _up(t_hi - f[0]))
+        if tighten_left:
+            if r_val is not None:
+                tighten(left, _down(t_lo - r_val), _up(t_hi - r_val))
+            else:
+                f = forward[right]
+                tighten(left, _down(t_lo - f[1]), _up(t_hi - f[0]))
+        return None
+
+    return run
+
+
+def _bwd_sub(slot, left, right, floats):
+    l_val = floats.get(left)
+    r_val = floats.get(right)
+    tighten_right = right not in floats
+    tighten_left = left not in floats
+    if not tighten_left and not tighten_right:
+        return None
+
+    def run(targets, forward, tighten, m):
+        t_lo, t_hi = targets[slot]
+        if tighten_left:
+            if r_val is not None:
+                tighten(left, _down(t_lo + r_val), _up(t_hi + r_val))
+            else:
+                f = forward[right]
+                tighten(left, _down(t_lo + f[0]), _up(t_hi + f[1]))
+        if tighten_right:
+            if l_val is not None:
+                tighten(right, _down(l_val - t_hi), _up(l_val - t_lo))
+            else:
+                f = forward[left]
+                tighten(right, _down(f[0] - t_hi), _up(f[1] - t_lo))
+        return None
+
+    return run
+
+
+def _bwd_mul_child(slot, child, other, literal, floats):
+    """Rule tightening ``child`` of ``child * other``; None if a no-op."""
+    c = literal.get(other)
+    if c is not None:
+        if c != 0.0:
+            if child in floats:
+                # tighten would no-op and the rule has no dead mask.
+                return None
+
+            def run_const(targets, forward, tighten, m):
+                tighten(child, *_const_mul_like_div(c, targets[slot]))
+                return None
+
+            return run_const
+
+        def run_zero(targets, forward, tighten, m):
+            # child * 0 == 0: infeasible unless the target admits zero.
+            t_lo, t_hi = targets[slot]
+            return ~((t_lo <= 0.0) & (0.0 <= t_hi))
+
+        return run_zero
+
+    other_val = floats.get(other)
+
+    def run(targets, forward, tighten, m):
+        t_lo, t_hi = targets[slot]
+        f = _expand(forward[other] if other_val is None else other_val, m)
+        cand = IntervalArray(t_lo, t_hi).extended_divide_hull(
+            IntervalArray(f[0], f[1])
+        )
+        return _tighten_hull(child, cand, tighten)
+
+    return run
+
+
+def _bwd_mul(slot, left, right, literal, floats):
+    rules = []
+    if left not in literal:
+        rule = _bwd_mul_child(slot, left, right, literal, floats)
+        if rule is not None:
+            rules.append(rule)
+    if right not in literal:
+        rule = _bwd_mul_child(slot, right, left, literal, floats)
+        if rule is not None:
+            rules.append(rule)
+    if not rules:
+        return None
+    if len(rules) == 1:
+        return rules[0]
+
+    def run(targets, forward, tighten, m):
+        dead = None
+        for rule in rules:
+            dead = _merge(dead, rule(targets, forward, tighten, m))
+        return dead
+
+    return run
+
+
+def _bwd_div(slot, left, right, literal, floats):
+    rules = []
+    if left not in literal and left not in floats:
+        r_val = floats.get(right)
+        if r_val is not None:
+            def run_num_const(targets, forward, tighten, m):
+                tighten(left, *_const_mul(r_val, targets[slot]))
+                return None
+
+            rules.append(run_num_const)
+        else:
+            def run_num(targets, forward, tighten, m):
+                t_lo, t_hi = targets[slot]
+                f = forward[right]
+                cand = IntervalArray(t_lo, t_hi) * IntervalArray(f[0], f[1])
+                tighten(left, cand.lo, cand.hi)
+                return None
+
+            rules.append(run_num)
+    if right not in literal:
+        l_val = floats.get(left)
+
+        def run_den(targets, forward, tighten, m):
+            t_lo, t_hi = targets[slot]
+            f = _expand(forward[left] if l_val is None else l_val, m)
+            num = IntervalArray(f[0], f[1])
+            cand = num.extended_divide_hull(IntervalArray(t_lo, t_hi))
+            return _tighten_hull(right, cand, tighten)
+
+        rules.append(run_den)
+    if not rules:
+        return None
+    if len(rules) == 1:
+        return rules[0]
+
+    def run(targets, forward, tighten, m):
+        dead = None
+        for rule in rules:
+            dead = _merge(dead, rule(targets, forward, tighten, m))
+        return dead
+
+    return run
 
 
 def _merge(a: np.ndarray | None, b: np.ndarray | None) -> np.ndarray | None:
@@ -461,25 +766,6 @@ def _merge(a: np.ndarray | None, b: np.ndarray | None) -> np.ndarray | None:
     if b is None:
         return a
     return a | b
-
-
-def _backward_mul_child(
-    child: int, other: int, target, forward, const, tighten, m
-) -> np.ndarray | None:
-    """Tighten ``child`` of ``child * other`` given the node target."""
-    t_lo, t_hi = target
-    c = const.get(other)
-    if c is not None:
-        if c != 0.0:
-            tighten(child, *_const_mul_like_div(c, target))
-            return None
-        # child * 0 == 0: infeasible unless the target admits zero.
-        return ~((t_lo <= 0.0) & (0.0 <= t_hi))
-    f = _expand(forward[other], m)
-    cand = IntervalArray(t_lo, t_hi).extended_divide_hull(
-        IntervalArray(f[0], f[1])
-    )
-    return _tighten_hull(child, cand, tighten)
 
 
 def _tighten_hull(slot: int, cand: IntervalArray, tighten) -> np.ndarray | None:
@@ -505,8 +791,10 @@ def _pad_up(values: np.ndarray) -> np.ndarray:
 
 
 def _backward_pow(
-    base_slot: int, n: int, target, forward, tighten, m
+    base_slot: int, n: int, target, child_forward, tighten, m
 ) -> np.ndarray | None:
+    # ``child_forward`` is the base's forward value: an endpoint pair,
+    # or a baked float when the base folded to a constant.
     t_lo, t_hi = target
     if n == 0:
         return ~((t_lo <= 1.0) & (1.0 <= t_hi))
@@ -552,7 +840,7 @@ def _backward_pow(
         lo_root = c_lo ** (1.0 / n)
     hi_root = _pad_up(hi_root)
     lo_root = _pad_down(lo_root)
-    child_f = _expand(forward[base_slot], m)
+    child_f = _expand(child_forward, m)
     pos = child_f[0] >= 0.0
     neg = child_f[1] <= 0.0
     cand_lo = np.where(pos, np.maximum(lo_root, 0.0), -hi_root)
@@ -659,7 +947,7 @@ def _backward_unary(op: str, child_slot: int, target, tighten, m) -> np.ndarray 
         tighten(child_slot, lo, hi)
         return dead if dead.any() else None
     # sin / cos / tan: periodic inverse skipped (identity is sound).
-    return None
+    return None  # pragma: no cover - planner drops identity rules
 
 
 def _logit(p: np.ndarray) -> np.ndarray:

@@ -1,0 +1,98 @@
+"""Plan-compiled FrontierContractor: idempotence and workspace leases.
+
+The deep semantic cross-checks against the scalar contractor live in
+``tests/smt/test_hc4_batched.py``; these tests pin the properties the
+buffer pool introduces — repeated revises are reproducible, and pooled
+scratch state is never shared between live passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.expr import sin, tanh, var
+from repro.intervals import BoxArray
+from repro.smt import FrontierContractor
+from repro.smt.constraint import ge, le
+
+X, Y = var("x"), var("y")
+NAMES = ["x", "y"]
+
+CONSTRAINTS = [
+    ge(X * X + Y * Y, 1.0),
+    le(2.0 * X - 0.5 * Y + 1.0, 0.0),
+    le(tanh(X) * 3.0 + sin(Y), 0.5),
+    ge(X * Y - 1.0, 0.0),
+]
+
+
+def frontier(rng, m=23):
+    lo = rng.uniform(-2.0, 2.0, (m, 2))
+    hi = lo + rng.exponential(0.8, (m, 2))
+    return BoxArray(lo, hi)
+
+
+class TestReviseIdempotence:
+    def test_same_frontier_twice_is_identical(self, rng):
+        """Two revises of one frontier return bit-identical bounds.
+
+        This is the buffer-pool reuse guarantee: the second call leases
+        the workspace the first one released, and no state may leak
+        between them.
+        """
+        for constraint in CONSTRAINTS:
+            contractor = FrontierContractor(constraint, NAMES)
+            boxes = frontier(rng)
+            first, alive_first = contractor.revise(boxes)
+            second, alive_second = contractor.revise(boxes)
+            np.testing.assert_array_equal(first.lo, second.lo)
+            np.testing.assert_array_equal(first.hi, second.hi)
+            np.testing.assert_array_equal(alive_first, alive_second)
+
+    def test_interleaved_frontiers_do_not_cross_talk(self, rng):
+        """Alternating two frontiers reproduces each one's solo result."""
+        contractor = FrontierContractor(CONSTRAINTS[0], NAMES)
+        a = frontier(rng, 9)
+        b = frontier(rng, 9)
+        solo_a = contractor.revise(a)
+        solo_b = contractor.revise(b)
+        inter_a = contractor.revise(a)
+        inter_b = contractor.revise(b)
+        np.testing.assert_array_equal(solo_a[0].lo, inter_a[0].lo)
+        np.testing.assert_array_equal(solo_a[0].hi, inter_a[0].hi)
+        np.testing.assert_array_equal(solo_b[0].lo, inter_b[0].lo)
+        np.testing.assert_array_equal(solo_b[0].hi, inter_b[0].hi)
+
+
+class TestWorkspaceLease:
+    def test_live_lease_is_never_shared(self, rng):
+        """A revise running while a workspace is leased gets its own.
+
+        Simulates re-entrancy: lease the contractor's workspace by hand
+        (as a concurrent revise would) and check revise still produces
+        its solo-result bits — proving it did not touch the leased one.
+        """
+        contractor = FrontierContractor(CONSTRAINTS[2], NAMES)
+        boxes = frontier(rng, 8)
+        expected_lo, expected_alive = contractor.revise(boxes)
+
+        held = contractor._pool.acquire(len(boxes))
+        sentinel = object()
+        held.slots[0] = sentinel
+        try:
+            contracted, alive = contractor.revise(boxes)
+        finally:
+            assert held.slots[0] is sentinel  # untouched by the revise
+            contractor._pool.release(held)
+        np.testing.assert_array_equal(contracted.lo, expected_lo.lo)
+        np.testing.assert_array_equal(alive, expected_alive)
+
+    def test_bucket_change_keeps_results_stable(self, rng):
+        contractor = FrontierContractor(CONSTRAINTS[1], NAMES)
+        small = frontier(rng, 5)
+        large = frontier(rng, 200)
+        before = contractor.revise(small)
+        contractor.revise(large)
+        after = contractor.revise(small)
+        np.testing.assert_array_equal(before[0].lo, after[0].lo)
+        np.testing.assert_array_equal(before[0].hi, after[0].hi)

@@ -119,6 +119,31 @@ class TestCommands:
         assert "@" in out
 
 
+class TestProfileCommand:
+    def test_profile_linear(self, capsys, tmp_path):
+        out_file = tmp_path / "profile.json"
+        code = main(
+            ["profile", "linear", "--repeats", "1", "--json", str(out_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "profile 'linear'" in out
+        assert "total" in out
+        import json
+
+        data = json.loads(out_file.read_text())
+        assert data["scenario"] == "linear"
+        assert data["kernels"] is True
+        assert "stage_seconds" in data
+
+    def test_profile_compare_includes_baseline(self, capsys):
+        code = main(["profile", "linear", "--repeats", "1", "--compare"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no-kernel" in out
+        assert "speedup" in out
+
+
 class TestScenarioCommands:
     def test_scenarios_lists_builtins(self, capsys):
         code = main(["scenarios"])

@@ -36,6 +36,7 @@ COVERAGE_MODULES = (
     "repro.api.sweep",
     "repro.engine",
     "repro.intervals.array",
+    "repro.perf",
     "repro.smt.hc4",
     "repro.store",
 )
