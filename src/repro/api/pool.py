@@ -23,6 +23,7 @@ a ``pool`` argument behaves exactly as before.
 from __future__ import annotations
 
 import atexit
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -97,6 +98,11 @@ class WarmPool:
         self.workers = workers
         self.warmup = warmup or WarmupSpec()
         self._executor: ProcessPoolExecutor | None = None
+        # Serializes executor build/rebuild/teardown: the service shares
+        # one pool across concurrent jobs, and two threads racing the
+        # lazy construction (or an ensure_warm racing a self-heal
+        # rebuild) would leak a whole ProcessPoolExecutor.
+        self._lock = threading.RLock()
 
     @property
     def executor(self) -> Executor:
@@ -106,21 +112,25 @@ class WarmPool:
         replaced with a fresh one here: the call that hit the crash
         still raised, but the pool must not stay poisoned for every
         later dispatch the way a plain long-lived executor would.
+        Thread-safe: concurrent callers observe exactly one executor.
         """
-        if self._executor is not None and getattr(self._executor, "_broken", False):
-            self.shutdown()
-        if self._executor is None:
-            global _CURRENT_WARMUP
-            _CURRENT_WARMUP = _CURRENT_WARMUP.merge(self.warmup)
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_warm_initializer,
-                initargs=(self.warmup,),
-            )
-        return self._executor
+        with self._lock:
+            if self._executor is not None and getattr(
+                self._executor, "_broken", False
+            ):
+                self.shutdown()
+            if self._executor is None:
+                global _CURRENT_WARMUP
+                _CURRENT_WARMUP = _CURRENT_WARMUP.merge(self.warmup)
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_warm_initializer,
+                    initargs=(self.warmup,),
+                )
+            return self._executor
 
     def ensure_warm(self, spec: WarmupSpec) -> None:
-        """Best-effort re-warm for an additional spec.
+        """Best-effort re-warm for an additional spec (thread-safe).
 
         Already-running workers get fire-and-forget ``_prewarm`` tasks
         (there is no way — nor need — to target each worker exactly
@@ -128,16 +138,17 @@ class WarmPool:
         through the module-global snapshot a forked child inherits.
         """
         global _CURRENT_WARMUP
-        merged = self.warmup.merge(spec)
-        if merged == self.warmup:
-            return
-        self.warmup = merged
-        _CURRENT_WARMUP = _CURRENT_WARMUP.merge(spec)
-        if self._executor is not None and not getattr(
-            self._executor, "_broken", False
-        ):
-            for _ in range(self.workers):
-                self._executor.submit(_prewarm, spec)
+        with self._lock:
+            merged = self.warmup.merge(spec)
+            if merged == self.warmup:
+                return
+            self.warmup = merged
+            _CURRENT_WARMUP = _CURRENT_WARMUP.merge(spec)
+            if self._executor is not None and not getattr(
+                self._executor, "_broken", False
+            ):
+                for _ in range(self.workers):
+                    self._executor.submit(_prewarm, spec)
 
     def shutdown(self, cancel: bool = True) -> None:
         """Stop the workers (the next use starts fresh ones).
@@ -146,11 +157,13 @@ class WarmPool:
         executor's processes (used when the global pool is *replaced*
         while another thread may still be awaiting its futures —
         cancelling those would surface as an unrelated CancelledError
-        in that thread's dispatch).
+        in that thread's dispatch).  Thread-safe against concurrent
+        ``executor`` rebuilds and ``ensure_warm`` calls.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=cancel)
-            self._executor = None
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=cancel)
+                self._executor = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "live" if self._executor is not None else "idle"
@@ -158,6 +171,7 @@ class WarmPool:
 
 
 _GLOBAL_POOL: WarmPool | None = None
+_GLOBAL_POOL_LOCK = threading.Lock()
 
 
 def get_warm_pool(workers: int, warmup: WarmupSpec | None = None) -> WarmPool:
@@ -165,26 +179,29 @@ def get_warm_pool(workers: int, warmup: WarmupSpec | None = None) -> WarmPool:
 
     Reuses the existing pool (and its warm workers) when the size
     matches, merging any new warm-up spec into it; a size change shuts
-    the old pool down and builds a new one.
+    the old pool down and builds a new one.  Thread-safe: concurrent
+    callers with the same size always receive the same pool.
     """
     global _GLOBAL_POOL
-    if _GLOBAL_POOL is None or _GLOBAL_POOL.workers != workers:
-        if _GLOBAL_POOL is not None:
-            # Replacement, not teardown: another thread may still be
-            # awaiting futures on the old executor — let them drain.
-            _GLOBAL_POOL.shutdown(cancel=False)
-        _GLOBAL_POOL = WarmPool(workers, warmup)
-    elif warmup is not None:
-        _GLOBAL_POOL.ensure_warm(warmup)
-    return _GLOBAL_POOL
+    with _GLOBAL_POOL_LOCK:
+        if _GLOBAL_POOL is None or _GLOBAL_POOL.workers != workers:
+            if _GLOBAL_POOL is not None:
+                # Replacement, not teardown: another thread may still be
+                # awaiting futures on the old executor — let them drain.
+                _GLOBAL_POOL.shutdown(cancel=False)
+            _GLOBAL_POOL = WarmPool(workers, warmup)
+        elif warmup is not None:
+            _GLOBAL_POOL.ensure_warm(warmup)
+        return _GLOBAL_POOL
 
 
 def shutdown_warm_pool() -> None:
     """Tear down the global pool (no-op when none is live)."""
     global _GLOBAL_POOL
-    if _GLOBAL_POOL is not None:
-        _GLOBAL_POOL.shutdown()
-        _GLOBAL_POOL = None
+    with _GLOBAL_POOL_LOCK:
+        if _GLOBAL_POOL is not None:
+            _GLOBAL_POOL.shutdown()
+            _GLOBAL_POOL = None
 
 
 atexit.register(shutdown_warm_pool)

@@ -22,6 +22,12 @@ The aggregate half of the report is a pure function of the artifacts, so
 re-invoking the same sweep against a warm cache reproduces it *exactly*
 (only ``cache_hits`` / ``wall_seconds`` differ).  The CLI form is
 ``repro sweep dubins --grid speed=2:6:3 nn_width=8,10 --workers 4``.
+
+:mod:`repro.service` builds its job expansion on the same two pieces —
+:func:`instantiate_points` and the per-point seed derivation of step 2
+— so artifacts produced through the service are byte-identical to a
+direct sweep of the same points and share its cache keys.  Changing
+either contract changes every stored ``run_key``.
 """
 
 from __future__ import annotations
@@ -49,7 +55,7 @@ from .runner import (
 )
 from .scenario import Scenario
 
-__all__ = ["SweepReport", "sweep"]
+__all__ = ["SweepReport", "instantiate_points", "sweep"]
 
 #: quantiles reported for level/timing distributions
 _QUANTILES = (("min", 0.0), ("q25", 0.25), ("median", 0.5), ("q75", 0.75), ("max", 1.0))
@@ -183,7 +189,7 @@ class SweepReport:
         return "\n".join(lines)
 
 
-def _instantiate_points(
+def instantiate_points(
     family: ScenarioFamily,
     grid: "Mapping[str, Sequence[object] | str] | None",
     samples: int | None,
@@ -281,7 +287,7 @@ def sweep(
     if isinstance(family, str):
         family = get_family(family)
     started = time.perf_counter()
-    points = _instantiate_points(family, grid, samples, seed, overrides)
+    points = instantiate_points(family, grid, samples, seed, overrides)
 
     scenarios: list[Scenario] = []
     engines: list[Engine] = []

@@ -13,6 +13,11 @@ profile   per-stage latency breakdown of a scenario verify
 batch     verify several scenarios in parallel worker processes
 sweep     shard a family's parameter grid across workers, skipping the
           content-addressed artifact cache's hits
+serve     run the verification service (async job API over the store)
+submit    submit a scenario/family job to a running service
+jobs      list a running service's jobs
+watch     stream one job's stage/point progress events
+cancel    cancel a service job
 train     CMA-ES policy search; optionally save the controller
 falsify   simulation-based falsification baseline on the same problem
 table1    regenerate Table 1 (``--families`` appends family rows)
@@ -23,7 +28,12 @@ figure5   regenerate Figure 5 (phase portrait, ASCII)
 pick the solver stack (``repro engines`` lists them; default
 ``native``).  ``sweep`` caches artifacts under ``$REPRO_STORE`` (default
 ``~/.cache/repro/store``); ``REPRO_CACHE=1`` opts ``verify``/``batch``
-into the same cache.
+into the same cache.  ``repro serve`` exposes the same cached runs as a
+long-lived HTTP job service (see ``docs/service.md``); ``submit`` /
+``jobs`` / ``watch`` / ``cancel`` talk to it via ``--url``.
+
+``sweep`` and ``batch`` exit nonzero when any point errors, so CI
+wrappers can gate on partial failures.
 """
 
 from __future__ import annotations
@@ -200,6 +210,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full sweep report (aggregate + runs) as JSON",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the verification service (async job API over the store)",
+    )
+    p_serve.add_argument(
+        "--host", type=str, default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default 7463; 0 picks a free port)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker parallelism / in-flight cap (default 2)",
+    )
+    p_serve.add_argument(
+        "--store", type=str, default=None, metavar="DIR",
+        help="artifact store root (default: $REPRO_STORE or "
+        "~/.cache/repro/store)",
+    )
+    p_serve.add_argument(
+        "--threads", action="store_true",
+        help="execute in-process on threads instead of the warm "
+        "process pool (tests/smoke runs)",
+    )
+    p_serve.add_argument(
+        "--no-journal", action="store_true",
+        help="skip the JSON job journal (no restart recovery)",
+    )
+
+    _URL_HELP = "service base URL (default http://127.0.0.1:7463)"
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a scenario/family job to a running service"
+    )
+    p_submit.add_argument(
+        "target", metavar="TARGET",
+        help="registered family (with --grid/--samples) or scenario name",
+    )
+    p_submit.add_argument(
+        "--grid", nargs="+", metavar="PARAM=SPEC", default=[],
+        help="family grid axes (same mini-language as `repro sweep`)",
+    )
+    p_submit.add_argument(
+        "--samples", type=int, default=None,
+        help="instead of --grid: N uniform random parameter points",
+    )
+    p_submit.add_argument("--seed", type=int, default=0, help="job seed")
+    p_submit.add_argument(
+        "--engine", type=str, default=None,
+        help="solver engine for every point",
+    )
+    p_submit.add_argument(
+        "--priority", type=int, default=0,
+        help="queue priority (higher dispatches first; default 0)",
+    )
+    p_submit.add_argument("--url", type=str, default=None, help=_URL_HELP)
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches a terminal state",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up on --wait after this many seconds",
+    )
+    p_submit.add_argument(
+        "--json", type=str, default="", metavar="FILE",
+        help="write the (final, with --wait) job status as JSON",
+    )
+
+    p_jobs = sub.add_parser("jobs", help="list a running service's jobs")
+    p_jobs.add_argument("--url", type=str, default=None, help=_URL_HELP)
+    p_jobs.add_argument(
+        "--json", action="store_true", help="emit the job list as JSON"
+    )
+
+    p_watch = sub.add_parser(
+        "watch", help="stream one job's stage/point progress events"
+    )
+    p_watch.add_argument("job_id", metavar="JOB")
+    p_watch.add_argument("--url", type=str, default=None, help=_URL_HELP)
+    p_watch.add_argument(
+        "--json", action="store_true",
+        help="print raw NDJSON events instead of human-readable lines",
+    )
+
+    p_cancel = sub.add_parser("cancel", help="cancel a service job")
+    p_cancel.add_argument("job_id", metavar="JOB")
+    p_cancel.add_argument("--url", type=str, default=None, help=_URL_HELP)
+
     p_train = sub.add_parser("train", help="CMA-ES policy search")
     p_train.add_argument("--neurons", type=int, default=10)
     p_train.add_argument("--seed", type=int, default=0)
@@ -349,18 +450,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     import json
 
     from .api import sweep
-    from .errors import ReproError
 
-    grid = None
-    if args.grid:
-        grid = {}
-        for token in args.grid:
-            key, eq, value = token.partition("=")
-            if not eq or not key.strip() or not value.strip():
-                raise ReproError(
-                    f"bad --grid token {token!r} (expected PARAM=SPEC)"
-                )
-            grid[key.strip()] = value.strip()
+    grid = _parse_grid_tokens(args.grid)
     cache: object
     if args.no_cache:
         cache = False
@@ -392,7 +483,160 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         print(f"report written to {args.json}")
-    return 0 if not any(a.error for a in report.artifacts) else 1
+    # Any errored point fails the invocation — a partially failed sweep
+    # must not look green to CI wrappers.
+    failed = any(a.status == "error" or a.error for a in report.artifacts)
+    return 1 if failed else 0
+
+
+def _parse_grid_tokens(tokens: "Sequence[str]") -> "dict[str, str] | None":
+    """``PARAM=SPEC`` tokens -> grid mapping (None when no tokens)."""
+    from .errors import ReproError
+
+    if not tokens:
+        return None
+    grid: dict[str, str] = {}
+    for token in tokens:
+        key, eq, value = token.partition("=")
+        if not eq or not key.strip() or not value.strip():
+            raise ReproError(f"bad --grid token {token!r} (expected PARAM=SPEC)")
+        grid[key.strip()] = value.strip()
+    return grid
+
+
+def _service_client(url: "str | None"):
+    from .service import DEFAULT_PORT, ServiceClient
+
+    return ServiceClient(url or f"http://127.0.0.1:{DEFAULT_PORT}")
+
+
+def _print_job_status(status: dict) -> None:
+    bits = [
+        f"{status['id']}  {status['state']:<9}",
+        f"{status['done_points']}/{status['total_points']} points",
+        f"{status['cached_points']} cached",
+        f"{status['dispatched']} dispatched",
+    ]
+    if status.get("coalesced"):
+        bits.append(f"{status['coalesced']} coalesced")
+    if status.get("error"):
+        bits.append(f"error: {status['error']}")
+    print("  ".join(bits))
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import DEFAULT_PORT, EventBus, Scheduler, ServiceServer
+    from .store import ArtifactStore
+
+    store = ArtifactStore(args.store) if args.store else ArtifactStore()
+    scheduler = Scheduler(
+        store,
+        pool=False if args.threads else True,
+        workers=args.workers,
+        events=EventBus(),
+        journal=None if args.no_journal else True,
+    )
+    recovered = scheduler.recover()
+    if recovered:
+        print(f"recovered {len(recovered)} unfinished job(s) from the journal")
+    server = ServiceServer(
+        scheduler,
+        host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+    )
+
+    async def main() -> None:
+        await server.start()
+        print(
+            f"repro service listening on http://{server.host}:{server.port} "
+            f"(store {store.root}, {scheduler.workers} workers)",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        scheduler.shutdown()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    client = _service_client(args.url)
+    status = client.submit(
+        args.target,
+        grid=_parse_grid_tokens(args.grid),
+        samples=args.samples,
+        seed=args.seed,
+        engine=args.engine,
+        priority=args.priority,
+    )
+    _print_job_status(status)
+    if args.wait:
+        status = client.wait(status["id"], timeout=args.timeout)
+        _print_job_status(status)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(status, handle, indent=2, sort_keys=True)
+        print(f"status written to {args.json}")
+    if args.wait:
+        return 0 if status["state"] == "DONE" else 1
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    jobs = _service_client(args.url).jobs()
+    if args.json:
+        print(json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    for status in jobs:
+        _print_job_status(status)
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import json
+
+    client = _service_client(args.url)
+    final_state = None
+    for event in client.stream(args.job_id):
+        if args.json:
+            print(json.dumps(event, sort_keys=True), flush=True)
+        elif event.get("type") == "stage":
+            if event.get("kind") == "end":
+                print(
+                    f"  {event.get('point')}: {event.get('stage')} "
+                    f"({event.get('seconds', 0.0):.2f}s)",
+                    flush=True,
+                )
+        elif event.get("type") == "point":
+            origin = "cache" if event.get("cached") else "worker"
+            print(
+                f"point {event.get('index')} {event.get('point')}: "
+                f"{event.get('status')} [{origin}]",
+                flush=True,
+            )
+        elif event.get("type") == "job":
+            final_state = event.get("state")
+            print(f"job {event.get('job')}: {final_state}", flush=True)
+    return 0 if final_state == "DONE" else 1
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    status = _service_client(args.url).cancel(args.job_id)
+    _print_job_status(status)
+    return 0
 
 
 def _cmd_engines(args: argparse.Namespace) -> int:
@@ -498,6 +742,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(payload)
         print(f"artifacts written to {args.json}")
+    # Errors always fail the invocation; unverified-but-clean runs also
+    # exit 1 (historical contract: batch means "verify everything").
+    if any(a.status == "error" or a.error for a in artifacts):
+        return 1
     return 0 if all(a.verified for a in artifacts) else 1
 
 
@@ -609,6 +857,11 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "batch": _cmd_batch,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "watch": _cmd_watch,
+    "cancel": _cmd_cancel,
     "train": _cmd_train,
     "falsify": _cmd_falsify,
     "table1": _cmd_table1,

@@ -1,0 +1,54 @@
+"""Verification-as-a-service: async jobs over the sharded artifact store.
+
+This package composes the pieces PRs 1–5 built — the hookable
+:class:`~repro.api.VerificationPipeline`, the content-addressed
+:mod:`repro.store` cache, and the persistent
+:class:`~repro.api.pool.WarmPool` — into a long-lived job service:
+
+``service.jobs``       :class:`Job`/:class:`JobSpec` + the validated
+                       state machine and the JSON-lines
+                       :class:`JobJournal` (restart recovery)
+``service.scheduler``  :class:`Scheduler` — cache-probing submission,
+                       in-flight coalescing, shard-aware priority
+                       dispatch onto the worker fleet
+``service.events``     :class:`EventBus` — per-stage progress from
+                       worker processes to streaming subscribers
+``service.server``     :class:`ServiceServer` — the asyncio HTTP front
+                       door (submit / status / result / cancel /
+                       NDJSON events)
+``service.client``     :class:`ServiceClient` — the thin Python client
+                       the CLI commands wrap
+
+Quickstart (server side is ``repro serve``)::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient()
+    job = client.submit("linear", grid={"damping": "0.4:0.8:3"})
+    client.wait(job["id"])
+    print(client.result(job["id"])["job"]["state"])
+
+See ``docs/service.md`` for architecture, endpoints, and deployment
+notes.
+"""
+
+from .client import ServiceClient, ServiceError
+from .events import EventBus, Subscription
+from .jobs import Job, JobJournal, JobSpec, JobState, new_job_id
+from .scheduler import Scheduler
+from .server import DEFAULT_PORT, ServiceServer
+
+__all__ = [
+    "DEFAULT_PORT",
+    "EventBus",
+    "Job",
+    "JobJournal",
+    "JobSpec",
+    "JobState",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "Subscription",
+    "new_job_id",
+]

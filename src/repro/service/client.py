@@ -1,0 +1,172 @@
+"""Thin stdlib HTTP client for the verification service.
+
+:class:`ServiceClient` wraps the JSON API of
+:class:`~repro.service.server.ServiceServer` with plain
+``urllib.request`` calls — no sessions, no external dependencies.  The
+CLI's ``repro submit`` / ``jobs`` / ``watch`` / ``cancel`` commands are
+thin veneers over this class, and it is the supported way to drive the
+service from Python::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:7463")
+    job = client.submit("dubins", grid={"speed": "1:2:2", "nn_width": "4"})
+    final = client.wait(job["id"], timeout=300)
+    runs = client.result(job["id"])["runs"]
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, Mapping
+
+from ..errors import ReproError
+from .server import DEFAULT_PORT
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+#: states after which a job will never change again
+_TERMINAL = frozenset(("DONE", "FAILED", "CANCELLED"))
+
+
+class ServiceError(ReproError):
+    """A service request failed (HTTP error, bad response, timeout)."""
+
+    def __init__(self, message: str, status: "int | None" = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Synchronous client bound to one server base URL."""
+
+    def __init__(
+        self,
+        url: str = f"http://127.0.0.1:{DEFAULT_PORT}",
+        timeout: float = 60.0,
+    ):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: "Mapping[str, object] | None" = None
+    ) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(dict(body)).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:  # noqa: BLE001 - error body is best effort
+                detail = exc.reason
+            raise ServiceError(
+                f"{method} {path} failed ({exc.code}): {detail}", exc.code
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # API calls
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness + queue/fleet stats."""
+        return self._request("GET", "/v1/healthz")
+
+    def submit(
+        self,
+        target: str,
+        grid: "Mapping[str, object] | None" = None,
+        samples: "int | None" = None,
+        overrides: "Mapping[str, object] | None" = None,
+        seed: int = 0,
+        engine: "str | None" = None,
+        priority: int = 0,
+    ) -> dict:
+        """Submit a scenario/family job; returns its status dict."""
+        body: dict[str, object] = {"target": target, "seed": seed}
+        if grid is not None:
+            body["grid"] = dict(grid)
+        if samples is not None:
+            body["samples"] = samples
+        if overrides is not None:
+            body["overrides"] = dict(overrides)
+        if engine is not None:
+            body["engine"] = engine
+        if priority:
+            body["priority"] = priority
+        return self._request("POST", "/v1/jobs", body)
+
+    def jobs(self) -> list[dict]:
+        """All jobs' status dicts, newest first."""
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """One job's status dict."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """Job status + per-point runs (``artifact`` None = pending)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a job; returns the resulting status dict."""
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: "float | None" = None,
+        poll: float = 0.5,
+    ) -> dict:
+        """Poll until the job reaches a terminal state.
+
+        Raises :class:`ServiceError` when ``timeout`` elapses first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["state"] in _TERMINAL:
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def stream(self, job_id: str) -> Iterator[dict]:
+        """Yield the job's NDJSON progress events until it terminates."""
+        request = urllib.request.Request(
+            f"{self.url}/v1/jobs/{job_id}/events",
+            headers={"Accept": "application/x-ndjson"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                for line in resp:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        yield json.loads(line.decode("utf-8"))
+                    except ValueError:
+                        continue
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(
+                f"stream of {job_id} failed ({exc.code})", exc.code
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {exc.reason}"
+            ) from None

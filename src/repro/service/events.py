@@ -1,0 +1,203 @@
+"""Event bus: stage-level progress from workers to streaming clients.
+
+The synthesis loop already fires an ``observer=`` callback at every
+named stage boundary (``seed-sim`` / ``lp-fit`` / ``smt-check`` /
+``level-set``, see :class:`repro.api.VerificationPipeline`).  Inside a
+worker *process* those callbacks are useless to the server — so the
+scheduler hands every worker a multiprocessing queue, the worker-side
+observer serializes each :class:`~repro.barrier.StageEvent` onto it,
+and a drain thread on the server side feeds the resulting dicts into
+the in-process :class:`EventBus`, which fans them out to any number of
+subscribers (the NDJSON ``/events`` stream) and keeps a bounded
+per-job history so a late subscriber still sees how a job got where it
+is.
+
+Three event shapes flow through the bus, all plain dicts::
+
+    {"type": "stage", "job": ..., "point": ..., "stage": "lp-fit",
+     "kind": "end", "iteration": 1, "seconds": 0.12, "seq": N}
+    {"type": "point", "job": ..., "point": ..., "index": 3,
+     "status": "verified", "cached": false, "seq": N}
+    {"type": "job",   "job": ..., "state": "DONE", "error": null, "seq": N}
+
+A ``job`` event with a terminal state is always the last event a job
+publishes, which is what lets a stream consumer stop reading.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import queue
+import threading
+from typing import Callable, Iterable, Mapping
+
+__all__ = ["EventBus", "Subscription", "stage_event_dict"]
+
+#: sentinel pushed onto a worker queue to stop the drain thread
+_STOP = None
+
+
+def stage_event_dict(event, key: str, scenario: str) -> dict:
+    """Serialize a :class:`~repro.barrier.StageEvent` for the wire.
+
+    Runs *inside worker processes* — must only touch plain attributes.
+    """
+    return {
+        "type": "stage",
+        "key": key,
+        "point": scenario,
+        "stage": event.stage,
+        "kind": event.kind,
+        "iteration": event.iteration,
+        "seconds": event.seconds,
+    }
+
+
+class Subscription:
+    """One subscriber's live event queue (use as a context manager)."""
+
+    def __init__(self, bus: "EventBus", job_id: "str | None"):
+        self._bus = bus
+        self.job_id = job_id
+        self._queue: "queue.Queue[dict]" = queue.Queue()
+
+    def push(self, event: dict) -> None:
+        self._queue.put(event)
+
+    def get(self, timeout: "float | None" = None) -> "dict | None":
+        """Next event, or None when ``timeout`` elapses quietly."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def drain(self) -> list[dict]:
+        """Everything currently queued, without blocking."""
+        events = []
+        while True:
+            try:
+                events.append(self._queue.get_nowait())
+            except queue.Empty:
+                return events
+
+    def close(self) -> None:
+        self._bus.unsubscribe(self)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class EventBus:
+    """In-process pub/sub with bounded per-job history.
+
+    ``publish`` stamps each event with a monotonically increasing
+    ``seq`` and delivers it to every matching subscriber; the last
+    ``history`` events per job are retained so :meth:`subscribe` with
+    ``replay=True`` hands late joiners the story so far.  All methods
+    are thread-safe — completions arrive from executor callback
+    threads, drains from the worker-queue thread, subscribers from
+    asyncio handler threads.
+    """
+
+    def __init__(self, history: int = 512):
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._subscribers: list[Subscription] = []
+        self._history: dict[str, collections.deque] = {}
+        self._history_limit = history
+
+    def publish(self, event: Mapping[str, object]) -> dict:
+        """Stamp + fan out one event; returns the stamped dict."""
+        stamped = dict(event)
+        with self._lock:
+            stamped["seq"] = next(self._seq)
+            job_id = stamped.get("job")
+            if isinstance(job_id, str):
+                log = self._history.setdefault(
+                    job_id, collections.deque(maxlen=self._history_limit)
+                )
+                log.append(stamped)
+            targets = [
+                sub
+                for sub in self._subscribers
+                if sub.job_id is None or sub.job_id == job_id
+            ]
+        for sub in targets:
+            sub.push(stamped)
+        return stamped
+
+    def subscribe(
+        self, job_id: "str | None" = None, replay: bool = True
+    ) -> Subscription:
+        """Start receiving events (``job_id=None`` subscribes to all).
+
+        With ``replay``, the job's retained history is queued first, so
+        the subscriber observes a consistent prefix + live tail.
+        """
+        sub = Subscription(self, job_id)
+        with self._lock:
+            if replay and job_id is not None:
+                for event in self._history.get(job_id, ()):
+                    sub.push(event)
+            self._subscribers.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            if sub in self._subscribers:
+                self._subscribers.remove(sub)
+
+    def history(self, job_id: str) -> list[dict]:
+        """The retained events of one job, oldest first."""
+        with self._lock:
+            return list(self._history.get(job_id, ()))
+
+    # ------------------------------------------------------------------
+    # Worker-side bridge
+    # ------------------------------------------------------------------
+    def drain_from(
+        self,
+        source: "queue.Queue",
+        translate: "Callable[[dict], Iterable[Mapping[str, object]]] | None" = None,
+    ) -> "Callable[[], None]":
+        """Pump a (possibly multiprocessing) queue into the bus.
+
+        Starts a daemon thread reading ``source`` until the ``None``
+        sentinel arrives; each raw worker event is passed through
+        ``translate`` (e.g. the scheduler mapping a run key to the jobs
+        waiting on it) and every resulting event is published.  Returns
+        a stopper that sends the sentinel and joins the thread.
+        """
+
+        def pump() -> None:
+            while True:
+                try:
+                    raw = source.get()
+                except (EOFError, OSError):
+                    return
+                if raw is _STOP:
+                    return
+                try:
+                    events = [raw] if translate is None else translate(raw)
+                    for event in events:
+                        self.publish(event)
+                except Exception:  # noqa: BLE001 - streaming is best effort
+                    continue
+
+        thread = threading.Thread(
+            target=pump, name="repro-service-events", daemon=True
+        )
+        thread.start()
+
+        def stop() -> None:
+            try:
+                source.put(_STOP)
+            except (EOFError, OSError):  # manager already gone
+                pass
+            thread.join(timeout=2.0)
+
+        return stop

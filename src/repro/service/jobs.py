@@ -1,0 +1,384 @@
+"""Job model and journal for the verification service.
+
+A :class:`Job` is one submitted unit of service work: a single scenario
+or a family grid/sample (:class:`JobSpec`), expanded at submission time
+into per-point scenarios with the same deterministic seeds and
+content-addressed :func:`~repro.store.run_key` fingerprints the sweep
+runner uses — so a service result is byte-identical to a direct
+:func:`repro.api.run` of the same point.
+
+Jobs move through a validated state machine::
+
+    QUEUED ──▶ RUNNING ──▶ DONE | FAILED | CANCELLED
+       │                      ▲
+       └──────────────────────┘   (all-cache-hit jobs resolve instantly)
+
+and every transition, submission, and per-point completion is appended
+to a :class:`JobJournal` — a JSON-lines file under the artifact store
+root — so a restarted server replays the journal, keeps terminal jobs
+for inspection, and re-queues anything that was still in flight
+(completed points resolve from the cache on resubmission, so recovery
+repeats no finished work).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+
+from ..errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..api.runner import RunArtifact
+
+__all__ = [
+    "Job",
+    "JobJournal",
+    "JobSpec",
+    "JobState",
+    "JOURNAL_NAME",
+    "new_job_id",
+]
+
+#: journal file name under ``<store root>/service/``
+JOURNAL_NAME = "journal.jsonl"
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle states of a service job."""
+
+    QUEUED = "QUEUED"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def terminal(self) -> bool:
+        """True once a job can never change state again."""
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+#: the only legal state transitions (QUEUED may resolve directly when
+#: every point is a cache hit or the job is cancelled before dispatch)
+_TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    JobState.QUEUED: frozenset(
+        (JobState.RUNNING, JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+    ),
+    JobState.RUNNING: frozenset(
+        (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+    ),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+
+def new_job_id() -> str:
+    """A fresh, URL-safe job identifier (``job-`` + 12 hex chars)."""
+    return f"job-{uuid.uuid4().hex[:12]}"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What one job verifies: a scenario, or a family grid/sample.
+
+    ``target`` names a registered scenario *or* family; the server
+    resolves it against the family registry first (families and
+    scenarios share names like ``dubins``, and a family target is the
+    strictly more general interpretation).  ``grid``/``samples``/
+    ``overrides`` carry the same mini-language the sweep runner accepts
+    (:func:`repro.api.family.parse_grid_values`); ``seed`` derives each
+    point's synthesis seed exactly as :func:`repro.api.sweep` does.
+    """
+
+    target: str
+    grid: Mapping[str, Sequence[object] | str] | None = None
+    samples: int | None = None
+    overrides: Mapping[str, object] | None = None
+    seed: int = 0
+    engine: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise ReproError("job spec needs a target scenario or family")
+        if self.grid is not None and self.samples is not None:
+            raise ReproError("pass either grid or samples, not both")
+
+    def to_dict(self) -> dict:
+        """Plain-data view (JSON-ready; grids keep their raw specs)."""
+        return {
+            "target": self.target,
+            "grid": None if self.grid is None else {
+                str(k): list(v) if isinstance(v, (list, tuple)) else v
+                for k, v in self.grid.items()
+            },
+            "samples": self.samples,
+            "overrides": None if self.overrides is None else dict(self.overrides),
+            "seed": self.seed,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "JobSpec":
+        """Inverse of :meth:`to_dict` (unknown keys are ignored)."""
+        return cls(
+            target=str(data.get("target", "")),
+            grid=data.get("grid"),  # type: ignore[arg-type]
+            samples=data.get("samples"),  # type: ignore[arg-type]
+            overrides=data.get("overrides"),  # type: ignore[arg-type]
+            seed=int(data.get("seed", 0) or 0),
+            engine=data.get("engine"),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class Job:
+    """One submitted verification job and its live progress.
+
+    ``points``/``keys``/``artifacts`` are index-aligned, in point order
+    (grid order for grids, sample order for samples).  Artifacts fill
+    in as points resolve — from the cache at submission, or from worker
+    completions — and ``state`` follows the validated machine in
+    :data:`_TRANSITIONS` via :meth:`transition`.
+    """
+
+    id: str
+    spec: JobSpec
+    priority: int = 0
+    state: JobState = JobState.QUEUED
+    created: float = field(default_factory=time.time)
+    finished: float | None = None
+    #: canonical per-point scenario names, in point order
+    points: list[str] = field(default_factory=list)
+    #: per-point parameter dicts (empty dicts for plain scenarios)
+    params: list[dict] = field(default_factory=list)
+    #: content-addressed run key per point
+    keys: list[str] = field(default_factory=list)
+    #: resolved artifacts (None until the point completes)
+    artifacts: "list[RunArtifact | None]" = field(default_factory=list)
+    #: points resolved from the artifact store at submission time
+    cached_points: int = 0
+    #: distinct keys this job caused to be dispatched to workers
+    dispatched: int = 0
+    #: points that attached to another job's in-flight computation
+    coalesced: int = 0
+    error: str | None = None
+    cancel_requested: bool = False
+    #: journal-replayed per-point statuses (recovered jobs only; live
+    #: jobs carry real artifacts instead)
+    replayed_statuses: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def total_points(self) -> int:
+        """Number of parameter points the job expands to."""
+        return len(self.points)
+
+    @property
+    def done_points(self) -> int:
+        """Points resolved so far (cache hits + worker completions).
+
+        Journal-replayed jobs count their recorded point completions —
+        their artifacts stay lazy (hydrated from the store on demand).
+        """
+        return sum(
+            artifact is not None or i in self.replayed_statuses
+            for i, artifact in enumerate(self.artifacts)
+        )
+
+    @property
+    def resolved(self) -> bool:
+        """True once every point has an in-memory artifact.
+
+        Deliberately ignores replayed statuses: only live completions
+        may finalize a job (replayed jobs are already terminal).
+        """
+        return all(a is not None for a in self.artifacts)
+
+    def transition(self, new_state: JobState) -> None:
+        """Move to ``new_state``, enforcing the legal state machine."""
+        if new_state == self.state:
+            return
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ReproError(
+                f"job {self.id}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+        if new_state.terminal:
+            self.finished = time.time()
+
+    def status_dict(self) -> dict:
+        """The JSON status view the server and CLI render."""
+        return {
+            "id": self.id,
+            "state": self.state.value,
+            "spec": self.spec.to_dict(),
+            "priority": self.priority,
+            "created": self.created,
+            "finished": self.finished,
+            "total_points": self.total_points,
+            "done_points": self.done_points,
+            "cached_points": self.cached_points,
+            "dispatched": self.dispatched,
+            "coalesced": self.coalesced,
+            "verified_points": sum(
+                a.verified
+                if a is not None
+                else self.replayed_statuses.get(i) == "verified"
+                for i, a in enumerate(self.artifacts)
+            ),
+            "error": self.error,
+        }
+
+
+class JobJournal:
+    """Append-only JSON-lines record of everything the scheduler did.
+
+    One record per line; three record types::
+
+        {"event": "submit", "job": <id>, "spec": {...}, "priority": N,
+         "points": [...], "keys": [...], "created": <ts>}
+        {"event": "point", "job": <id>, "index": N, "status": "...",
+         "cached": bool}
+        {"event": "state", "job": <id>, "state": "...", "error": ...}
+
+    Appends are serialized under a lock and flushed per record, so the
+    journal is always a prefix of the truth: replaying it after a crash
+    reconstructs every job's last known state.  A duplicate ``submit``
+    for a known job id (recovery re-queues unfinished jobs through the
+    normal path) resets that job's replayed progress — later records
+    then rebuild it, keeping replay idempotent.
+    """
+
+    def __init__(self, path: "str | Path"):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    def append(self, record: Mapping[str, object]) -> None:
+        """Write one record (thread-safe, flushed before returning)."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def record_submit(self, job: Job) -> None:
+        """Journal a job submission (spec + expanded points/keys)."""
+        self.append(
+            {
+                "event": "submit",
+                "job": job.id,
+                "spec": job.spec.to_dict(),
+                "priority": job.priority,
+                "points": list(job.points),
+                "params": [dict(p) for p in job.params],
+                "keys": list(job.keys),
+                "created": job.created,
+            }
+        )
+
+    def record_point(
+        self, job_id: str, index: int, status: str, cached: bool
+    ) -> None:
+        """Journal one resolved point."""
+        self.append(
+            {
+                "event": "point",
+                "job": job_id,
+                "index": index,
+                "status": status,
+                "cached": cached,
+            }
+        )
+
+    def record_state(
+        self, job_id: str, state: JobState, error: "str | None" = None
+    ) -> None:
+        """Journal a state transition."""
+        self.append(
+            {"event": "state", "job": job_id, "state": state.value, "error": error}
+        )
+
+    def records(self) -> Iterator[dict]:
+        """Yield every well-formed record, oldest first.
+
+        A torn final line (crash mid-append) is skipped, not fatal.
+        """
+        if not self.path.is_file():
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict) and "event" in record:
+                    yield record
+
+    def replay(self) -> dict[str, Job]:
+        """Reconstruct the last known state of every journaled job.
+
+        Artifacts are not journaled — completed points carry their
+        journal status and are re-resolved from the content-addressed
+        store by key when a result is requested.  Returned jobs are in
+        submission order.
+        """
+        jobs: dict[str, Job] = {}
+        statuses: dict[str, dict[int, tuple[str, bool]]] = {}
+        for record in self.records():
+            job_id = str(record.get("job", ""))
+            event = record["event"]
+            if event == "submit":
+                try:
+                    spec = JobSpec.from_dict(record.get("spec", {}))
+                except ReproError:
+                    continue
+                points = [str(p) for p in record.get("points", [])]
+                jobs[job_id] = Job(
+                    id=job_id,
+                    spec=spec,
+                    priority=int(record.get("priority", 0) or 0),
+                    created=float(record.get("created", 0.0) or 0.0),
+                    points=points,
+                    params=[dict(p) for p in record.get("params", [])],
+                    keys=[str(k) for k in record.get("keys", [])],
+                    artifacts=[None] * len(points),
+                )
+                statuses[job_id] = {}
+            elif event == "point" and job_id in jobs:
+                statuses[job_id][int(record["index"])] = (
+                    str(record.get("status", "")),
+                    bool(record.get("cached", False)),
+                )
+            elif event == "state" and job_id in jobs:
+                job = jobs[job_id]
+                try:
+                    state = JobState(str(record.get("state", "")))
+                except ValueError:
+                    continue
+                # Replay trusts the journal's ordering; transitions were
+                # validated when first recorded.
+                job.state = state
+                job.error = record.get("error")  # type: ignore[assignment]
+                if state.terminal:
+                    job.finished = job.finished or job.created
+        for job_id, job in jobs.items():
+            resolved = statuses.get(job_id, {})
+            job.cached_points = sum(cached for _, cached in resolved.values())
+            job.replayed_statuses = {
+                index: status for index, (status, _) in resolved.items()
+            }
+        return jobs

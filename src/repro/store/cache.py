@@ -33,7 +33,11 @@ Configuration
 
 Writes are atomic (temp file + :func:`os.replace`), so concurrent sweep
 workers may race on the same key and the loser simply overwrites the
-winner with identical bytes.  Corrupt or unreadable entries behave as
+winner with identical bytes.  A corrupt entry (readable bytes that no
+longer parse as an artifact) is *quarantined*: renamed to
+``<key>.corrupt`` beside its shard so the miss re-runs cleanly while a
+service operator can still see — and inspect — cache rot via
+:meth:`ArtifactStore.stats`.  Unreadable entries (I/O errors) are plain
 misses.
 """
 
@@ -223,10 +227,17 @@ def run_key(
 
 @dataclass(frozen=True)
 class StoreStats:
-    """Aggregate store telemetry: entry count and total bytes on disk."""
+    """Aggregate store telemetry.
+
+    ``artifacts``/``bytes`` count live entries; ``corrupt`` counts
+    quarantined ``<key>.corrupt`` files — nonzero means cache rot
+    (torn writes, disk errors, incompatible artifact schemas) that an
+    operator should look at.
+    """
 
     artifacts: int
     bytes: int
+    corrupt: int = 0
 
 
 class ArtifactStore:
@@ -263,17 +274,33 @@ class ArtifactStore:
     def get(self, key: str) -> "RunArtifact | None":
         """The cached artifact for ``key``, or None on a miss.
 
-        Corrupt/unreadable entries are treated as misses (the next
-        ``put`` overwrites them).
+        An entry that reads but no longer parses is quarantined —
+        renamed to ``<key>.corrupt`` and counted by :meth:`stats` — so
+        rot is visible to operators instead of silently re-running
+        forever; unreadable entries (I/O errors) are plain misses.
         """
         from ..api.runner import RunArtifact
 
         path = self.path_for(key)
         try:
             text = path.read_text(encoding="utf-8")
-            return RunArtifact.from_json(text)
-        except (OSError, ValueError, TypeError, KeyError):
+        except OSError:
             return None
+        try:
+            return RunArtifact.from_json(text)
+        except (ValueError, TypeError, KeyError):
+            self._quarantine(path)
+            return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside as ``<key>.corrupt`` (best effort).
+
+        ``os.replace`` keeps this atomic; a concurrent reader either
+        still sees the corrupt file (and loses the rename race
+        harmlessly) or a clean miss.
+        """
+        with contextlib.suppress(OSError):
+            os.replace(path, path.with_suffix(".corrupt"))
 
     def put(self, key: str, artifact: "RunArtifact") -> Path:
         """Write an artifact under ``key`` (atomic; returns the path)."""
@@ -304,7 +331,7 @@ class ArtifactStore:
                 yield entry.stem
 
     def stats(self) -> StoreStats:
-        """Entry count + total bytes currently in the store."""
+        """Entry count, total bytes, and quarantined-entry count."""
         artifacts = 0
         total = 0
         for key in self.keys():
@@ -313,10 +340,16 @@ class ArtifactStore:
             except OSError:
                 continue
             artifacts += 1
-        return StoreStats(artifacts=artifacts, bytes=total)
+        corrupt = 0
+        if self.root.is_dir():
+            for shard in self.root.iterdir():
+                if shard.is_dir():
+                    corrupt += sum(1 for _ in shard.glob("*.corrupt"))
+        return StoreStats(artifacts=artifacts, bytes=total, corrupt=corrupt)
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (including quarantined ones); returns how
+        many live artifacts were removed."""
         removed = 0
         for key in list(self.keys()):
             try:
@@ -324,6 +357,12 @@ class ArtifactStore:
                 removed += 1
             except OSError:
                 continue
+        if self.root.is_dir():
+            for shard in self.root.iterdir():
+                if shard.is_dir():
+                    for stray in shard.glob("*.corrupt"):
+                        with contextlib.suppress(OSError):
+                            stray.unlink()
         return removed
 
 

@@ -96,6 +96,111 @@ class TestGlobalPool:
         assert len(set(sizes)) == 1
 
 
+class TestThreadSafety:
+    """The service shares one pool across concurrent jobs: racing the
+    lazy executor build, re-warms, and shutdowns must never leak an
+    executor or deadlock."""
+
+    def test_concurrent_executor_access_builds_exactly_one(self):
+        import threading
+
+        pool = WarmPool(2)
+        try:
+            barrier = threading.Barrier(8)
+            seen: list[object] = []
+
+            def grab():
+                barrier.wait(timeout=10)
+                seen.append(pool.executor)
+
+            threads = [threading.Thread(target=grab) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert len(seen) == 8
+            assert len({id(e) for e in seen}) == 1
+        finally:
+            pool.shutdown()
+
+    def test_concurrent_ensure_warm_and_access(self):
+        import threading
+
+        pool = WarmPool(2)
+        try:
+            stop = threading.Event()
+            errors: list[BaseException] = []
+
+            def churn(spec):
+                while not stop.is_set():
+                    try:
+                        pool.ensure_warm(spec)
+                        pool.executor  # noqa: B018 - exercising the race
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+                        return
+
+            threads = [
+                threading.Thread(
+                    target=churn, args=(WarmupSpec(families=(name,)),)
+                )
+                for name in ("linear", "dubins", "bicycle")
+            ]
+            for t in threads:
+                t.start()
+            import time
+
+            time.sleep(0.5)
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+            assert errors == []
+            # All specs merged, no executor lost along the way.
+            assert set(pool.warmup.families) == {"linear", "dubins", "bicycle"}
+            assert pool.executor.submit(max, 1, 2).result() == 2
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_races_with_access(self):
+        import threading
+
+        pool = WarmPool(2)
+        try:
+            barrier = threading.Barrier(2)
+
+            def shut():
+                barrier.wait(timeout=10)
+                pool.shutdown()
+
+            thread = threading.Thread(target=shut)
+            thread.start()
+            barrier.wait(timeout=10)
+            # Whichever side wins the race, the pool ends up usable.
+            executor = pool.executor
+            thread.join(timeout=30)
+            assert executor is not None
+            assert pool.executor.submit(max, 4, 5).result() == 5
+        finally:
+            pool.shutdown()
+
+    def test_concurrent_global_pool_getters_agree(self):
+        import threading
+
+        results: list[object] = []
+        barrier = threading.Barrier(6)
+
+        def grab():
+            barrier.wait(timeout=10)
+            results.append(get_warm_pool(2))
+
+        threads = [threading.Thread(target=grab) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len({id(p) for p in results}) == 1
+
+
 class TestChunkedDispatch:
     def test_execute_chunk_runs_each_payload(self):
         from repro.engine import get_engine

@@ -1,0 +1,187 @@
+"""Service CLI commands + sweep/batch error exit codes."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api.family import (
+    ParamSpec,
+    ScenarioFamily,
+    get_family,
+    register_family,
+    unregister_family,
+)
+from repro.api.scenario import register_scenario, unregister_scenario
+from repro.cli import build_parser, main
+from repro.service import EventBus, Scheduler, ServiceServer
+from repro.store import ArtifactStore
+
+
+class TestParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port is None
+        assert args.workers == 2
+        assert not args.threads
+        assert not args.no_journal
+
+    def test_submit_parses_grid_and_wait(self):
+        args = build_parser().parse_args(
+            ["submit", "linear", "--grid", "damping=0.4:0.8:3",
+             "--wait", "--priority", "2"]
+        )
+        assert args.target == "linear"
+        assert args.grid == ["damping=0.4:0.8:3"]
+        assert args.wait
+        assert args.priority == 2
+
+    def test_watch_needs_job_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["watch"])
+
+    def test_cancel_parses(self):
+        args = build_parser().parse_args(
+            ["cancel", "job-abc", "--url", "http://127.0.0.1:9999"]
+        )
+        assert args.job_id == "job-abc"
+        assert args.url == "http://127.0.0.1:9999"
+
+
+def _failing_linear_scenario(name: str):
+    base = get_family("linear").instantiate()
+
+    def explode():
+        raise RuntimeError("injected factory failure")
+
+    return dataclasses.replace(base, name=name, system_factory=explode)
+
+
+@pytest.fixture
+def failing_family():
+    """A registered family whose every instantiation errors at solve."""
+
+    def factory(damping: float = 0.5):
+        return _failing_linear_scenario(f"cli-failing[damping={damping:g}]")
+
+    family = ScenarioFamily(
+        name="cli-failing",
+        description="always errors (test only)",
+        factory=factory,
+        parameters=(
+            ParamSpec("damping", "float", default=0.5, low=0.0, high=1.0),
+        ),
+    )
+    register_family(family, replace=True)
+    yield family
+    unregister_family("cli-failing")
+
+
+@pytest.fixture
+def failing_scenario():
+    scenario = _failing_linear_scenario("cli-failing-scenario")
+    register_scenario(scenario, replace=True)
+    yield scenario
+    unregister_scenario("cli-failing-scenario")
+
+
+class TestErrorExitCodes:
+    def test_sweep_exits_nonzero_when_a_point_errors(
+        self, failing_family, capsys
+    ):
+        code = main(
+            ["sweep", "cli-failing", "--grid", "damping=0.4,0.6",
+             "--workers", "1", "--no-cache"]
+        )
+        assert code == 1
+        assert "injected factory failure" in capsys.readouterr().out
+
+    def test_sweep_exits_zero_when_all_points_verify(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "linear", "--grid", "damping=0.5", "--workers", "1",
+             "--store", str(tmp_path / "store")]
+        )
+        assert code == 0
+
+    def test_batch_exits_nonzero_when_a_scenario_errors(
+        self, failing_scenario, capsys
+    ):
+        code = main(["batch", "cli-failing-scenario", "--workers", "1"])
+        assert code == 1
+        assert "injected factory failure" in capsys.readouterr().out
+
+    def test_batch_mixed_good_and_bad_still_fails(
+        self, failing_scenario, capsys
+    ):
+        code = main(
+            ["batch", "linear", "cli-failing-scenario", "--workers", "1"]
+        )
+        assert code == 1
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    """A real HTTP server for the client-side CLI commands."""
+    store = ArtifactStore(tmp_path / "store")
+    scheduler = Scheduler(
+        store, pool=False, workers=2, events=EventBus(), journal=True
+    )
+    server = ServiceServer(scheduler, port=0)
+    server.run_in_thread()
+    yield f"http://127.0.0.1:{server.port}"
+    server.stop_thread()
+    scheduler.shutdown(wait=True)
+
+
+class TestServiceCommands:
+    def test_submit_wait_watch_jobs_cancel(
+        self, live_service, tmp_path, capsys
+    ):
+        out_file = tmp_path / "job.json"
+        code = main(
+            ["submit", "linear", "--grid", "damping=0.4:0.8:3",
+             "--url", live_service, "--wait", "--timeout", "120",
+             "--json", str(out_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DONE" in out
+        status = json.loads(out_file.read_text())
+        assert status["state"] == "DONE"
+        assert status["verified_points"] == 3
+        job_id = status["id"]
+
+        # jobs lists it
+        assert main(["jobs", "--url", live_service]) == 0
+        assert job_id in capsys.readouterr().out
+
+        # watch on a finished job replays the terminal event and exits 0
+        assert main(["watch", job_id, "--url", live_service]) == 0
+        assert "DONE" in capsys.readouterr().out
+
+        # cancel on a finished job is a no-op that reports DONE
+        assert main(["cancel", job_id, "--url", live_service]) == 0
+        assert "DONE" in capsys.readouterr().out
+
+    def test_submit_wait_exits_nonzero_on_failed_job(
+        self, live_service, failing_scenario, capsys
+    ):
+        code = main(
+            ["submit", "cli-failing-scenario", "--url", live_service,
+             "--wait", "--timeout", "120"]
+        )
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_submit_without_wait_returns_immediately(
+        self, live_service, capsys
+    ):
+        code = main(
+            ["submit", "linear", "--grid", "damping=0.5",
+             "--url", live_service]
+        )
+        assert code == 0
+        assert "job-" in capsys.readouterr().out

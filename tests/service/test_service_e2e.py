@@ -1,0 +1,215 @@
+"""End-to-end acceptance: HTTP round-trips, stress, restart recovery.
+
+Covers the service acceptance criteria: the same family grid submitted
+twice to a running server (first fans out to workers, second resolves
+100% from cache with artifact JSON byte-identical to a direct
+``api.run``), a 50-job concurrent-submission stress with no lost or
+duplicated jobs, and journal replay to the same final states after a
+simulated server restart.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import api
+from repro.api.family import get_family
+from repro.api.runner import derive_scenario_seed
+from repro.service import EventBus, JobState, Scheduler, ServiceClient, ServiceError, ServiceServer
+from repro.store import ArtifactStore
+
+GRID = {"damping": "0.4:0.8:3"}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+@pytest.fixture
+def service(store):
+    """A running HTTP server (thread executor, events, journal)."""
+    scheduler = Scheduler(
+        store, pool=False, workers=2, events=EventBus(), journal=True
+    )
+    server = ServiceServer(scheduler, port=0)
+    server.run_in_thread()
+    client = ServiceClient(f"http://127.0.0.1:{server.port}", timeout=30.0)
+    yield client, scheduler, store
+    server.stop_thread()
+    scheduler.shutdown(wait=True)
+
+
+class TestHttpRoundTrip:
+    def test_health(self, service):
+        client, _, _ = service
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["executor"] == "threads"
+
+    def test_submit_twice_second_is_all_cache(self, service):
+        client, _, store = service
+
+        cold = client.submit("linear", grid=GRID)
+        assert cold["total_points"] == 3
+        assert cold["dispatched"] == 3
+        cold = client.wait(cold["id"], timeout=120)
+        assert cold["state"] == "DONE"
+        assert cold["verified_points"] == 3
+
+        warm = client.submit("linear", grid=GRID)
+        # Resolved during submit: the response is already terminal.
+        assert warm["state"] == "DONE"
+        assert warm["cached_points"] == 3
+        assert warm["dispatched"] == 0
+
+        # Byte-identical to a direct api.run of the same points.
+        result = client.result(warm["id"])
+        family = get_family("linear")
+        for run in result["runs"]:
+            scenario = family.instantiate(**run["params"])
+            config = dataclasses.replace(
+                scenario.config,
+                seed=derive_scenario_seed(0, scenario.name),
+            )
+            direct = api.run(scenario, config=config, cache=store)
+            assert direct.cached
+            assert json.loads(direct.to_json()) == run["artifact"]
+
+    def test_event_stream_ends_with_terminal_job_event(self, service):
+        client, _, _ = service
+        job = client.submit("linear", grid={"damping": [0.5]})
+        events = list(client.stream(job["id"]))
+        assert events, "stream yielded nothing"
+        assert events[-1]["type"] == "job"
+        assert events[-1]["state"] in {"DONE", "FAILED", "CANCELLED"}
+        types = {e["type"] for e in events}
+        assert "point" in types
+
+    def test_stream_of_finished_job_replays_terminal_event(self, service):
+        client, _, _ = service
+        job = client.submit("linear", grid={"damping": [0.5]})
+        client.wait(job["id"], timeout=120)
+        events = list(client.stream(job["id"]))
+        assert events[-1]["type"] == "job"
+        assert events[-1]["state"] == "DONE"
+
+    def test_cancel_over_http(self, service):
+        client, scheduler, _ = service
+        job = client.submit("linear", grid=GRID)
+        status = client.cancel(job["id"])
+        assert status["state"] in {"CANCELLED", "DONE"}
+        final = client.wait(job["id"], timeout=120)
+        assert final["state"] == status["state"]
+
+    def test_unknown_job_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("job-nope")
+        assert excinfo.value.status == 404
+
+    def test_bad_submit_is_400(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("no-such-target")
+        assert excinfo.value.status == 400
+
+    def test_jobs_listing(self, service):
+        client, _, _ = service
+        submitted = client.submit("linear", grid={"damping": [0.5]})
+        client.wait(submitted["id"], timeout=120)
+        listed = client.jobs()
+        assert submitted["id"] in {job["id"] for job in listed}
+
+
+class TestStress:
+    def test_50_concurrent_jobs_none_lost_none_duplicated(self, service):
+        """The acceptance stress: 50 jobs over the same 3-point grid
+        submitted from 10 threads; every job reaches DONE, ids are
+        unique, and only 3 distinct points ever run."""
+        client, scheduler, store = service
+
+        def submit(i):
+            return client.submit("linear", grid=GRID, priority=i % 3)
+
+        with ThreadPoolExecutor(max_workers=10) as pool:
+            statuses = list(pool.map(submit, range(50)))
+
+        ids = [status["id"] for status in statuses]
+        assert len(set(ids)) == 50, "duplicated job ids"
+
+        finals = [client.wait(job_id, timeout=180) for job_id in ids]
+        assert all(f["state"] == "DONE" for f in finals)
+        assert all(f["verified_points"] == 3 for f in finals)
+
+        listed = {job["id"] for job in client.jobs()}
+        assert set(ids) <= listed, "lost jobs"
+
+        # Coalescing + caching: 3 distinct keys → 3 artifacts, not 150.
+        assert store.stats().artifacts == 3
+        total_executions = sum(f["dispatched"] for f in finals)
+        assert total_executions <= 3
+
+
+class TestRestartRecovery:
+    def test_journal_replays_to_same_final_states(self, store):
+        """Run a mixed bag of jobs, kill the server, bring up a fresh
+        scheduler on the same store: every terminal job replays to the
+        same final state and the interrupted one converges to DONE."""
+        scheduler = Scheduler(store, pool=False, workers=2, journal=True)
+        server = ServiceServer(scheduler, port=0)
+        server.run_in_thread()
+        client = ServiceClient(f"http://127.0.0.1:{server.port}", timeout=30.0)
+
+        done = client.wait(client.submit("linear", grid=GRID)["id"], timeout=120)
+        cancelled = client.submit("linear", grid={"damping": [0.9]})
+        cancelled = client.cancel(cancelled["id"])
+        expected = {
+            done["id"]: "DONE",
+            cancelled["id"]: cancelled["state"],
+        }
+
+        # Simulated crash: no graceful drain of queued work.
+        server.stop_thread()
+        scheduler.shutdown(wait=True)
+
+        revived = Scheduler(store, pool=False, workers=2, journal=True)
+        try:
+            requeued = revived.recover()
+            # Terminal jobs are not re-queued.
+            assert {j.id for j in requeued}.isdisjoint(expected)
+            for job_id, state in expected.items():
+                assert revived.job(job_id).state.value == state
+            # The DONE job's artifacts hydrate from the store by key.
+            artifacts = revived.job_result(done["id"])
+            assert all(a is not None for a in artifacts)
+            assert all(a.verified for a in artifacts)
+        finally:
+            revived.shutdown(wait=True)
+
+    def test_unfinished_job_requeued_and_finishes(self, store):
+        scheduler = Scheduler(store, pool=False, workers=1, journal=True)
+        job = scheduler.submit({"target": "linear", "grid": GRID})
+        # Crash before completion (don't wait for in-flight work).
+        scheduler.shutdown(wait=False)
+
+        revived = Scheduler(store, pool=False, workers=2, journal=True)
+        try:
+            requeued = revived.recover()
+            assert [j.id for j in requeued] == [job.id]
+            import time
+
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if revived.job(job.id).state.terminal:
+                    break
+                time.sleep(0.05)
+            final = revived.job(job.id)
+            assert final.state is JobState.DONE
+            assert all(a is not None for a in final.artifacts)
+        finally:
+            revived.shutdown(wait=True)

@@ -135,6 +135,93 @@ class TestArtifactStore:
         assert store.clear() == 1
         assert store.stats().artifacts == 0
 
+    def test_corrupt_entry_is_quarantined(self, store, linear_point):
+        """Rot is moved aside as ``<key>.corrupt`` and surfaced in
+        stats, not silently re-missed forever."""
+        artifact = api.run(linear_point)
+        key = run_key(linear_point, linear_point.config, artifact.engine)
+        path = store.put(key, artifact)
+        path.write_text('{"version": "not-an-artifact"}', encoding="utf-8")
+        assert store.get(key) is None
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        stats = store.stats()
+        assert stats.corrupt == 1
+        assert stats.artifacts == 0
+
+    def test_get_after_quarantine_is_clean_miss(self, store, linear_point):
+        artifact = api.run(linear_point)
+        key = run_key(linear_point, linear_point.config, artifact.engine)
+        store.put(key, artifact).write_text("{rot", encoding="utf-8")
+        assert store.get(key) is None
+        assert store.get(key) is None  # second probe: plain miss
+        assert store.stats().corrupt == 1
+
+    def test_put_after_quarantine_restores_entry(self, store, linear_point):
+        artifact = api.run(linear_point)
+        key = run_key(linear_point, linear_point.config, artifact.engine)
+        store.put(key, artifact).write_text("{rot", encoding="utf-8")
+        store.get(key)  # quarantines
+        store.put(key, artifact)
+        restored = store.get(key)
+        assert restored is not None
+        assert restored.to_dict() == artifact.to_dict()
+        stats = store.stats()
+        assert stats.artifacts == 1 and stats.corrupt == 1
+
+    def test_clear_removes_quarantined_entries(self, store, linear_point):
+        artifact = api.run(linear_point)
+        key = run_key(linear_point, linear_point.config, artifact.engine)
+        store.put(key, artifact).write_text("{rot", encoding="utf-8")
+        store.get(key)  # quarantines
+        assert store.clear() == 0  # no live artifacts left
+        assert store.stats().corrupt == 0
+
+    def test_interrupted_put_leaves_no_partial_entry(
+        self, store, linear_point, monkeypatch
+    ):
+        """Cancellation mid-commit (Ctrl-C between write and rename)
+        must leave neither a partial ``<key>.json`` nor a stray temp
+        file: the atomic-rename guarantee under cancellation."""
+        import os as os_module
+
+        artifact = api.run(linear_point)
+        key = run_key(linear_point, linear_point.config, artifact.engine)
+
+        from repro.store import cache as cache_module
+
+        def interrupted_replace(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cache_module.os, "replace", interrupted_replace)
+        with pytest.raises(KeyboardInterrupt):
+            store.put(key, artifact)
+        monkeypatch.undo()
+
+        assert store.get(key) is None
+        shard = store.path_for(key).parent
+        assert not list(shard.glob("*.tmp")), "stray temp file left behind"
+        assert not list(shard.glob("*.json")), "partial entry left behind"
+        # The interrupted put did not poison later writes.
+        store.put(key, artifact)
+        assert store.get(key) is not None
+        assert os_module.path.exists(store.path_for(key))
+
+    def test_concurrent_puts_last_writer_wins_cleanly(
+        self, store, linear_point
+    ):
+        from concurrent.futures import ThreadPoolExecutor
+
+        artifact = api.run(linear_point)
+        key = run_key(linear_point, linear_point.config, artifact.engine)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(lambda _: store.put(key, artifact), range(32)))
+        restored = store.get(key)
+        assert restored is not None
+        assert restored.to_dict() == artifact.to_dict()
+        assert store.stats().artifacts == 1
+        assert not list(store.path_for(key).parent.glob("*.tmp"))
+
     def test_store_pickles(self, store):
         import pickle
 
