@@ -1,0 +1,119 @@
+"""Portfolio micro-benchmark: the cost of the degraded race path.
+
+With no external binaries installed (the CI default) the ``portfolio``
+backend must delegate to ``batched-icp`` with negligible overhead —
+this benchmark times the Table-1 dubins condition-(5) check through
+both and records the ratio, plus the SMT-LIB emission throughput for
+every builtin scenario (the fixed cost a real race would pay before
+dispatch).
+
+Writes ``benchmarks/results/BENCH_portfolio.json``.  Acceptance bar:
+degraded-portfolio wall clock within ``OVERHEAD_BAR`` of batched-icp.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.api import get_scenario, scenario_names
+from repro.barrier.certificate import condition5_subproblems
+from repro.engine import get_engine
+from repro.expr import sum_expr, var
+from repro.solvers import PortfolioSmtBackend, emit_query, probe_all
+
+REPEATS = 3
+#: degraded portfolio may cost at most this factor over batched-icp
+#: (plus an absolute grace for timer noise on near-instant checks)
+OVERHEAD_BAR = 1.5
+GRACE_SECONDS = 0.05
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _condition5(name):
+    scenario = get_scenario(name)
+    problem = scenario.problem()
+    w = sum_expr([var(n) * var(n) for n in problem.state_names])
+    subs = condition5_subproblems(w, problem, gamma=1e-6)
+    return subs, problem.state_names, scenario.config.icp
+
+
+def test_portfolio_degrade_overhead(emit, results_dir):
+    subs, names, icp = _condition5("dubins")
+    batched = get_engine("batched-icp").smt
+    portfolio = PortfolioSmtBackend(solvers=[])  # force the degrade path
+
+    batched_s, batched_res = _best_of(
+        REPEATS, lambda: batched.check(subs, names, icp)
+    )
+    portfolio_s, portfolio_res = _best_of(
+        REPEATS, lambda: portfolio.check(subs, names, icp)
+    )
+    assert portfolio_res.verdict is batched_res.verdict
+    assert portfolio_s <= batched_s * OVERHEAD_BAR + GRACE_SECONDS, (
+        f"degraded portfolio {portfolio_s:.4f}s vs batched {batched_s:.4f}s"
+    )
+
+    emission = {}
+    for scenario in sorted(scenario_names()):
+        e_subs, e_names, e_icp = _condition5(scenario)
+        seconds, query = _best_of(
+            REPEATS, lambda: emit_query(e_subs, e_names, e_icp.delta)
+        )
+        emission[scenario] = {
+            "seconds": round(seconds, 6),
+            "bytes": len(query.text),
+            "ops": sorted(query.ops),
+        }
+
+    solvers = {
+        name: {"available": info.available, "version": info.version}
+        for name, info in probe_all().items()
+    }
+
+    payload = {
+        "scenario": "dubins",
+        "cpu_count": os.cpu_count(),
+        "external_solvers": solvers,
+        "condition5": {
+            "subproblems": len(subs),
+            "verdict": batched_res.verdict.value,
+            "batched_seconds": round(batched_s, 6),
+            "degraded_portfolio_seconds": round(portfolio_s, 6),
+            "overhead_ratio": round(portfolio_s / batched_s, 3),
+        },
+        "emission": emission,
+        "overhead_bar": OVERHEAD_BAR,
+    }
+    (results_dir / "BENCH_portfolio.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    lines = [
+        f"condition5 ({len(subs)} subproblems, verdict "
+        f"{batched_res.verdict.value}):",
+        f"  batched-icp          {batched_s * 1e3:8.2f} ms",
+        f"  portfolio (degraded) {portfolio_s * 1e3:8.2f} ms  "
+        f"(x{portfolio_s / batched_s:.2f})",
+        "emission (best of "
+        f"{REPEATS}): "
+        + ", ".join(
+            f"{name} {info['bytes']}B/{info['seconds'] * 1e3:.1f}ms"
+            for name, info in emission.items()
+        ),
+        "external solvers: "
+        + ", ".join(
+            f"{name}={'yes ' + info['version'] if info['available'] else 'no'}"
+            for name, info in solvers.items()
+        ),
+    ]
+    emit("portfolio", "\n".join(lines))

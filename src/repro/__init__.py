@@ -28,6 +28,8 @@ Subpackages
 ``repro.expr``       symbolic expressions (eval / intervals / autodiff / tapes)
 ``repro.intervals``  sound interval arithmetic
 ``repro.smt``        branch-and-prune δ-SAT solver (the dReal stand-in)
+``repro.solvers``    external SMT portfolio: SMT-LIB emission, z3/dreal
+                     subprocess adapters, the ``portfolio`` race engine
 ``repro.nn``         feedforward networks with dual numeric/symbolic semantics
 ``repro.sim``        ODE integrators, traces, samplers
 ``repro.dynamics``   plants, paths, Dubins car, closed-loop composition
@@ -48,6 +50,7 @@ from . import (
     reach,
     sim,
     smt,
+    solvers,
 )
 from .api import (
     RunArtifact,
@@ -114,6 +117,7 @@ __all__ = [
     "run_batch",
     "sim",
     "smt",
+    "solvers",
     "train_paper_controller",
     "verify_system",
 ]

@@ -36,6 +36,7 @@ from .falsify import (
     falsify_cmaes,
     falsify_random,
     trajectory_robustness,
+    witness_point,
 )
 from .levelset import (
     ellipsoid_bounding_rectangle,
@@ -94,4 +95,5 @@ __all__ = [
     "symbolic_jacobian",
     "trajectory_robustness",
     "verify_system",
+    "witness_point",
 ]

@@ -4,7 +4,10 @@ Commands
 --------
 scenarios list the registered verification scenarios (``--json`` for tooling)
 families  list the registered scenario families + their parameters
-engines   list the registered solver engines (``--json`` for tooling)
+engines   list the registered solver engines (``--json`` for tooling,
+          including per-engine availability + reason)
+solvers   probe the external SMT solver binaries (z3/dreal) the
+          ``portfolio`` engine races (``--json`` for tooling)
 verify    run the Figure-1 verification on a registered scenario
           (``--scenario``) or on the paper's Dubins case study with a
           hand-built, trained, or JSON-loaded controller
@@ -26,7 +29,9 @@ figure5   regenerate Figure 5 (phase portrait, ASCII)
 
 ``verify``, ``batch``, ``sweep``, and ``table1`` accept ``--engine`` to
 pick the solver stack (``repro engines`` lists them; default
-``native``).  ``sweep`` caches artifacts under ``$REPRO_STORE`` (default
+``native``); ``--engine portfolio`` races external SMT solvers against
+the batched ICP (``verify --solver-timeout`` caps each external
+subprocess, see ``docs/solvers.md``).  ``sweep`` caches artifacts under ``$REPRO_STORE`` (default
 ``~/.cache/repro/store``); ``REPRO_CACHE=1`` opts ``verify``/``batch``
 into the same cache.  ``repro serve`` exposes the same cached runs as a
 long-lived HTTP job service (see ``docs/service.md``); ``submit`` /
@@ -75,7 +80,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_engines = sub.add_parser("engines", help="list registered solver engines")
     p_engines.add_argument(
         "--json", action="store_true",
-        help="emit the registry as JSON (for tooling)",
+        help="emit the registry as JSON (for tooling), including "
+        "per-engine `available` + `reason`",
+    )
+
+    p_solvers = sub.add_parser(
+        "solvers",
+        help="probe the external SMT solvers the portfolio engine races",
+    )
+    p_solvers.add_argument(
+        "--json", action="store_true",
+        help="emit the probe results as JSON (for tooling)",
+    )
+    p_solvers.add_argument(
+        "--refresh", action="store_true",
+        help="re-probe binaries instead of using cached results",
     )
 
     p_verify = sub.add_parser("verify", help="verify a controller or scenario")
@@ -108,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument(
         "--engine", type=str, default=None,
         help="solver engine (see `repro engines`; default: native)",
+    )
+    p_verify.add_argument(
+        "--solver-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per external SMT solver process "
+        "(portfolio engine only; default: the ICP time limit, else 30s)",
     )
 
     p_profile = sub.add_parser(
@@ -652,7 +676,38 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     for engine in engines:
         tags = f" [{','.join(engine.tags)}]" if engine.tags else ""
         print(f"{engine.name:<{width}}{tags}  {engine.description}")
+        available, reason = engine.availability()
+        if reason:
+            marker = "" if available else "UNAVAILABLE: "
+            print(f"{'':<{width}}  ({marker}{reason})")
     print(f"\n{len(engines)} engines registered")
+    return 0
+
+
+def _cmd_solvers(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from .solvers import probe_all
+
+    infos = probe_all(refresh=args.refresh)
+    if args.json:
+        # A list of entries, like `engines --json`.
+        print(json.dumps(
+            [dataclasses.asdict(infos[name]) for name in sorted(infos)],
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    width = max(len(name) for name in infos) if infos else 0
+    for name, info in infos.items():
+        if info.available:
+            print(f"{name:<{width}}  available  {info.version}  ({info.command})")
+        else:
+            print(f"{name:<{width}}  missing    {info.reason}")
+    found = sum(1 for info in infos.values() if info.available)
+    print(f"\n{found}/{len(infos)} external solvers available "
+          "(set REPRO_Z3 / REPRO_DREAL to point at binaries)")
     return 0
 
 
@@ -674,8 +729,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             overrides["seed"] = args.seed
         if args.gamma is not None:
             overrides["gamma"] = args.gamma
+        icp_overrides = {}
         if args.delta is not None:
-            overrides["icp"] = dataclasses.replace(config.icp, delta=args.delta)
+            icp_overrides["delta"] = args.delta
+        if args.solver_timeout is not None:
+            icp_overrides["solver_timeout"] = args.solver_timeout
+        if icp_overrides:
+            overrides["icp"] = dataclasses.replace(config.icp, **icp_overrides)
         if overrides:
             config = dataclasses.replace(config, **overrides)
     else:
@@ -689,7 +749,10 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         config = SynthesisConfig(
             seed=seed,
             gamma=1e-6 if args.gamma is None else args.gamma,
-            icp=IcpConfig(delta=1e-3 if args.delta is None else args.delta),
+            icp=IcpConfig(
+                delta=1e-3 if args.delta is None else args.delta,
+                solver_timeout=args.solver_timeout,
+            ),
         )
     artifact = run(scenario, config=config, engine=args.engine)
     _print_artifact(artifact)
@@ -853,6 +916,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "families": _cmd_families,
     "engines": _cmd_engines,
+    "solvers": _cmd_solvers,
     "verify": _cmd_verify,
     "profile": _cmd_profile,
     "batch": _cmd_batch,

@@ -3,7 +3,7 @@
 An :class:`Engine` bundles one backend per solver role — simulation
 (:class:`SimBackend`), LP fitting (:class:`LpBackend`), δ-SAT checking
 (:class:`SmtBackend`) — behind a string-keyed registry, mirroring the
-scenario registry of :mod:`repro.api.scenario`.  Three engines ship
+scenario registry of :mod:`repro.api.scenario`.  Five engines ship
 built in:
 
 ``native``        the historical scalar code paths (default;
@@ -16,6 +16,9 @@ built in:
 ``batched-icp``   the whole δ-SAT frontier in one
                   :class:`~repro.intervals.BoxArray` with frontier-wide
                   vectorized HC4 contraction (fastest single-core SMT)
+``portfolio``     external SMT solvers (z3/dreal, via
+                  :mod:`repro.solvers`) raced against ``batched-icp``;
+                  degrades to it exactly when no binaries are installed
 
 Selecting one::
 
@@ -123,6 +126,23 @@ def _register_builtins() -> None:
             lp=lp,
             smt=BatchedSmtBackend(),
             tags=("builtin",),
+        )
+    )
+    # Imported here (not at module top) because repro.solvers is pure
+    # downstream code that must stay importable without repro.engine.
+    from ..solvers.portfolio import PortfolioSmtBackend
+
+    register_engine(
+        Engine(
+            name="portfolio",
+            description="External SMT solvers (z3/dreal subprocesses over "
+            "SMT-LIB emission) raced against the batched ICP solver; "
+            "first verdict wins, exact batched-icp degrade when no "
+            "binaries are installed",
+            sim=VectorizedSimBackend(),
+            lp=lp,
+            smt=PortfolioSmtBackend(),
+            tags=("builtin", "external"),
         )
     )
 

@@ -56,6 +56,11 @@ class IcpConfig:
         the bisections it saves; the batched forward pass still prunes).
     contractor_rounds:
         Fixpoint rounds per contraction call.
+    solver_timeout:
+        Hard wall-clock budget in seconds for *external* SMT solver
+        processes raced by the ``portfolio`` engine (see
+        :mod:`repro.solvers`).  ``None`` falls back to ``time_limit``
+        when set, else 30 seconds.  Ignored by the in-house ICP solvers.
     """
 
     delta: float = 1e-3
@@ -65,6 +70,7 @@ class IcpConfig:
     use_contractor: bool = True
     contractor_node_limit: int = 512
     contractor_rounds: int = 2
+    solver_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.delta <= 0.0:
@@ -73,6 +79,8 @@ class IcpConfig:
             raise SolverError("batch_size must be >= 1")
         if self.max_boxes < 1:
             raise SolverError("max_boxes must be >= 1")
+        if self.solver_timeout is not None and self.solver_timeout <= 0.0:
+            raise SolverError("solver_timeout must be positive")
 
 
 class IcpSolver:

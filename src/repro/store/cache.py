@@ -178,6 +178,7 @@ def run_fingerprint(
     scenario: "Scenario",
     config: "SynthesisConfig",
     engine_name: str,
+    solvers: "str | None" = None,
 ) -> dict:
     """The canonical plain-data identity of one verification run.
 
@@ -187,6 +188,13 @@ def run_fingerprint(
     factory fingerprint.  The flattened config carries the synthesis
     seed, so changing *any* knob (seed, delta, gamma, budgets, engine,
     parameters) changes the key.
+
+    ``solvers`` is the external-solver fingerprint
+    (:func:`repro.solvers.solver_fingerprint`) and only participates
+    when non-empty: a ``portfolio`` run whose verdicts came from an
+    external binary is keyed by that binary's identity + version, while
+    a run the native racer decided alone keys identically to having no
+    externals installed at all.
     """
     from ..api.scenario import synthesis_config_to_dict
 
@@ -203,22 +211,26 @@ def run_fingerprint(
             "unsafe_set": _set_fingerprint(scenario.unsafe_set),
             "domain": _set_fingerprint(scenario.domain),
         }
-    return {
+    fingerprint = {
         "version": FINGERPRINT_VERSION,
         "identity": identity,
         "engine": engine_name,
         "config": _json_safe(synthesis_config_to_dict(config)),
     }
+    if solvers:
+        fingerprint["solvers"] = solvers
+    return fingerprint
 
 
 def run_key(
     scenario: "Scenario",
     config: "SynthesisConfig",
     engine_name: str,
+    solvers: "str | None" = None,
 ) -> str:
     """sha256 hex digest of the canonical run fingerprint."""
     payload = json.dumps(
-        run_fingerprint(scenario, config, engine_name),
+        run_fingerprint(scenario, config, engine_name, solvers=solvers),
         sort_keys=True,
         separators=(",", ":"),
     )

@@ -1,0 +1,93 @@
+"""Golden-file corpus: emitted SMT-LIB text pinned per builtin scenario.
+
+Each golden file is the condition-(5) query for the scenario under the
+sum-of-squares candidate ``W(x) = Σ x_i²`` (the same query shape the
+engine-parity tests use).  Any change to emission — literal formatting,
+operator encodings, assertion ordering — shows up as a readable diff
+against ``tests/solvers/golden/``.
+
+Regenerate intentionally with::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/solvers/test_golden.py
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import get_scenario, scenario_names
+from repro.barrier.certificate import condition5_subproblems
+from repro.expr import sum_expr, var
+from repro.solvers import TRANSCENDENTAL_OPS, emit_query
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: scenarios whose condition-5 query is pure QF_NRA (Z3-eligible); the
+#: rest use transcendentals and are dReal-only.  Pinned here so an
+#: accidental encoding change (e.g. sigmoid no longer expanding) that
+#: silently flips solver eligibility fails loudly.
+_EXPECTED_PURE_NRA = {"linear", "double-integrator", "vanderpol"}
+
+
+def _scenario_query(name):
+    scenario = get_scenario(name)
+    problem = scenario.problem()
+    w = sum_expr([var(n) * var(n) for n in problem.state_names])
+    subs = condition5_subproblems(w, problem, gamma=1e-6)
+    return emit_query(subs, problem.state_names, scenario.config.icp.delta)
+
+
+@pytest.mark.parametrize("name", sorted(scenario_names()))
+def test_golden_emission(name):
+    query = _scenario_query(name)
+    golden = GOLDEN_DIR / f"{name}_condition5.smt2"
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        golden.parent.mkdir(parents=True, exist_ok=True)
+        golden.write_text(query.text, encoding="utf-8")
+        pytest.skip(f"regenerated {golden.name}")
+    assert golden.is_file(), (
+        f"missing golden file {golden}; regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+    assert query.text == golden.read_text(encoding="utf-8"), (
+        f"{name}: emitted SMT-LIB drifted from {golden.name}; "
+        "if intentional, regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(scenario_names()))
+def test_emission_is_deterministic(name):
+    assert _scenario_query(name).text == _scenario_query(name).text
+
+
+@pytest.mark.parametrize("name", sorted(scenario_names()))
+def test_ops_classification(name):
+    query = _scenario_query(name)
+    assert query.ops <= TRANSCENDENTAL_OPS
+    if name in _EXPECTED_PURE_NRA:
+        assert query.ops == frozenset(), f"{name} should be pure QF_NRA"
+    else:
+        assert query.ops, f"{name} should use transcendentals"
+
+
+@pytest.mark.parametrize("name", sorted(scenario_names()))
+def test_golden_has_no_scientific_notation(name):
+    query = _scenario_query(name)
+    for line in query.text.splitlines():
+        if line.startswith(";"):
+            continue
+        for token in line.replace("(", " ").replace(")", " ").split():
+            if any(ch.isdigit() for ch in token):
+                assert "e" not in token.lower() or not _looks_numeric(token), (
+                    f"{name}: scientific-notation literal {token!r}"
+                )
+
+
+def _looks_numeric(token: str) -> bool:
+    try:
+        float(token)
+    except ValueError:
+        return False
+    return True

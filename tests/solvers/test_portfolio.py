@@ -1,0 +1,557 @@
+"""The ``portfolio`` engine: racing, exact degrade, run-key folding.
+
+The acceptance bar for this stack: with **no external binaries
+installed** (this CI), ``--engine portfolio`` must degrade to the
+batched-ICP path with byte-identical artifacts vs ``--engine
+batched-icp`` on every builtin scenario.  Racing, cancellation, and the
+dual-key store behavior are exercised with in-process fake solvers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.api import get_scenario, scenario_names
+from repro.barrier.certificate import condition5_subproblems
+from repro.engine import (
+    BatchedSmtBackend,
+    Engine,
+    NativeLpBackend,
+    VectorizedSimBackend,
+    get_engine,
+)
+from repro.errors import ReproError, SolverError
+from repro.expr import sum_expr, var
+from repro.intervals import Box, Interval
+from repro.smt import IcpConfig, SmtResult, Subproblem, Verdict, ge
+from repro.solvers import (
+    DEFAULT_TIMEOUT,
+    PortfolioSmtBackend,
+    SolverInfo,
+    TRANSCENDENTAL_OPS,
+    effective_timeout,
+    solver_fingerprint,
+)
+from repro.store import ArtifactStore, run_key
+
+#: RunArtifact fields that cannot match across engines by construction:
+#: the engine label itself plus wall-clock timings.
+_VOLATILE_FIELDS = {
+    "engine",
+    "lp_seconds",
+    "query_seconds",
+    "generator_seconds",
+    "other_seconds",
+    "total_seconds",
+    "stage_seconds",
+}
+
+
+# ----------------------------------------------------------------------
+# In-process fakes
+# ----------------------------------------------------------------------
+
+
+class FakeSolver:
+    """ExternalSolver double with scriptable verdicts — no subprocess."""
+
+    def __init__(
+        self,
+        name="fake",
+        verdict=Verdict.UNSAT,
+        available=True,
+        supported=None,
+        delay=0.0,
+        witness=None,
+        error=False,
+    ):
+        self.name = name
+        self._verdict = verdict
+        self._available = available
+        self._supported = supported  # None = everything
+        self._delay = delay
+        self._witness = witness
+        self._error = error
+        self.solve_calls = 0
+        self.cancelled = False
+
+    def probe(self, refresh=False):
+        return SolverInfo(
+            name=self.name,
+            command=self.name,
+            available=self._available,
+            version="1.0" if self._available else "",
+            reason="" if self._available else "not installed",
+        )
+
+    def supports(self, ops):
+        if self._supported is None:
+            return True
+        return frozenset(ops) <= self._supported
+
+    def solve(self, query, timeout, cancel=None):
+        self.solve_calls += 1
+        if self._error:
+            raise SolverError(f"{self.name} exploded")
+        deadline = time.monotonic() + self._delay
+        while time.monotonic() < deadline:
+            if cancel is not None and cancel.is_set():
+                self.cancelled = True
+                return SmtResult(Verdict.UNKNOWN, query.delta)
+            time.sleep(0.005)
+        witness = None
+        if self._verdict is Verdict.DELTA_SAT:
+            witness = np.asarray(
+                self._witness
+                if self._witness is not None
+                else [0.0] * len(query.names)
+            )
+        return SmtResult(self._verdict, query.delta, witness=witness)
+
+
+class RecordingNative:
+    """Native-backend double recording exactly how it was called."""
+
+    def __init__(self, verdict=Verdict.UNSAT, block_until_stop=False):
+        self._verdict = verdict
+        self._block = block_until_stop
+        self.calls = []
+        self.saw_stop = False
+
+    def check(self, subproblems, names, config=None, **kwargs):
+        self.calls.append({"kwargs": dict(kwargs), "n": len(subproblems)})
+        config = config or IcpConfig()
+        should_stop = kwargs.get("should_stop")
+        if self._block and should_stop is not None:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if should_stop():
+                    self.saw_stop = True
+                    return SmtResult(Verdict.UNKNOWN, config.delta)
+                time.sleep(0.005)
+        return SmtResult(self._verdict, config.delta)
+
+
+def _subproblems(transcendental=False):
+    x, y = var("x"), var("y")
+    body = x * x + y * y
+    if transcendental:
+        from repro.expr.node import Unary
+
+        body = body + Unary("tanh", x)
+    return [
+        Subproblem(
+            [ge(body, 1.0)],
+            Box([Interval(-2.0, 2.0), Interval(-1.0, 1.0)]),
+            "demo",
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# The acceptance bar: exact degrade with no externals installed
+# ----------------------------------------------------------------------
+
+
+def _check5(name):
+    scenario = get_scenario(name)
+    problem = scenario.problem()
+    w = sum_expr([var(n) * var(n) for n in problem.state_names])
+    subs = condition5_subproblems(w, problem, gamma=1e-6)
+    config = IcpConfig(delta=scenario.config.icp.delta, max_boxes=300_000)
+    return subs, problem.state_names, config
+
+
+@pytest.mark.parametrize("name", sorted(scenario_names()))
+def test_degraded_check_identical_to_batched(name):
+    """Check-level parity: same verdict, witness, and stats counters."""
+    subs, names, config = _check5(name)
+    portfolio = PortfolioSmtBackend(solvers=[])  # nothing installed
+    ours = portfolio.check(subs, names, config)
+    reference = BatchedSmtBackend().check(subs, names, config)
+    assert ours.verdict is reference.verdict
+    assert ours.delta == reference.delta
+    assert ours.witness_validated == reference.witness_validated
+    if reference.witness is None:
+        assert ours.witness is None
+    else:
+        np.testing.assert_array_equal(ours.witness, reference.witness)
+    # Everything but the wall-clock counter must match exactly.
+    assert dataclasses.replace(ours.stats, elapsed_seconds=0.0) == (
+        dataclasses.replace(reference.stats, elapsed_seconds=0.0)
+    )
+
+
+def _parity_config(name):
+    """Per-scenario run config for the full-run parity test.
+
+    Cartpole's bundled config spends minutes inside HiGHS on an
+    infeasible LP; a deterministically trimmed budget (fewer traces,
+    capped LP points, box-count-bounded ICP) keeps the full pipeline —
+    simulation, LP, SMT checks — exercised in seconds.  Both engines get
+    the *same* config, so the byte-parity assertion is unweakened.
+    """
+    if name != "cartpole":
+        return None
+    scenario = get_scenario(name)
+    return dataclasses.replace(
+        scenario.config,
+        num_seed_traces=2,
+        trace_duration=1.0,
+        max_candidate_iterations=1,
+        max_levelset_iterations=1,
+        lp=dataclasses.replace(
+            scenario.config.lp, max_points=150, separation_samples=8
+        ),
+        icp=dataclasses.replace(
+            scenario.config.icp, time_limit=None, max_boxes=5000
+        ),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(scenario_names()))
+def test_degraded_artifact_identical_to_batched_icp(name):
+    """Full-run parity on every builtin scenario (the acceptance bar).
+
+    With no external solvers available the portfolio artifact must be
+    byte-identical to ``--engine batched-icp`` in every deterministic
+    field — only the engine label and wall-clock timings may differ.
+    """
+    config = _parity_config(name)
+    ours = api.run(
+        name, config=config, engine="portfolio", cache=False
+    ).to_dict()
+    reference = api.run(
+        name, config=config, engine="batched-icp", cache=False
+    ).to_dict()
+    assert ours["engine"] == "portfolio"
+    assert reference["engine"] == "batched-icp"
+    for volatile in _VOLATILE_FIELDS:
+        ours.pop(volatile)
+        reference.pop(volatile)
+    # config records the engine the *config* asked for, which both runs
+    # override via the engine argument — normalize it too.
+    ours["config"].pop("engine", None)
+    reference["config"].pop("engine", None)
+    assert ours == reference, f"{name}: degraded portfolio artifact drifted"
+
+
+def test_degrade_calls_native_verbatim():
+    """The degrade path must be the identical call batched-icp makes —
+    no ``should_stop`` kwarg, no wrapper."""
+    native = RecordingNative()
+    portfolio = PortfolioSmtBackend(solvers=[], native=native)
+    portfolio.check(_subproblems(), ("x", "y"), IcpConfig(delta=1e-3))
+    assert native.calls == [{"kwargs": {}, "n": 1}]
+
+
+def test_unavailable_solvers_degrade():
+    native = RecordingNative()
+    missing = FakeSolver(available=False)
+    portfolio = PortfolioSmtBackend(solvers=[missing], native=native)
+    portfolio.check(_subproblems(), ("x", "y"), IcpConfig(delta=1e-3))
+    assert native.calls == [{"kwargs": {}, "n": 1}]
+    assert missing.solve_calls == 0
+
+
+def test_unsupported_ops_degrade():
+    """A z3-like solver (no transcendentals) must not see a tanh query."""
+    native = RecordingNative()
+    nra_only = FakeSolver(supported=frozenset())
+    portfolio = PortfolioSmtBackend(solvers=[nra_only], native=native)
+    portfolio.check(
+        _subproblems(transcendental=True), ("x", "y"), IcpConfig(delta=1e-3)
+    )
+    assert native.calls == [{"kwargs": {}, "n": 1}]
+    assert nra_only.solve_calls == 0
+
+
+def test_empty_subproblems_degrade():
+    native = RecordingNative()
+    portfolio = PortfolioSmtBackend(solvers=[FakeSolver()], native=native)
+    portfolio.check([], ("x",), IcpConfig(delta=1e-3))
+    assert native.calls == [{"kwargs": {}, "n": 0}]
+
+
+# ----------------------------------------------------------------------
+# Racing
+# ----------------------------------------------------------------------
+
+
+class TestRace:
+    def test_external_unsat_wins_and_is_recorded(self):
+        native = RecordingNative(block_until_stop=True)
+        fake = FakeSolver(verdict=Verdict.UNSAT)
+        portfolio = PortfolioSmtBackend(solvers=[fake], native=native)
+        portfolio.begin_run()
+        result = portfolio.check(
+            _subproblems(), ("x", "y"), IcpConfig(delta=1e-3)
+        )
+        assert result.verdict is Verdict.UNSAT
+        assert portfolio.external_solvers_used() == ("fake-1.0",)
+        # The native racer got the cooperative hook and was cancelled.
+        assert native.calls[0]["kwargs"].keys() == {"should_stop"}
+        assert native.saw_stop
+
+    def test_external_delta_sat_win_keeps_witness(self):
+        native = RecordingNative(block_until_stop=True)
+        fake = FakeSolver(verdict=Verdict.DELTA_SAT, witness=[1.5, 0.5])
+        portfolio = PortfolioSmtBackend(solvers=[fake], native=native)
+        portfolio.begin_run()
+        result = portfolio.check(
+            _subproblems(), ("x", "y"), IcpConfig(delta=1e-3)
+        )
+        assert result.verdict is Verdict.DELTA_SAT
+        np.testing.assert_array_equal(result.witness, [1.5, 0.5])
+
+    def test_native_win_when_external_unknown(self):
+        native = RecordingNative(verdict=Verdict.UNSAT)
+        fake = FakeSolver(verdict=Verdict.UNKNOWN)
+        portfolio = PortfolioSmtBackend(solvers=[fake], native=native)
+        portfolio.begin_run()
+        result = portfolio.check(
+            _subproblems(), ("x", "y"), IcpConfig(delta=1e-3)
+        )
+        assert result.verdict is Verdict.UNSAT
+        assert portfolio.external_solvers_used() == ()
+
+    def test_slow_external_cancelled_after_native_win(self):
+        native = RecordingNative(verdict=Verdict.UNSAT)
+        slow = FakeSolver(verdict=Verdict.UNSAT, delay=30.0)
+        portfolio = PortfolioSmtBackend(solvers=[slow], native=native)
+        start = time.monotonic()
+        result = portfolio.check(
+            _subproblems(), ("x", "y"), IcpConfig(delta=1e-3)
+        )
+        elapsed = time.monotonic() - start
+        assert result.verdict is Verdict.UNSAT
+        assert slow.cancelled
+        assert elapsed < 10.0, f"cancellation took {elapsed:.1f}s"
+
+    def test_external_error_falls_back_to_native(self):
+        native = RecordingNative(verdict=Verdict.UNSAT)
+        broken = FakeSolver(error=True)
+        portfolio = PortfolioSmtBackend(solvers=[broken], native=native)
+        portfolio.begin_run()
+        result = portfolio.check(
+            _subproblems(), ("x", "y"), IcpConfig(delta=1e-3)
+        )
+        assert result.verdict is Verdict.UNSAT
+        assert portfolio.external_solvers_used() == ()
+
+    def test_native_error_reraised_without_winner(self):
+        class ExplodingNative:
+            def check(self, subproblems, names, config=None, **kwargs):
+                raise ReproError("native blew up")
+
+        portfolio = PortfolioSmtBackend(
+            solvers=[FakeSolver(verdict=Verdict.UNKNOWN)],
+            native=ExplodingNative(),
+        )
+        with pytest.raises(ReproError, match="native blew up"):
+            portfolio.check(_subproblems(), ("x", "y"), IcpConfig(delta=1e-3))
+
+    def test_native_error_masked_by_external_win(self):
+        class ExplodingNative:
+            def check(self, subproblems, names, config=None, **kwargs):
+                raise ReproError("native blew up")
+
+        portfolio = PortfolioSmtBackend(
+            solvers=[FakeSolver(verdict=Verdict.UNSAT)],
+            native=ExplodingNative(),
+        )
+        result = portfolio.check(
+            _subproblems(), ("x", "y"), IcpConfig(delta=1e-3)
+        )
+        assert result.verdict is Verdict.UNSAT
+
+    def test_usage_recording_is_thread_local(self):
+        native = RecordingNative(block_until_stop=True)
+        fake = FakeSolver(verdict=Verdict.UNSAT)
+        portfolio = PortfolioSmtBackend(solvers=[fake], native=native)
+        seen = {}
+
+        def worker(key, use_begin):
+            if use_begin:
+                portfolio.begin_run()
+                portfolio.check(
+                    _subproblems(), ("x", "y"), IcpConfig(delta=1e-3)
+                )
+            seen[key] = portfolio.external_solvers_used()
+
+        threads = [
+            threading.Thread(target=worker, args=("ran", True)),
+            threading.Thread(target=worker, args=("idle", False)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen["ran"] == ("fake-1.0",)
+        assert seen["idle"] == ()  # never leaked across threads
+
+
+# ----------------------------------------------------------------------
+# Timeouts, fingerprints, availability
+# ----------------------------------------------------------------------
+
+
+class TestEffectiveTimeout:
+    def test_solver_timeout_wins(self):
+        config = IcpConfig(solver_timeout=7.5, time_limit=100.0)
+        assert effective_timeout(config) == 7.5
+
+    def test_time_limit_fallback(self):
+        assert effective_timeout(IcpConfig(time_limit=12.0)) == 12.0
+
+    def test_default(self):
+        assert effective_timeout(IcpConfig()) == DEFAULT_TIMEOUT
+
+
+class TestFingerprint:
+    def test_available_solvers_sorted(self):
+        fakes = [FakeSolver(name="zzz"), FakeSolver(name="aaa")]
+        assert solver_fingerprint(fakes) == "aaa-1.0;zzz-1.0"
+
+    def test_unavailable_excluded(self):
+        fakes = [FakeSolver(name="ok"), FakeSolver(name="gone", available=False)]
+        assert solver_fingerprint(fakes) == "ok-1.0"
+
+    def test_empty_without_solvers(self):
+        assert solver_fingerprint([]) == ""
+
+    def test_backend_method_uses_own_pool(self):
+        portfolio = PortfolioSmtBackend(solvers=[FakeSolver(name="mine")])
+        assert portfolio.solver_fingerprint() == "mine-1.0"
+
+
+class TestAvailability:
+    def test_with_solvers(self):
+        portfolio = PortfolioSmtBackend(solvers=[FakeSolver(name="z9")])
+        available, reason = portfolio.availability()
+        assert available
+        assert reason == "racing z9 1.0 against batched-icp"
+
+    def test_without_solvers(self):
+        missing = FakeSolver(name="z9", available=False)
+        portfolio = PortfolioSmtBackend(solvers=[missing])
+        available, reason = portfolio.availability()
+        assert available  # never unusable: it degrades
+        assert "batched-icp only" in reason
+        assert "z9: not installed" in reason
+
+    def test_registered_engine_describe_carries_reason(self):
+        engine = get_engine("portfolio")
+        assert isinstance(engine.smt, PortfolioSmtBackend)
+        info = engine.describe()
+        assert info["available"] is True
+        assert "batched-icp" in info["reason"]
+
+
+# ----------------------------------------------------------------------
+# Run-key folding through the artifact store
+# ----------------------------------------------------------------------
+
+
+def _portfolio_engine(backend):
+    return Engine(
+        name="portfolio",
+        description="portfolio under test",
+        sim=VectorizedSimBackend(),
+        lp=NativeLpBackend(),
+        smt=backend,
+        tags=("test",),
+    )
+
+
+class TestRunKeyFolding:
+    def test_external_run_stored_under_fingerprinted_key(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fake = FakeSolver(verdict=Verdict.UNSAT)
+        backend = PortfolioSmtBackend(
+            solvers=[fake], native=RecordingNative(block_until_stop=True)
+        )
+        engine = _portfolio_engine(backend)
+        artifact = api.run("linear", engine=engine, cache=store)
+        assert artifact.verified
+        assert fake.solve_calls > 0
+        scenario = get_scenario("linear")
+        plain = run_key(scenario, scenario.config, "portfolio")
+        folded = run_key(
+            scenario, scenario.config, "portfolio", solvers="fake-1.0"
+        )
+        assert folded in store
+        assert plain not in store
+        # Second run: the fingerprinted key is probed first and hits.
+        again = api.run("linear", engine=engine, cache=store)
+        assert again.cached
+        assert again.to_json() == artifact.to_json()
+
+    def test_native_decided_run_stored_under_plain_key(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        # An available external that never answers: fingerprint is
+        # non-empty but every verdict is native's.
+        fake = FakeSolver(verdict=Verdict.UNKNOWN)
+        backend = PortfolioSmtBackend(solvers=[fake])
+        engine = _portfolio_engine(backend)
+        artifact = api.run("linear", engine=engine, cache=store)
+        assert artifact.verified
+        scenario = get_scenario("linear")
+        plain = run_key(scenario, scenario.config, "portfolio")
+        folded = run_key(
+            scenario, scenario.config, "portfolio", solvers="fake-1.0"
+        )
+        assert plain in store
+        assert folded not in store
+
+    def test_no_externals_keys_like_plain_machine(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        backend = PortfolioSmtBackend(solvers=[])
+        engine = _portfolio_engine(backend)
+        api.run("linear", engine=engine, cache=store)
+        scenario = get_scenario("linear")
+        assert run_key(scenario, scenario.config, "portfolio") in store
+
+    def test_solvers_participate_in_fingerprint(self):
+        scenario = get_scenario("linear")
+        plain = run_key(scenario, scenario.config, "portfolio")
+        a = run_key(scenario, scenario.config, "portfolio", solvers="z3-4.13")
+        b = run_key(scenario, scenario.config, "portfolio", solvers="z3-4.14")
+        assert len({plain, a, b}) == 3
+        # Empty/None fingerprints collapse to the plain key.
+        assert run_key(scenario, scenario.config, "portfolio", solvers="") == plain
+
+
+# ----------------------------------------------------------------------
+# Registration + query-size sanity
+# ----------------------------------------------------------------------
+
+
+def test_portfolio_engine_registered():
+    engine = get_engine("portfolio")
+    assert isinstance(engine.smt, PortfolioSmtBackend)
+    assert "external" in engine.tags
+
+
+def test_z3_eligibility_split():
+    """The pure-NRA scenarios must remain z3-eligible (see test_golden)."""
+    from repro.solvers import Z3Solver, emit_query
+
+    z3 = Z3Solver()
+    pure, transcendental = [], []
+    for name in sorted(scenario_names()):
+        subs, names, config = _check5(name)
+        query = emit_query(subs, names, config.delta)
+        (pure if z3.supports(query.ops) else transcendental).append(name)
+    assert pure == ["double-integrator", "linear", "vanderpol"]
+    assert set(transcendental) == {"bicycle", "cartpole", "dubins", "pendulum"}
+    assert all(
+        TRANSCENDENTAL_OPS >= emit_query(*_check5(n)[:2], 1e-3).ops
+        for n in transcendental
+    )

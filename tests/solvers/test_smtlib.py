@@ -1,0 +1,202 @@
+"""SMT-LIB emission: literals, operator encodings, query structure."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SolverError
+from repro.expr import var
+from repro.expr.node import Max2, Min2, Unary
+from repro.intervals import Box, Interval
+from repro.smt import Subproblem, eq, ge, gt, le, lt
+from repro.solvers import (
+    TRANSCENDENTAL_OPS,
+    constraint_to_smtlib,
+    decimal_literal,
+    emit_query,
+    expr_to_smtlib,
+    symbol,
+)
+
+
+class TestDecimalLiteral:
+    def test_simple_values(self):
+        assert decimal_literal(0.5) == "0.5"
+        assert decimal_literal(2.0) == "2.0"
+        assert decimal_literal(-2.0) == "(- 2.0)"
+        assert decimal_literal(0.0) == "0.0"
+
+    def test_never_scientific_notation(self):
+        # rospoly's trap: repr(1e-5) == '1e-05' is not SMT-LIB.
+        for value in (1e-5, 1e-9, 1e20, 6.02e23, -3.3e-12, 5e-324):
+            text = decimal_literal(value)
+            assert "e" not in text.lower(), f"{value} rendered as {text}"
+
+    def test_exact_roundtrip(self):
+        # The decimal expansion of a binary double is exact, so float()
+        # must recover the original bit pattern — 0 ulp, well within the
+        # 1-ulp acceptance bar.
+        values = [0.1, 1e-3, math.pi, 2.0 / 3.0, 1.5e-17, 123456.789, 5e-324]
+        for value in values + [-v for v in values]:
+            text = decimal_literal(value)
+            if text.startswith("(- "):
+                recovered = -float(text[3:-1])
+            else:
+                recovered = float(text)
+            assert recovered == value, f"{value!r} -> {text} -> {recovered!r}"
+
+    def test_ulp_property_on_grid(self):
+        # Property over a deterministic value sweep: re-parsed literal
+        # within 1 ulp (measured: exactly equal).
+        for k in range(-60, 61):
+            for mantissa in (1.0, 1.3333333333333333, 1.9999999999999998):
+                value = mantissa * 2.0**k
+                text = decimal_literal(value)
+                recovered = float(text)
+                assert abs(recovered - value) <= math.ulp(value)
+                assert recovered == value
+
+    def test_nonfinite_rejected(self):
+        for bad in (math.inf, -math.inf, math.nan):
+            with pytest.raises(SolverError):
+                decimal_literal(bad)
+
+
+class TestSymbol:
+    def test_simple_names_pass_through(self):
+        assert symbol("x") == "x"
+        assert symbol("e_psi") == "e_psi"
+        assert symbol("x0") == "x0"
+
+    def test_awkward_names_quoted(self):
+        assert symbol("0start") == "|0start|"
+        assert symbol("a b") == "|a b|"
+
+    def test_unquotable_rejected(self):
+        with pytest.raises(SolverError):
+            symbol("a|b")
+
+
+class TestExprRendering:
+    def test_arithmetic(self):
+        x, y = var("x"), var("y")
+        text, ops = expr_to_smtlib(x * y + x / y - (-x))
+        assert text == "(- (+ (* x y) (/ x y)) (- x))"
+        assert ops == frozenset()
+
+    def test_pow_encodings(self):
+        x = var("x")
+        assert expr_to_smtlib(x**2)[0] == "(^ x 2)"
+        assert expr_to_smtlib(x**1)[0] == "x"
+        assert expr_to_smtlib(x**0)[0] == "1.0"
+        assert expr_to_smtlib(x**-1)[0] == "(/ 1.0 x)"
+        assert expr_to_smtlib(x**-3)[0] == "(/ 1.0 (^ x 3))"
+
+    def test_min_max_abs_become_ite(self):
+        x, y = var("x"), var("y")
+        assert expr_to_smtlib(Min2(x, y))[0] == "(ite (<= x y) x y)"
+        assert expr_to_smtlib(Max2(x, y))[0] == "(ite (>= x y) x y)"
+        text, ops = expr_to_smtlib(Unary("abs", x))
+        assert text == "(ite (>= x 0.0) x (- x))"
+        assert ops == frozenset()  # stays pure QF_NRA
+
+    def test_sigmoid_expands_through_exp(self):
+        x = var("x")
+        text, ops = expr_to_smtlib(Unary("sigmoid", x))
+        assert text == "(/ 1.0 (+ 1.0 (exp (- x))))"
+        assert ops == frozenset({"exp"})
+
+    def test_transcendentals_recorded(self):
+        x = var("x")
+        for op in sorted(TRANSCENDENTAL_OPS):
+            text, ops = expr_to_smtlib(Unary(op, x))
+            assert text == f"({op} x)"
+            assert ops == frozenset({op})
+
+    def test_relations(self):
+        x = var("x")
+        assert constraint_to_smtlib(le(x, 1.0))[0] == "(<= (- x 1.0) 0.0)"
+        assert constraint_to_smtlib(lt(x, 1.0))[0] == "(< (- x 1.0) 0.0)"
+        assert constraint_to_smtlib(ge(x, 1.0))[0] == "(>= (- x 1.0) 0.0)"
+        assert constraint_to_smtlib(gt(x, 1.0))[0] == "(> (- x 1.0) 0.0)"
+        assert constraint_to_smtlib(eq(x, 1.0))[0] == "(= (- x 1.0) 0.0)"
+
+
+def _query(regions=None, constraints=None, names=("x", "y"), delta=1e-3):
+    x, y = var("x"), var("y")
+    regions = regions or [Box([Interval(-2.0, 2.0), Interval(-1.0, 1.0)])]
+    constraints = constraints or [ge(x * x + y * y, 1.0)]
+    subs = [
+        Subproblem(constraints, region, label=f"r{i}")
+        for i, region in enumerate(regions)
+    ]
+    return emit_query(subs, names, delta)
+
+
+class TestEmitQuery:
+    def test_structure(self):
+        query = _query()
+        assert query.text.startswith("; repro.solvers SMT-LIB 2 emission")
+        assert "(set-logic QF_NRA)" in query.text
+        assert "(declare-const x Real)" in query.text
+        assert "(declare-const y Real)" in query.text
+        assert query.text.rstrip().endswith("(check-sat)")
+        # No model command in the canonical text: adapters add their own.
+        assert "get-model" not in query.text
+        assert query.names == ("x", "y")
+        assert query.delta == 1e-3
+
+    def test_deterministic(self):
+        assert _query().text == _query().text
+
+    def test_union_becomes_or(self):
+        two = _query(
+            regions=[
+                Box([Interval(-2.0, 0.0), Interval(-1.0, 1.0)]),
+                Box([Interval(0.0, 2.0), Interval(-1.0, 1.0)]),
+            ]
+        )
+        assert "(assert (or" in two.text
+        single = _query()
+        assert "(assert (or" not in single.text
+
+    def test_hull_bounds_cover_all_regions(self):
+        query = _query(
+            regions=[
+                Box([Interval(-2.0, 0.0), Interval(-1.0, 1.0)]),
+                Box([Interval(1.0, 3.0), Interval(-0.5, 0.5)]),
+            ]
+        )
+        assert "(assert (and (<= (- 2.0) x) (<= x 3.0)))" in query.text
+
+    def test_ops_collected_across_subproblems(self):
+        x = var("x")
+        query = _query(
+            regions=[Box([Interval(-1.0, 1.0)])] * 2,
+            constraints=[ge(Unary("tanh", x), 0.1)],
+            names=("x",),
+        )
+        assert query.ops == frozenset({"tanh"})
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(SolverError):
+            emit_query([], ("x",), 1e-3)
+
+    def test_unbounded_region_rejected(self):
+        x = var("x")
+        sub = Subproblem([ge(x, 0.0)], Box([Interval(0.0, float("inf"))]))
+        with pytest.raises(SolverError):
+            emit_query([sub], ("x",), 1e-3)
+
+    def test_dimension_mismatch_rejected(self):
+        x = var("x")
+        sub = Subproblem([ge(x, 0.0)], Box([Interval(0.0, 1.0)]))
+        with pytest.raises(SolverError):
+            emit_query([sub], ("x", "y"), 1e-3)
+
+    def test_subproblems_kept_for_validation(self):
+        query = _query()
+        assert len(query.subproblems) == 1
+        assert query.subproblems[0].label == "r0"

@@ -310,3 +310,73 @@ class TestEngineCommands:
         from repro.api import derive_scenario_seed
 
         assert entry["config"]["seed"] == derive_scenario_seed(5, "linear")
+
+
+class TestSolverCommands:
+    def test_solvers_table(self, capsys):
+        code = main(["solvers"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("z3", "dreal"):
+            assert name in out
+        assert "external solvers available" in out
+        # The remedy for a bare container is spelled out.
+        assert "REPRO_Z3" in out and "REPRO_DREAL" in out
+
+    def test_solvers_json(self, capsys):
+        import json
+
+        code = main(["solvers", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        by_name = {entry["name"]: entry for entry in payload}
+        assert {"z3", "dreal"} <= set(by_name)
+        for entry in by_name.values():
+            assert set(entry) >= {
+                "name", "command", "available", "version", "reason"
+            }
+            assert isinstance(entry["available"], bool)
+            if not entry["available"]:
+                assert entry["reason"]
+
+    def test_engines_json_reports_availability(self, capsys):
+        import json
+
+        code = main(["engines", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        by_name = {entry["name"]: entry for entry in json.loads(out)}
+        assert "portfolio" in by_name
+        for entry in by_name.values():
+            assert isinstance(entry["available"], bool)
+            assert isinstance(entry["reason"], str)
+        assert by_name["portfolio"]["available"] is True
+        assert "batched-icp" in by_name["portfolio"]["reason"]
+
+    def test_engines_table_shows_portfolio_reason(self, capsys):
+        code = main(["engines"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "portfolio" in out
+        # The degraded-vs-racing status line is printed under the entry.
+        assert "batched-icp" in out
+
+    def test_verify_solver_timeout_threads_into_config(self, capsys, tmp_path):
+        from repro.api import RunArtifact
+
+        out_file = tmp_path / "out.json"
+        code = main(
+            ["verify", "--scenario", "linear", "--engine", "batched-icp",
+             "--solver-timeout", "7.5", "--json", str(out_file)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        artifact = RunArtifact.from_json(out_file.read_text())
+        assert artifact.config["icp"]["solver_timeout"] == 7.5
+
+    def test_verify_rejects_bad_solver_timeout(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="solver_timeout"):
+            main(["verify", "--scenario", "linear", "--solver-timeout", "-1"])
