@@ -50,6 +50,9 @@ def collect(results_dir: Path = RESULTS_DIR) -> dict:
         "smt_stage_batched_speedup": _dig(
             benchmarks, "icp", "smt_stage", "speedup"
         ),
+        "smt_shard4_speedup": _dig(
+            benchmarks, "shard", "best", "speedup_4"
+        ),
         "sweep_cold_scenarios_per_minute": _dig(
             benchmarks, "sweep", "cold", "scenarios_per_minute"
         ),

@@ -1,0 +1,125 @@
+"""Sharding micro-benchmark: serial vs multi-process frontier ICP.
+
+Times the condition-(5) Lie-derivative check — the dominant SMT-stage
+query — on the ``batched-icp`` backend against ``sharded-icp`` at 2 and
+4 worker processes, on the two hardest builtin scenarios (dubins,
+cartpole).  Parity is asserted unconditionally: identical verdicts,
+witnesses, and solver counters at every shard count.
+
+Writes ``benchmarks/results/BENCH_shard.json``.  Acceptance bar: >= 2.5x
+condition-5 speedup at 4 shards on at least one scenario — enforced
+only when the machine actually has >= 4 CPU cores (on smaller boxes the
+fork+IPC overhead necessarily loses to the serial path, so the run
+still records the numbers but the bar does not gate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.api import get_scenario
+from repro.barrier import condition5_subproblems
+from repro.engine import BatchedSmtBackend, ShardedSmtBackend
+from repro.expr import sum_expr, var
+from repro.smt import IcpConfig
+
+REPEATS = 3
+SPEEDUP_BAR = 2.5
+SHARD_COUNTS = (2, 4)
+SCENARIOS = ("dubins", "cartpole")
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _condition5(name):
+    scenario = get_scenario(name)
+    problem = scenario.problem()
+    w = sum_expr([var(n) * var(n) for n in problem.state_names])
+    subs = condition5_subproblems(w, problem, gamma=1e-6)
+    config = IcpConfig(delta=scenario.config.icp.delta, max_boxes=300_000)
+    return subs, problem.state_names, config
+
+
+def _assert_parity(sharded, reference, label):
+    assert sharded.verdict is reference.verdict, label
+    if reference.witness is None:
+        assert sharded.witness is None, label
+    else:
+        np.testing.assert_array_equal(sharded.witness, reference.witness)
+    assert dataclasses.replace(sharded.stats, elapsed_seconds=0.0) == (
+        dataclasses.replace(reference.stats, elapsed_seconds=0.0)
+    ), label
+
+
+def test_shard_micro(emit, results_dir):
+    cpu_count = os.cpu_count() or 1
+    bar_enforced = cpu_count >= 4
+
+    scenarios = {}
+    best = {"scenario": None, "speedup_4": 0.0}
+    lines = [f"condition-5 ICP sharding (cpu_count={cpu_count}):"]
+    for name in SCENARIOS:
+        subs, names, config = _condition5(name)
+        serial = BatchedSmtBackend()
+        serial_s, serial_res = _best_of(
+            REPEATS, lambda: serial.check(subs, names, config)
+        )
+        entry = {
+            "subproblems": len(subs),
+            "verdict": serial_res.verdict.value,
+            "serial_seconds": round(serial_s, 6),
+        }
+        lines.append(f"  {name} ({len(subs)} subproblems, "
+                     f"{serial_res.verdict.value}):")
+        lines.append(f"    serial (batched-icp)  {serial_s:8.4f}s")
+        for shards in SHARD_COUNTS:
+            backend = ShardedSmtBackend(shards=shards)
+            sharded_s, sharded_res = _best_of(
+                REPEATS, lambda: backend.check(subs, names, config)
+            )
+            _assert_parity(sharded_res, serial_res, f"{name} @{shards}")
+            speedup = serial_s / sharded_s
+            entry[f"shard{shards}_seconds"] = round(sharded_s, 6)
+            entry[f"speedup_{shards}"] = round(speedup, 2)
+            lines.append(f"    {shards} shards           "
+                         f"  {sharded_s:8.4f}s   ({speedup:.2f}x)")
+        scenarios[name] = entry
+        if entry["speedup_4"] > best["speedup_4"]:
+            best = {"scenario": name, "speedup_4": entry["speedup_4"]}
+
+    payload = {
+        "cpu_count": cpu_count,
+        "repeats": REPEATS,
+        "speedup_bar": SPEEDUP_BAR,
+        "bar_enforced": bar_enforced,
+        "scenarios": scenarios,
+        "best": best,
+    }
+    (results_dir / "BENCH_shard.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    lines.append(
+        f"best 4-shard speedup: {best['speedup_4']:.2f}x on "
+        f"{best['scenario']} (bar {SPEEDUP_BAR}x, "
+        f"{'enforced' if bar_enforced else 'not enforced: <4 cores'})"
+    )
+    emit("shard_micro", "\n".join(lines))
+
+    if bar_enforced:
+        assert best["speedup_4"] >= SPEEDUP_BAR, (
+            f"4-shard condition-5 speedup {best['speedup_4']:.2f}x below "
+            f"the {SPEEDUP_BAR}x bar on every scenario"
+        )

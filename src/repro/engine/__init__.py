@@ -3,7 +3,7 @@
 An :class:`Engine` bundles one backend per solver role — simulation
 (:class:`SimBackend`), LP fitting (:class:`LpBackend`), δ-SAT checking
 (:class:`SmtBackend`) — behind a string-keyed registry, mirroring the
-scenario registry of :mod:`repro.api.scenario`.  Five engines ship
+scenario registry of :mod:`repro.api.scenario`.  Six engines ship
 built in:
 
 ``native``        the historical scalar code paths (default;
@@ -16,9 +16,14 @@ built in:
 ``batched-icp``   the whole δ-SAT frontier in one
                   :class:`~repro.intervals.BoxArray` with frontier-wide
                   vectorized HC4 contraction (fastest single-core SMT)
+``sharded-icp``   the batched frontier's per-round row work fanned out
+                  across forked worker processes over shared memory
+                  (``--shards``/``REPRO_SHARDS``); bit-identical
+                  verdicts/witnesses/artifacts at every shard count
 ``portfolio``     external SMT solvers (z3/dreal, via
-                  :mod:`repro.solvers`) raced against ``batched-icp``;
-                  degrades to it exactly when no binaries are installed
+                  :mod:`repro.solvers`) raced against the sharded ICP
+                  lane; degrades to it exactly when no binaries are
+                  installed
 
 Selecting one::
 
@@ -56,6 +61,7 @@ from .base import (
 from .batched import BatchedSmtBackend
 from .native import NativeLpBackend, NativeSimBackend, SerialSmtBackend
 from .parallel import ParallelSmtBackend
+from .sharded import ShardedSmtBackend
 from .vectorized import VectorizedSimBackend
 
 __all__ = [
@@ -66,6 +72,7 @@ __all__ = [
     "NativeSimBackend",
     "ParallelSmtBackend",
     "SerialSmtBackend",
+    "ShardedSmtBackend",
     "SimBackend",
     "SmtBackend",
     "VectorizedSimBackend",
@@ -128,6 +135,19 @@ def _register_builtins() -> None:
             tags=("builtin",),
         )
     )
+    register_engine(
+        Engine(
+            name="sharded-icp",
+            description="Frontier-sharded branch-and-prune: the batched "
+            "ICP round work fanned across forked workers over shared "
+            "memory (--shards/REPRO_SHARDS), bit-identical to "
+            "batched-icp; vectorized simulation, native LP",
+            sim=VectorizedSimBackend(),
+            lp=lp,
+            smt=ShardedSmtBackend(),
+            tags=("builtin",),
+        )
+    )
     # Imported here (not at module top) because repro.solvers is pure
     # downstream code that must stay importable without repro.engine.
     from ..solvers.portfolio import PortfolioSmtBackend
@@ -136,7 +156,7 @@ def _register_builtins() -> None:
         Engine(
             name="portfolio",
             description="External SMT solvers (z3/dreal subprocesses over "
-            "SMT-LIB emission) raced against the batched ICP solver; "
+            "SMT-LIB emission) raced against the sharded ICP lane; "
             "first verdict wins, exact batched-icp degrade when no "
             "binaries are installed",
             sim=VectorizedSimBackend(),

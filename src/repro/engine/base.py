@@ -153,9 +153,14 @@ class Engine:
         return bool(available), str(reason)
 
     def describe(self) -> dict:
-        """Plain-data view for tooling (``repro engines --json``)."""
+        """Plain-data view for tooling (``repro engines --json``).
+
+        SMT backends may expose ``describe_extra() -> dict`` to add
+        backend-specific keys (the sharded backend reports its resolved
+        ``shards`` count); extras never override the standard keys.
+        """
         available, reason = self.availability()
-        return {
+        info = {
             "name": self.name,
             "description": self.description,
             "sim": type(self.sim).__name__,
@@ -165,6 +170,11 @@ class Engine:
             "available": available,
             "reason": reason,
         }
+        extra = getattr(self.smt, "describe_extra", None)
+        if extra is not None:
+            for key, value in dict(extra()).items():
+                info.setdefault(key, value)
+        return info
 
 
 _REGISTRY: dict[str, Engine] = {}

@@ -33,6 +33,14 @@ class BatchedSmtBackend:
 
     name = "batched-icp"
 
+    def _make_solver(
+        self,
+        config: IcpConfig | None,
+        should_stop: "Callable[[], bool] | None",
+    ) -> BatchedIcpSolver:
+        """Solver factory — the ``sharded-icp`` subclass swaps this."""
+        return BatchedIcpSolver(config, should_stop=should_stop)
+
     def check(
         self,
         subproblems: Sequence[Subproblem],
@@ -46,7 +54,7 @@ class BatchedSmtBackend:
         see :class:`~repro.smt.BatchedIcpSolver`; the ``portfolio``
         engine passes it, default callers never do.
         """
-        solver = BatchedIcpSolver(config, should_stop=should_stop)
+        solver = self._make_solver(config, should_stop)
         delta = solver.config.delta
         if not subproblems:
             return SmtResult(Verdict.UNSAT, delta)

@@ -1,0 +1,80 @@
+"""The ``sharded-icp`` engine's checker: batched ICP on N forked cores.
+
+:class:`ShardedSmtBackend` is :class:`~repro.engine.batched.BatchedSmtBackend`
+with one substitution — the solver factory returns a
+:class:`~repro.smt.ShardedIcpSolver`, which fans the per-round row work
+(forward constraint evaluation, HC4 contraction) out across forked
+worker processes over ``multiprocessing.shared_memory`` planes while
+keeping the serial search loop verbatim.  Verdicts, witnesses, LP-loop
+behavior, and artifact JSON are therefore **bit-identical** to
+``batched-icp`` at every shard count — the CI ``shard-parity`` job pins
+this on all builtin scenarios at 1, 2, and 4 shards.
+
+The shard count is an execution-layout knob, not part of the problem:
+``IcpConfig.shards`` (set via ``repro verify --shards`` or
+:func:`repro.api.run`'s ``icp_overrides``), else the ``REPRO_SHARDS``
+environment variable, else 1.  At one shard no workers are forked and
+the computation *is* ``batched-icp``, byte for byte — which is why the
+``portfolio`` engine's internal ICP lane routes through this backend
+unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..smt import IcpConfig, ShardedIcpSolver, resolve_shards
+from ..smt.icp_sharded import fork_available
+from .batched import BatchedSmtBackend
+
+__all__ = ["ShardedSmtBackend"]
+
+
+class ShardedSmtBackend(BatchedSmtBackend):
+    """δ-SAT checking on the frontier-sharded multi-process ICP solver."""
+
+    name = "sharded-icp"
+
+    def __init__(self, shards: int | None = None):
+        #: explicit shard count; ``None`` defers to ``IcpConfig.shards``
+        #: then ``REPRO_SHARDS`` at check time.
+        self.shards = None if shards is None else max(1, int(shards))
+
+    def resolved_shards(self, config: "IcpConfig | None" = None) -> int:
+        """Effective worker count for a check with this ``config``."""
+        if self.shards is not None:
+            return self.shards
+        return resolve_shards(config)
+
+    def _make_solver(
+        self,
+        config: IcpConfig | None,
+        should_stop: "Callable[[], bool] | None",
+    ) -> ShardedIcpSolver:
+        return ShardedIcpSolver(
+            config, should_stop=should_stop, shards=self.shards
+        )
+
+    def availability(self) -> tuple[bool, str]:
+        """Always available; the reason string reports the parallelism level.
+
+        Mirrors the portfolio's lineup reporting: ``repro engines`` shows
+        at a glance whether a run would actually fork workers, and how to
+        turn them on when it would not.
+        """
+        if not fork_available():  # pragma: no cover - POSIX containers
+            return True, (
+                "1 shard (no fork on this platform); "
+                "runs identically to batched-icp"
+            )
+        n = self.resolved_shards()
+        if n <= 1:
+            return True, (
+                "1 shard (REPRO_SHARDS unset); "
+                "set --shards/REPRO_SHARDS to parallelize"
+            )
+        return True, f"{n} shards over fork+shared-memory workers"
+
+    def describe_extra(self) -> dict:
+        """Extra keys merged into :meth:`repro.engine.Engine.describe`."""
+        return {"shards": self.resolved_shards()}

@@ -9,6 +9,8 @@ Public surface:
   solver frontier.
 * ``i*`` free functions — dual-semantics (float or interval) elementary
   functions, plus vectorized interval linear algebra for the NN hot path.
+* :class:`SharedFrontier` — frontier bound planes in shared memory with
+  copy-free :class:`BoxArray` views, for the sharded ICP workers.
 """
 
 from .array import BoxArray, IntervalArray
@@ -44,6 +46,7 @@ from .rounding import (
     trig_slack,
     widen,
 )
+from .shared import SharedFrontier, SharedPlane
 
 __all__ = [
     "Box",
@@ -51,6 +54,8 @@ __all__ = [
     "Interval",
     "IntervalArray",
     "PAD",
+    "SharedFrontier",
+    "SharedPlane",
     "TRIG_SLACK",
     "iabs",
     "iatan",

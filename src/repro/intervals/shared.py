@@ -1,0 +1,124 @@
+"""Frontier bound planes in POSIX shared memory, viewed as ndarrays.
+
+The sharded ICP solver (:mod:`repro.smt.icp_sharded`) fans one batch of
+frontier rows out across forked worker processes.  The bulk data —
+``(capacity, dimension)`` lower/upper bound planes in, contracted
+bounds and row masks out — crosses the process boundary through
+:class:`multiprocessing.shared_memory.SharedMemory` segments rather
+than pipes: the master writes rows once, every worker reads and writes
+its contiguous row range in place, and nothing is pickled or copied per
+round.
+
+:meth:`SharedFrontier.input_view` wraps a row range of the input planes
+in a :class:`~repro.intervals.BoxArray` **without copying**:
+``BoxArray.__init__`` passes float64 ndarrays through as-is, so the
+view's ``lo``/``hi`` alias the shared segment directly and an HC4
+contraction pass reads frontier bounds straight out of shared memory.
+
+Lifecycle: the creating (master) process owns the segments and must
+call :meth:`SharedFrontier.destroy` (close + unlink) exactly once —
+the sharded solver does so in a ``finally`` so cancellation and
+``KeyboardInterrupt`` never orphan a segment.  Forked children inherit
+the mapping and only :meth:`close <SharedFrontier.close_local>` their
+side.  ``segment_names`` exposes the kernel object names so tests can
+assert the segments are really gone.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from .array import BoxArray
+
+__all__ = ["SharedPlane", "SharedFrontier"]
+
+
+class SharedPlane:
+    """One ndarray living in its own shared-memory segment."""
+
+    def __init__(self, shape: tuple, dtype=np.float64):
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        self.array = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
+
+    @property
+    def name(self) -> str:
+        """Kernel object name of the backing segment."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        # The ndarray exports a pointer into the mapping; release it
+        # first or SharedMemory.close() raises BufferError.
+        self.array = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (owner side, once)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double-destroy guard
+            pass
+
+
+class SharedFrontier:
+    """The sharded solver's per-batch shared planes.
+
+    ``in_lo``/``in_hi`` carry the rows the master dispatches each round;
+    workers write forward-pass verdict masks into ``alive``/``all_true``
+    and contraction results into ``out_lo``/``out_hi``/``c_alive``, each
+    touching only its own row range — so no two processes ever write the
+    same bytes and no locking is needed.
+    """
+
+    def __init__(self, capacity: int, dimension: int):
+        if capacity < 1 or dimension < 1:
+            raise ValueError("capacity and dimension must be >= 1")
+        self.capacity = capacity
+        self.dimension = dimension
+        self._planes = {
+            "in_lo": SharedPlane((capacity, dimension)),
+            "in_hi": SharedPlane((capacity, dimension)),
+            "out_lo": SharedPlane((capacity, dimension)),
+            "out_hi": SharedPlane((capacity, dimension)),
+            "alive": SharedPlane((capacity,), dtype=np.bool_),
+            "all_true": SharedPlane((capacity,), dtype=np.bool_),
+            "c_alive": SharedPlane((capacity,), dtype=np.bool_),
+        }
+        self._destroyed = False
+
+    def __getattr__(self, key: str) -> np.ndarray:
+        planes = self.__dict__.get("_planes")
+        if planes is not None and key in planes:
+            return planes[key].array
+        raise AttributeError(key)
+
+    def input_view(self, start: int, stop: int) -> BoxArray:
+        """``BoxArray`` over input rows ``[start, stop)`` — zero copies."""
+        return BoxArray(self.in_lo[start:stop], self.in_hi[start:stop])
+
+    def segment_names(self) -> tuple[str, ...]:
+        """Backing segment names (for leak assertions in tests)."""
+        return tuple(plane.name for plane in self._planes.values())
+
+    def close_local(self) -> None:
+        """Forked-child side: unmap without unlinking (owner cleans up)."""
+        for plane in self._planes.values():
+            try:
+                plane.close()
+            except BufferError:  # pragma: no cover - stray view in child
+                pass
+
+    def destroy(self) -> None:
+        """Owner side: unmap *and* unlink every segment (idempotent)."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        for plane in self._planes.values():
+            try:
+                plane.close()
+            except BufferError:  # pragma: no cover - caller kept a view
+                pass
+            plane.unlink()

@@ -24,13 +24,23 @@ The lease discipline is strict:
   ones.
 * Free lists are **per-thread**: the thread-pool SMT backend can run the
   same plan concurrently from several threads without locks or sharing.
+* Pools are **fork-safe**: a child process starts with every free list
+  empty (see :func:`_reset_pools_after_fork`), so a workspace leased in
+  the parent at fork time — or sitting on the forking thread's free
+  list — is never handed out again in the child while the parent still
+  considers it live.  The sharded ICP workers
+  (:mod:`repro.smt.icp_sharded`) fork with inherited, already-compiled
+  plans and rely on this to build their own per-process workspaces.
 
-``tests/perf/test_pool.py`` pins the exclusivity and reuse semantics.
+``tests/perf/test_pool.py`` pins the exclusivity, reuse, and post-fork
+semantics.
 """
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 from typing import Callable
 
 from ..errors import ReproError
@@ -93,6 +103,18 @@ class BufferPool:
         self._n_slots = n_slots
         self._init = init
         self._local = threading.local()
+        _LIVE_POOLS.add(self)
+
+    def reset(self) -> None:
+        """Drop every free list (all threads); leased workspaces detach.
+
+        Used by the post-fork hook: a child inheriting this pool must
+        not reuse workspaces the parent's threads still reference.
+        Outstanding leases simply stop belonging to the pool — their
+        holders may still :meth:`release` them, which files them into
+        the fresh free lists without aliasing anything live.
+        """
+        self._local = threading.local()
 
     def _free(self) -> dict[int, list[Workspace]]:
         free = getattr(self._local, "free", None)
@@ -124,3 +146,26 @@ class BufferPool:
             raise ReproError("workspace released twice (double-free would alias leases)")
         ws._leased = False
         self._free().setdefault(ws.bucket, []).append(ws)
+
+
+#: every live pool, so the post-fork hook can find them without keeping
+#: them alive (plans own their pools; a WeakSet never extends that).
+_LIVE_POOLS: "weakref.WeakSet[BufferPool]" = weakref.WeakSet()
+
+
+def _reset_pools_after_fork() -> None:
+    """Child-side fork hook: start every inherited pool clean.
+
+    The forked child shares no execution with the parent, but it *does*
+    inherit the forking thread's free lists and any mid-checkout leases
+    byte-for-byte.  Resetting here means the child never pops a
+    workspace the parent thread also holds a (copy-on-write twin of a)
+    reference to, and a lease that was live across the fork is simply
+    forgotten rather than double-freed.
+    """
+    for pool in list(_LIVE_POOLS):
+        pool.reset()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - CPython always has it
+    os.register_at_fork(after_in_child=_reset_pools_after_fork)

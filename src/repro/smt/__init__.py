@@ -13,6 +13,7 @@ from .formula import And, Atom, Formula, Or, conjunction_of, to_dnf
 from .hc4 import FrontierContractor, contract_frontier
 from .icp import IcpConfig, IcpSolver, solve_conjunction
 from .icp_batched import BatchedIcpSolver, solve_conjunction_batched
+from .icp_sharded import ShardedIcpSolver, resolve_shards
 from .queries import Subproblem, check_exists, check_exists_on_boxes
 from .result import SmtResult, SolverStats, Verdict
 
@@ -27,6 +28,7 @@ __all__ = [
     "IcpSolver",
     "Or",
     "Relation",
+    "ShardedIcpSolver",
     "SmtResult",
     "SolverStats",
     "Status",
@@ -43,6 +45,7 @@ __all__ = [
     "hc4_revise",
     "le",
     "lt",
+    "resolve_shards",
     "solve_conjunction",
     "solve_conjunction_batched",
     "to_dnf",

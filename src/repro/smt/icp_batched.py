@@ -31,11 +31,41 @@ from .hc4 import FrontierContractor, contract_frontier
 from .icp import IcpConfig
 from .result import SmtResult, SolverStats, Verdict
 
-__all__ = ["BatchedIcpSolver", "solve_conjunction_batched"]
+__all__ = ["BatchedIcpSolver", "prune_masks", "solve_conjunction_batched"]
 
 #: below this many freshly split children, :meth:`BatchedIcpSolver.solve_union`
 #: quadrisects instead of bisecting so the next vectorized pass stays wide
 _MULTISECTION_THRESHOLD = 64
+
+
+def prune_masks(
+    tapes: Sequence,
+    constraints: Sequence[Constraint],
+    lo: np.ndarray,
+    hi: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forward-pass pruning of one batch: ``(alive, all_true)`` row masks.
+
+    Runs every constraint tape over the rows still alive (progressively
+    masked, so a row refuted by an early constraint skips the later
+    tapes — exactly the historical in-loop behavior of ``solve`` /
+    ``solve_union``).  Row results depend only on that row's bounds, so
+    evaluating a row subset yields bit-identical masks — the property
+    the sharded solver's row-range fan-out relies on (pinned by
+    ``tests/smt/test_icp_sharded.py``).
+    """
+    m = lo.shape[0]
+    alive = np.ones(m, dtype=bool)
+    all_true = np.ones(m, dtype=bool)
+    for tape, constraint in zip(tapes, constraints):
+        b_lo, b_hi = tape.eval_boxes(lo[alive], hi[alive])
+        status = constraint.status_from_bounds(b_lo, b_hi)
+        idx = np.flatnonzero(alive)
+        all_true[idx[status != int(Status.CERTAIN_TRUE)]] = False
+        alive[idx[status == int(Status.CERTAIN_FALSE)]] = False
+        if not alive.any():
+            break
+    return alive, all_true
 
 
 def _interleave_halves(left: BoxArray, right: BoxArray) -> BoxArray:
@@ -68,6 +98,29 @@ class BatchedIcpSolver:
     ):
         self.config = config or IcpConfig()
         self.should_stop = should_stop
+
+    # The two hooks below carry every round's heavy row-wise work.  They
+    # are methods (not inlined) so the frontier-sharded subclass
+    # (:class:`~repro.smt.icp_sharded.ShardedIcpSolver`) can fan the
+    # same computation out across worker processes while the search loop
+    # — frontier order, witness scan, stats — stays this exact code.
+    def _prune_masks(
+        self,
+        tapes: Sequence,
+        constraints: Sequence[Constraint],
+        batch: BoxArray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Forward-pass ``(alive, all_true)`` masks for one batch."""
+        return prune_masks(tapes, constraints, batch.lo, batch.hi)
+
+    def _contract_rows(
+        self,
+        contractors: Sequence[FrontierContractor],
+        boxes: BoxArray,
+        max_rounds: int,
+    ) -> tuple[BoxArray, np.ndarray]:
+        """HC4 contraction of the surviving rows."""
+        return contract_frontier(contractors, boxes, max_rounds=max_rounds)
 
     def solve(
         self,
@@ -132,18 +185,7 @@ class BatchedIcpSolver:
             stats.boxes_processed += m
             stats.max_depth = max(stats.max_depth, int(batch_depths.max()))
 
-            alive = np.ones(m, dtype=bool)
-            all_true = np.ones(m, dtype=bool)
-            for tape, constraint in zip(tapes, constraints):
-                lo, hi = tape.eval_boxes(batch.lo[alive], batch.hi[alive])
-                status = constraint.status_from_bounds(lo, hi)
-                sub_false = status == int(Status.CERTAIN_FALSE)
-                sub_true = status == int(Status.CERTAIN_TRUE)
-                idx = np.flatnonzero(alive)
-                all_true[idx[~sub_true]] = False
-                alive[idx[sub_false]] = False
-                if not alive.any():
-                    break
+            alive, all_true = self._prune_masks(tapes, constraints, batch)
 
             stats.boxes_pruned += int(m - alive.sum())
 
@@ -184,10 +226,10 @@ class BatchedIcpSolver:
                     first_pre = len(survivors)
                 need = np.zeros(len(survivors), dtype=bool)
                 need[:first_pre] = True
-                contracted, c_alive = contract_frontier(
+                contracted, c_alive = self._contract_rows(
                     contractors,
                     survivors.select(need),
-                    max_rounds=config.contractor_rounds,
+                    config.contractor_rounds,
                 )
                 stats.contractions += int(need.sum())
             else:
@@ -396,16 +438,7 @@ class BatchedIcpSolver:
             np.add.at(tag_boxes, batch_tags, 1)
             stats.max_depth = max(stats.max_depth, int(batch_depths.max()))
 
-            alive = np.ones(m, dtype=bool)
-            all_true = np.ones(m, dtype=bool)
-            for tape, constraint in zip(tapes, constraints):
-                lo, hi = tape.eval_boxes(batch.lo[alive], batch.hi[alive])
-                status = constraint.status_from_bounds(lo, hi)
-                idx = np.flatnonzero(alive)
-                all_true[idx[status != int(Status.CERTAIN_TRUE)]] = False
-                alive[idx[status == int(Status.CERTAIN_FALSE)]] = False
-                if not alive.any():
-                    break
+            alive, all_true = self._prune_masks(tapes, constraints, batch)
 
             stats.boxes_pruned += int(m - alive.sum())
 
@@ -442,10 +475,10 @@ class BatchedIcpSolver:
                 survivor_depths = survivor_depths[keep]
 
             if len(survivors) and contract_ok:
-                contracted, c_alive = contract_frontier(
+                contracted, c_alive = self._contract_rows(
                     contractors,
                     survivors,
-                    max_rounds=config.contractor_rounds,
+                    config.contractor_rounds,
                 )
                 stats.contractions += len(survivors)
                 stats.boxes_pruned += int((~c_alive).sum())

@@ -1,0 +1,385 @@
+"""Frontier-sharded branch-and-prune: the batched search on N cores.
+
+:class:`~repro.smt.icp_batched.BatchedIcpSolver` contracts one
+contiguous :class:`~repro.intervals.BoxArray` frontier on one core.
+:class:`ShardedIcpSolver` keeps that solver's search loop **verbatim**
+— same LIFO frontier order, same batch selection, same sequential
+witness scan, same split interleaving, same stats — and fans only the
+per-round row-wise heavy lifting (forward constraint evaluation and
+HC4 contraction) out across forked worker processes:
+
+* The master writes the round's rows into
+  :class:`~repro.intervals.SharedFrontier` planes
+  (``multiprocessing.shared_memory``), partitions them into contiguous
+  per-worker row ranges (:func:`shard_bounds`), and pings each worker
+  over a pipe.  Workers read and write *only their own rows*, in place,
+  through copy-free ``BoxArray`` views — no pickling, no per-round
+  allocation crossing the process boundary.
+* Results merge in **deterministic shard-major order**: shard ``s``
+  owns rows ``[a_s, b_s)``, so reading the planes back row-by-row *is*
+  the serial order and the witness-ordering contract of
+  ``solve``/``solve_union`` survives untouched.
+* Workers are forked *after* the master compiles every tape kernel and
+  HC4 contractor plan (the :class:`~repro.api.pool.WarmPool` trick), so
+  each child starts with pre-compiled plans and builds only its own
+  :class:`~repro.perf.BufferPool` workspaces — the post-fork pool reset
+  of :mod:`repro.perf.pool` guarantees those start clean.
+
+**Bit-identity.**  Every per-row operation in the forward pass and in
+:func:`~repro.smt.hc4.contract_frontier` is elementwise with per-row
+masks and per-row early stops — no cross-row reduction feeds back into
+a row's bounds — so evaluating a row range in a worker produces the
+same bits as evaluating it inside the full batch.  The parity suite
+(``tests/smt/test_icp_sharded.py``, ``tests/engine/test_sharded_engine.py``
+and the CI ``shard-parity`` gate) pins verdicts, witnesses, and stats
+identical to the serial path at 1, 2, and 4 shards.
+
+**Cancellation.**  ``should_stop`` is polled by the master once per
+frontier batch exactly as in the serial solver; on stop (or any
+exception, including ``KeyboardInterrupt``) the worker team is shut
+down and every shared segment unlinked before ``solve`` returns, so the
+``portfolio`` engine can kill a losing sharded race without orphaning
+processes or shared memory.
+
+With ``shards <= 1`` (the default: ``IcpConfig.shards`` unset and
+``REPRO_SHARDS`` unset) no workers are forked and the solver *is* the
+batched path, byte for byte.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing as mp
+import os
+from typing import Callable, Iterator, Sequence
+
+from ..errors import SolverError
+from ..intervals import Box, BoxArray, SharedFrontier
+from .constraint import Constraint
+from .hc4 import FrontierContractor, contract_frontier
+from .icp import IcpConfig
+from .icp_batched import BatchedIcpSolver, prune_masks
+from .result import SmtResult
+
+__all__ = [
+    "ShardedIcpSolver",
+    "fork_available",
+    "resolve_shards",
+    "shard_bounds",
+]
+
+#: worker commands (pipe messages are ``(cmd, start, stop, rounds)``)
+_EVAL, _CONTRACT, _EXIT = 0, 1, 2
+
+#: don't dispatch a batch narrower than this many rows per worker — the
+#: pipe round-trip would cost more than the row work it parallelizes.
+#: Purely a latency knob: the parity gate holds for every split choice.
+_MIN_ROWS_PER_SHARD = 2
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork workers (POSIX yes, Windows no)."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def resolve_shards(config: "IcpConfig | None" = None) -> int:
+    """Effective shard count: ``config.shards``, else ``REPRO_SHARDS``, else 1.
+
+    Unparseable or non-positive environment values fall back to 1 — the
+    knob is an execution-layout hint, never a hard failure.
+    """
+    shards = getattr(config, "shards", None)
+    if shards is None:
+        raw = os.environ.get("REPRO_SHARDS", "").strip()
+        if not raw:
+            return 1
+        try:
+            shards = int(raw)
+        except ValueError:
+            return 1
+    return max(1, int(shards))
+
+
+def shard_bounds(m: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous row ranges covering ``[0, m)``, one per shard.
+
+    Deterministic shard-major partition: shard ``s`` owns ``[a_s, b_s)``
+    with ``a_0 = 0`` and ``b_{s} = a_{s+1}``, sizes differing by at most
+    one row.  Reading results back range-by-range therefore reproduces
+    the serial row order exactly.
+    """
+    base, extra = divmod(m, shards)
+    bounds = []
+    a = 0
+    for s in range(shards):
+        b = a + base + (1 if s < extra else 0)
+        bounds.append((a, b))
+        a = b
+    return bounds
+
+
+def _worker_loop(
+    conn,
+    tapes: list,
+    constraints: list,
+    contractors: list,
+    shared: SharedFrontier,
+    parent_conn,
+) -> None:
+    """One forked worker: serve eval/contract requests over ``conn``.
+
+    Everything heavy — compiled tapes, contractor plans, the shared
+    planes — arrives through fork inheritance, never pickling.  The
+    worker touches only the row range each message names, so its writes
+    never race another worker's.
+    """
+    if parent_conn is not None:  # our copy of the master's pipe end
+        parent_conn.close()
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError, KeyboardInterrupt):
+                break
+            cmd, a, b, rounds = msg
+            if cmd == _EXIT:
+                break
+            try:
+                if cmd == _EVAL:
+                    alive, all_true = prune_masks(
+                        tapes,
+                        constraints,
+                        shared.in_lo[a:b],
+                        shared.in_hi[a:b],
+                    )
+                    shared.alive[a:b] = alive
+                    shared.all_true[a:b] = all_true
+                else:  # _CONTRACT
+                    boxes = shared.input_view(a, b)  # zero-copy view
+                    contracted, c_alive = contract_frontier(
+                        contractors, boxes, max_rounds=rounds
+                    )
+                    shared.out_lo[a:b] = contracted.lo
+                    shared.out_hi[a:b] = contracted.hi
+                    shared.c_alive[a:b] = c_alive
+                conn.send(("ok", None))
+            except Exception as exc:  # noqa: BLE001 - reported to master
+                try:
+                    conn.send(("err", f"{type(exc).__name__}: {exc}"))
+                except OSError:
+                    break
+    finally:
+        shared.close_local()
+        conn.close()
+
+
+class _ShardTeam:
+    """One solve call's worker processes + shared planes.
+
+    Construction compiles every tape kernel and contractor plan in the
+    master, *then* forks — children inherit the compiled state
+    copy-on-write and start warm.  :meth:`close` is safe to call from a
+    ``finally`` after any failure, including mid-round.
+    """
+
+    def __init__(
+        self,
+        constraints: Sequence[Constraint],
+        names: Sequence[str],
+        config: IcpConfig,
+        n_workers: int,
+    ):
+        import numpy as np
+
+        tapes = [c.compiled(names) for c in constraints]
+        self.contract_ok = config.use_contractor and all(
+            len(t) <= config.contractor_node_limit for t in tapes
+        )
+        contractors = (
+            [FrontierContractor(c, names) for c in constraints]
+            if self.contract_ok
+            else []
+        )
+        # Warm the kernel plans (and their lazy box programs) before the
+        # fork so every child inherits them pre-compiled.
+        dim = len(names)
+        probe = np.zeros((1, dim))
+        for tape in tapes:
+            tape.eval_boxes(probe, probe)
+
+        self.capacity = max(int(config.batch_size), n_workers)
+        self.shared = SharedFrontier(self.capacity, dim)
+        self.n_workers = n_workers
+        self.conns: list = []
+        self.procs: list = []
+        ctx = mp.get_context("fork")
+        try:
+            for _ in range(n_workers):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_loop,
+                    args=(child, tapes, constraints, contractors,
+                          self.shared, parent),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self.conns.append(parent)
+                self.procs.append(proc)
+        except BaseException:
+            self.close()
+            raise
+
+    def run(self, cmd: int, m: int, rounds: int = 0) -> None:
+        """Dispatch rows ``[0, m)`` to the team and wait for every shard."""
+        live = []
+        for conn, (a, b) in zip(self.conns, shard_bounds(m, self.n_workers)):
+            if b > a:
+                conn.send((cmd, a, b, rounds))
+                live.append(conn)
+        errors = []
+        for conn in live:
+            try:
+                status, detail = conn.recv()
+            except (EOFError, OSError):
+                raise SolverError("sharded ICP worker died mid-round")
+            if status != "ok":
+                errors.append(detail)
+        if errors:
+            raise SolverError(
+                "sharded ICP worker failed: " + "; ".join(errors)
+            )
+
+    def close(self) -> None:
+        """Stop workers and unlink every shared segment (idempotent)."""
+        for conn in self.conns:
+            with contextlib.suppress(OSError, ValueError):
+                conn.send((_EXIT, 0, 0, 0))
+        for proc in self.procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck-worker backstop
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self.conns:
+            with contextlib.suppress(OSError):
+                conn.close()
+        self.conns = []
+        self.procs = []
+        self.shared.destroy()
+
+
+class ShardedIcpSolver(BatchedIcpSolver):
+    """Drop-in :class:`BatchedIcpSolver` with a forked row-work fan-out.
+
+    Parameters
+    ----------
+    config, should_stop:
+        Exactly as for the batched solver.
+    shards:
+        Worker count; ``None`` resolves ``config.shards`` then the
+        ``REPRO_SHARDS`` environment variable (default 1).  With one
+        shard — or on platforms without ``fork`` — no processes are
+        created and this *is* the batched solver.
+    """
+
+    def __init__(
+        self,
+        config: IcpConfig | None = None,
+        should_stop: "Callable[[], bool] | None" = None,
+        shards: int | None = None,
+    ):
+        super().__init__(config, should_stop)
+        self.shards = (
+            resolve_shards(self.config) if shards is None
+            else max(1, int(shards))
+        )
+        self._team: "_ShardTeam | None" = None
+        #: segment names of the last team, so tests can assert unlink
+        self.last_segment_names: tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Public entry points: wrap the serial loop in a worker-team scope
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        constraints: Sequence[Constraint],
+        region: Box,
+        variable_names: Sequence[str],
+    ) -> SmtResult:
+        if not self._should_shard(constraints, variable_names, region):
+            return super().solve(constraints, region, variable_names)
+        with self._team_scope(constraints, variable_names):
+            return super().solve(constraints, region, variable_names)
+
+    def solve_union(
+        self,
+        constraints: Sequence[Constraint],
+        regions: Sequence[Box],
+        variable_names: Sequence[str],
+    ) -> SmtResult:
+        if not regions or not self._should_shard(
+            constraints, variable_names, regions[0]
+        ):
+            return super().solve_union(constraints, regions, variable_names)
+        with self._team_scope(constraints, variable_names):
+            return super().solve_union(constraints, regions, variable_names)
+
+    # ------------------------------------------------------------------
+    # Hook overrides: same computation, sharded rows
+    # ------------------------------------------------------------------
+    def _prune_masks(self, tapes, constraints, batch):
+        team = self._team
+        m = len(batch)
+        if team is None or m < _MIN_ROWS_PER_SHARD * team.n_workers:
+            return super()._prune_masks(tapes, constraints, batch)
+        shared = team.shared
+        shared.in_lo[:m] = batch.lo
+        shared.in_hi[:m] = batch.hi
+        team.run(_EVAL, m)
+        return shared.alive[:m].copy(), shared.all_true[:m].copy()
+
+    def _contract_rows(self, contractors, boxes, max_rounds):
+        team = self._team
+        m = len(boxes)
+        if (
+            team is None
+            or not team.contract_ok
+            or m < _MIN_ROWS_PER_SHARD * team.n_workers
+        ):
+            return super()._contract_rows(contractors, boxes, max_rounds)
+        shared = team.shared
+        shared.in_lo[:m] = boxes.lo
+        shared.in_hi[:m] = boxes.hi
+        team.run(_CONTRACT, m, rounds=max_rounds)
+        contracted = BoxArray(
+            shared.out_lo[:m].copy(), shared.out_hi[:m].copy()
+        )
+        return contracted, shared.c_alive[:m].copy()
+
+    # ------------------------------------------------------------------
+    # Team lifecycle
+    # ------------------------------------------------------------------
+    def _should_shard(self, constraints, names, region) -> bool:
+        if self.shards <= 1 or not constraints or not fork_available():
+            return False
+        # Mirror the guards the serial solve applies before any tape
+        # work: let the base class raise its own errors for bad input
+        # rather than forking workers first.
+        if region.dimension != len(list(names)) or not region.is_finite():
+            return False
+        return True
+
+    @contextlib.contextmanager
+    def _team_scope(
+        self, constraints: Sequence[Constraint], names: Sequence[str]
+    ) -> Iterator[_ShardTeam]:
+        team = _ShardTeam(
+            list(constraints), list(names), self.config, self.shards
+        )
+        self.last_segment_names = team.shared.segment_names()
+        self._team = team
+        try:
+            yield team
+        finally:
+            self._team = None
+            team.close()

@@ -1,7 +1,9 @@
 """The ``portfolio`` engine: external solvers raced against batched ICP.
 
-Every δ-SAT check is submitted simultaneously to the in-house
-:class:`~repro.engine.batched.BatchedSmtBackend` and to every available
+Every δ-SAT check is submitted simultaneously to the in-house ICP lane
+(:class:`~repro.engine.sharded.ShardedSmtBackend` — the batched solver,
+optionally fanned across forked workers when ``REPRO_SHARDS`` or
+``IcpConfig.shards`` asks for it) and to every available
 external solver that supports the query's operator set.  The first
 definitive verdict (UNSAT or DELTA_SAT) wins; the losers are cancelled
 — external subprocesses are killed, the native search stops at its next
@@ -86,7 +88,11 @@ class PortfolioSmtBackend:
     native:
         In-house backend to race (and degrade to).  Must accept
         ``check(..., should_stop=)``; defaults to
-        :class:`~repro.engine.batched.BatchedSmtBackend`.
+        :class:`~repro.engine.sharded.ShardedSmtBackend`, which at the
+        default single shard computes exactly what
+        :class:`~repro.engine.batched.BatchedSmtBackend` does — and
+        with ``REPRO_SHARDS``/``IcpConfig.shards`` set runs the same
+        search on forked workers, still bit-identical.
     """
 
     name = "portfolio"
@@ -147,9 +153,9 @@ class PortfolioSmtBackend:
     def _native_backend(self):
         native = self._native
         if native is None:
-            from ..engine.batched import BatchedSmtBackend  # avoid import cycle
+            from ..engine.sharded import ShardedSmtBackend  # avoid import cycle
 
-            native = self._native = BatchedSmtBackend()
+            native = self._native = ShardedSmtBackend()
         return native
 
     # ------------------------------------------------------------------

@@ -1,0 +1,260 @@
+"""The ``sharded-icp`` engine: registration, reporting, artifact parity.
+
+The acceptance bar for the sharded stack mirrors the portfolio's exact-
+degrade contract, but stronger: on every builtin scenario, at **every**
+shard count, the run artifact must be byte-identical to
+``--engine batched-icp`` in every deterministic field.  The shard knob
+is pure execution layout — it never shows up in artifact JSON, store
+keys, verdicts, witnesses, or LP coefficients.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.api import get_scenario, scenario_names
+from repro.barrier.certificate import condition5_subproblems
+from repro.engine import BatchedSmtBackend, ShardedSmtBackend, get_engine
+from repro.expr import sum_expr, var
+from repro.smt import IcpConfig
+from repro.smt.icp_sharded import fork_available
+
+#: RunArtifact fields that cannot match across engines by construction.
+_VOLATILE_FIELDS = {
+    "engine",
+    "lp_seconds",
+    "query_seconds",
+    "generator_seconds",
+    "other_seconds",
+    "total_seconds",
+    "stage_seconds",
+}
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="sharded ICP needs fork"
+)
+
+
+def _artifact_dict(name, config, engine):
+    data = api.run(name, config=config, engine=engine, cache=False).to_dict()
+    for volatile in _VOLATILE_FIELDS:
+        data.pop(volatile)
+    data["config"].pop("engine", None)
+    return data
+
+
+def _parity_config(name, shards=None):
+    """Same deterministic-trim idiom as the portfolio parity suite."""
+    scenario = get_scenario(name)
+    config = scenario.config
+    if name == "cartpole":
+        config = dataclasses.replace(
+            config,
+            num_seed_traces=2,
+            trace_duration=1.0,
+            max_candidate_iterations=1,
+            max_levelset_iterations=1,
+            lp=dataclasses.replace(
+                config.lp, max_points=150, separation_samples=8
+            ),
+            icp=dataclasses.replace(
+                config.icp, time_limit=None, max_boxes=5000
+            ),
+        )
+    if shards is not None:
+        config = dataclasses.replace(
+            config, icp=dataclasses.replace(config.icp, shards=shards)
+        )
+    return config
+
+
+# ----------------------------------------------------------------------
+# Registration + reporting (repro engines)
+# ----------------------------------------------------------------------
+
+
+class TestRegistration:
+    def test_sharded_engine_registered(self):
+        engine = get_engine("sharded-icp")
+        assert isinstance(engine.smt, ShardedSmtBackend)
+        assert "builtin" in engine.tags
+
+    def test_cli_lists_sharded(self, capsys):
+        from repro.cli import main
+
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded-icp" in out
+
+
+class TestReporting:
+    def test_unset_reports_one_shard_with_hint(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        available, reason = ShardedSmtBackend().availability()
+        assert available
+        assert "1 shard (REPRO_SHARDS unset)" in reason
+        assert "--shards" in reason
+
+    @needs_fork
+    def test_env_reports_worker_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        available, reason = ShardedSmtBackend().availability()
+        assert available
+        assert reason == "4 shards over fork+shared-memory workers"
+
+    def test_explicit_shards_win_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "8")
+        assert ShardedSmtBackend(shards=2).resolved_shards() == 2
+
+    def test_describe_carries_shard_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        info = get_engine("sharded-icp").describe()
+        assert info["available"] is True
+        assert info["shards"] == 1
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        assert get_engine("sharded-icp").describe()["shards"] == 3
+
+    def test_engines_json_exposes_shards(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        assert main(["engines", "--json"]) == 0
+        by_name = {
+            e["name"]: e for e in json.loads(capsys.readouterr().out)
+        }
+        assert by_name["sharded-icp"]["shards"] == 2
+        # Other engines are untouched by the extras merge.
+        assert "shards" not in by_name["batched-icp"]
+
+
+# ----------------------------------------------------------------------
+# Check-level parity (cheap, every scenario)
+# ----------------------------------------------------------------------
+
+
+def _check5(name):
+    scenario = get_scenario(name)
+    problem = scenario.problem()
+    w = sum_expr([var(n) * var(n) for n in problem.state_names])
+    subs = condition5_subproblems(w, problem, gamma=1e-6)
+    config = IcpConfig(delta=scenario.config.icp.delta, max_boxes=300_000)
+    return subs, problem.state_names, config
+
+
+@needs_fork
+@pytest.mark.parametrize("name", sorted(scenario_names()))
+def test_check_identical_to_batched(name):
+    """Same verdict, witness, and stats counters at 2 shards."""
+    subs, names, config = _check5(name)
+    sharded = ShardedSmtBackend(shards=2).check(subs, names, config)
+    reference = BatchedSmtBackend().check(subs, names, config)
+    assert sharded.verdict is reference.verdict
+    assert sharded.witness_validated == reference.witness_validated
+    if reference.witness is None:
+        assert sharded.witness is None
+    else:
+        np.testing.assert_array_equal(sharded.witness, reference.witness)
+    assert dataclasses.replace(sharded.stats, elapsed_seconds=0.0) == (
+        dataclasses.replace(reference.stats, elapsed_seconds=0.0)
+    )
+
+
+# ----------------------------------------------------------------------
+# Full-run artifact parity (the acceptance bar)
+# ----------------------------------------------------------------------
+
+
+@needs_fork
+@pytest.mark.parametrize("name", sorted(scenario_names()))
+def test_artifact_identical_to_batched_icp(name):
+    """Byte-identical artifacts vs batched-icp on every scenario."""
+    sharded = _artifact_dict(name, _parity_config(name, 2), "sharded-icp")
+    reference = _artifact_dict(name, _parity_config(name), "batched-icp")
+    assert sharded == reference, f"{name}: sharded artifact drifted"
+
+
+@needs_fork
+def test_shard_count_invariance():
+    """1, 2, and 4 shards produce the identical artifact (dubins)."""
+    artifacts = [
+        _artifact_dict("dubins", _parity_config("dubins", n), "sharded-icp")
+        for n in (1, 2, 4)
+    ]
+    assert artifacts[0] == artifacts[1] == artifacts[2]
+
+
+def test_shards_never_reach_artifact_json():
+    """The shard knob is execution layout: invisible in config JSON."""
+    from repro.api.scenario import synthesis_config_to_dict
+
+    config = _parity_config("linear", 4)
+    data = synthesis_config_to_dict(config)
+    assert "shards" not in data["icp"]
+    assert synthesis_config_to_dict(_parity_config("linear")) == data
+
+
+# ----------------------------------------------------------------------
+# The portfolio's internal lane shards too
+# ----------------------------------------------------------------------
+
+
+class TestPortfolioLane:
+    def test_portfolio_native_lane_is_sharded(self):
+        from repro.solvers import PortfolioSmtBackend
+
+        backend = PortfolioSmtBackend()
+        assert isinstance(backend._native_backend(), ShardedSmtBackend)
+
+    @needs_fork
+    def test_portfolio_degrade_identical_under_sharding(self, monkeypatch):
+        """With REPRO_SHARDS set and no binaries, portfolio == batched."""
+        from repro.solvers import PortfolioSmtBackend
+
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        subs, names, config = _check5("dubins")
+        ours = PortfolioSmtBackend(solvers=[]).check(subs, names, config)
+        reference = BatchedSmtBackend().check(subs, names, config)
+        assert ours.verdict is reference.verdict
+        if reference.witness is None:
+            assert ours.witness is None
+        else:
+            np.testing.assert_array_equal(ours.witness, reference.witness)
+        assert dataclasses.replace(ours.stats, elapsed_seconds=0.0) == (
+            dataclasses.replace(reference.stats, elapsed_seconds=0.0)
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI knobs
+# ----------------------------------------------------------------------
+
+
+class TestCli:
+    @needs_fork
+    def test_verify_shards_flag(self, capsys, tmp_path):
+        from repro.api import RunArtifact
+        from repro.cli import main
+
+        out_file = tmp_path / "out.json"
+        code = main(
+            ["verify", "--scenario", "linear", "--engine", "sharded-icp",
+             "--shards", "2", "--json", str(out_file)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        artifact = RunArtifact.from_json(out_file.read_text())
+        assert artifact.engine == "sharded-icp"
+        # The knob stays out of the recorded config (shard invariance).
+        assert "shards" not in artifact.config["icp"]
+
+    def test_verify_rejects_bad_shards(self):
+        from repro.cli import main
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="shards"):
+            main(["verify", "--scenario", "linear", "--shards", "0"])

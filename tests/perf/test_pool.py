@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import threading
 
 import pytest
@@ -86,3 +87,68 @@ class TestLeaseExclusivity:
         thread.start()
         thread.join()
         assert from_thread[0] is not ws
+
+
+@pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fork-safety needs os.fork"
+)
+class TestForkSafety:
+    """The post-fork hook: children never alias parent workspaces.
+
+    The sharded ICP engine forks workers while the master may hold
+    live leases (and populated free lists) from warming its kernel
+    plans — exactly the mid-checkout state these tests freeze.
+    """
+
+    def _run_in_fork(self, child) -> None:
+        pid = os.fork()
+        if pid == 0:
+            code = 3
+            try:
+                code = child()
+            finally:
+                os._exit(code)  # never fall through into pytest
+        _, status = os.waitpid(pid, 0)
+        assert os.waitstatus_to_exitcode(status) == 0
+
+    def test_fork_mid_checkout_resets_child_free_lists(self):
+        pool = BufferPool(4)
+        leased = pool.acquire(10)  # live lease across the fork
+        parked = pool.acquire(10)
+        pool.release(parked)  # populated free list across the fork
+
+        def child() -> int:
+            ws = pool.acquire(10)
+            # A fresh workspace, not the parent's parked or leased one.
+            if ws is parked or ws is leased:
+                return 1
+            pool.release(ws)
+            return 0 if pool.acquire(10) is ws else 2
+
+        self._run_in_fork(child)
+        # The parent is untouched: its free list still holds `parked`.
+        assert pool.acquire(10) is parked
+        pool.release(leased)
+
+    def test_lease_live_across_fork_is_forgotten_not_double_freed(self):
+        pool = BufferPool(4)
+        leased = pool.acquire(10)
+
+        def child() -> int:
+            # The inherited lease detached from the pool on reset; the
+            # child may still release it without corrupting anything.
+            pool.release(leased)
+            fresh = pool.acquire(10)
+            return 0 if fresh is leased else 1
+
+        self._run_in_fork(child)
+
+    def test_explicit_reset_drops_all_buckets(self):
+        pool = BufferPool(4)
+        small = pool.acquire(10)
+        big = pool.acquire(1000)
+        pool.release(small)
+        pool.release(big)
+        pool.reset()
+        assert pool.acquire(10) is not small
+        assert pool.acquire(1000) is not big

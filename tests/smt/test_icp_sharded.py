@@ -1,0 +1,295 @@
+"""Frontier-sharded ICP: bitwise parity, cancellation, segment hygiene.
+
+The sharded solver's whole value proposition is that it is the batched
+solver, bit for bit, at any shard count — so these tests compare
+verdicts, witnesses (exact array equality, not allclose), and every
+``SolverStats`` counter against :class:`~repro.smt.BatchedIcpSolver`,
+then check the operational contracts: cooperative cancellation reaches
+the workers within one batch round, and no shared-memory segment
+survives a solve — not even one killed by ``KeyboardInterrupt``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.expr import cos, exp, sin, tanh, var
+from repro.intervals import Box, Interval
+from repro.smt import (
+    BatchedIcpSolver,
+    IcpConfig,
+    ShardedIcpSolver,
+    Verdict,
+    eq,
+    ge,
+    le,
+    resolve_shards,
+)
+from repro.smt.icp_sharded import fork_available, shard_bounds
+
+X, Y = var("x"), var("y")
+NAMES = ["x", "y"]
+BOX22 = Box([Interval(-2.0, 2.0), Interval(-2.0, 2.0)])
+BOX44 = Box([Interval(-4.0, 4.0), Interval(-4.0, 4.0)])
+
+#: queries chosen to build real frontiers (hundreds of live boxes), so
+#: the sharded dispatch path actually runs instead of falling back.
+CASES = [
+    ([ge(X * X + Y * Y, 1.0), le(X * X + Y * Y, 1.1)], BOX22),
+    ([ge(sin(X) + cos(Y), 1.9)], BOX44),
+    ([ge(sin(X) + cos(Y), 2.5)], BOX44),
+    ([le(tanh(X) * 2.0 - Y, 0.0), ge(X - Y * Y, 0.5)], BOX22),
+    ([eq(X * X - 2.0, 0.0)], Box([Interval(0, 2), Interval(0, 1)])),
+    ([ge(exp(X) - 3.0 * Y, 0.0), le(X + Y, -1.0), ge(Y, 0.25)], BOX22),
+]
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="sharded ICP needs fork"
+)
+
+
+def _strip_time(stats):
+    return dataclasses.replace(stats, elapsed_seconds=0.0)
+
+
+def _assert_identical(sharded, reference):
+    assert sharded.verdict is reference.verdict
+    assert sharded.delta == reference.delta
+    assert sharded.witness_validated == reference.witness_validated
+    if reference.witness is None:
+        assert sharded.witness is None
+    else:
+        np.testing.assert_array_equal(sharded.witness, reference.witness)
+    assert _strip_time(sharded.stats) == _strip_time(reference.stats)
+
+
+def _assert_segments_unlinked(solver):
+    assert solver.last_segment_names, "no team was ever started"
+    for name in solver.last_segment_names:
+        with pytest.raises(FileNotFoundError):
+            seg = shared_memory.SharedMemory(name=name)
+            seg.close()  # pragma: no cover - only on leak
+
+
+# ----------------------------------------------------------------------
+# Units
+# ----------------------------------------------------------------------
+
+
+class TestShardBounds:
+    def test_covers_contiguously_in_order(self):
+        bounds = shard_bounds(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_sizes_differ_by_at_most_one(self):
+        for m in range(0, 40):
+            for shards in range(1, 7):
+                bounds = shard_bounds(m, shards)
+                assert len(bounds) == shards
+                sizes = [b - a for a, b in bounds]
+                assert sum(sizes) == m
+                assert max(sizes) - min(sizes) <= 1
+                assert bounds[0][0] == 0
+                assert all(
+                    bounds[i][1] == bounds[i + 1][0]
+                    for i in range(shards - 1)
+                )
+
+    def test_fewer_rows_than_shards_leaves_empty_ranges(self):
+        assert shard_bounds(2, 4) == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+
+class TestResolveShards:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARDS", raising=False)
+        assert resolve_shards(IcpConfig()) == 1
+        assert resolve_shards(None) == 1
+
+    def test_config_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "8")
+        assert resolve_shards(IcpConfig(shards=3)) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        assert resolve_shards(IcpConfig()) == 4
+
+    def test_garbage_env_means_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "many")
+        assert resolve_shards(IcpConfig()) == 1
+        monkeypatch.setenv("REPRO_SHARDS", "0")
+        assert resolve_shards(IcpConfig()) == 1
+
+    def test_negative_config_rejected(self):
+        with pytest.raises(SolverError):
+            IcpConfig(shards=0)
+        with pytest.raises(SolverError):
+            IcpConfig(shards=-2)
+
+
+# ----------------------------------------------------------------------
+# Bitwise parity with the batched solver
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case", range(len(CASES)))
+@pytest.mark.parametrize("shards", [2, 3, 4])
+def test_solve_bit_identical(case, shards):
+    constraints, region = CASES[case]
+    config = IcpConfig(delta=1e-3)
+    reference = BatchedIcpSolver(config).solve(constraints, region, NAMES)
+    solver = ShardedIcpSolver(config, shards=shards)
+    sharded = solver.solve(constraints, region, NAMES)
+    _assert_identical(sharded, reference)
+    _assert_segments_unlinked(solver)
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_solve_union_bit_identical(shards):
+    constraints = [ge(sin(X) + cos(Y), 1.9)]
+    regions = [
+        Box([Interval(-4, -1), Interval(-4, 0)]),
+        Box([Interval(-1, 2), Interval(-2, 2)]),
+        Box([Interval(2, 4), Interval(0, 4)]),
+    ]
+    config = IcpConfig(delta=1e-3)
+    reference = BatchedIcpSolver(config).solve_union(
+        constraints, regions, NAMES
+    )
+    solver = ShardedIcpSolver(config, shards=shards)
+    sharded = solver.solve_union(constraints, regions, NAMES)
+    _assert_identical(sharded, reference)
+    _assert_segments_unlinked(solver)
+
+
+def test_one_shard_never_forks():
+    solver = ShardedIcpSolver(IcpConfig(delta=1e-3), shards=1)
+    constraints, region = CASES[0]
+    reference = BatchedIcpSolver(IcpConfig(delta=1e-3)).solve(
+        constraints, region, NAMES
+    )
+    _assert_identical(solver.solve(constraints, region, NAMES), reference)
+    assert solver.last_segment_names == ()  # no team, no segments
+
+
+def test_shards_from_config_and_env(monkeypatch):
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    assert ShardedIcpSolver(IcpConfig(shards=3)).shards == 3
+    monkeypatch.setenv("REPRO_SHARDS", "2")
+    assert ShardedIcpSolver().shards == 2
+    assert ShardedIcpSolver(shards=5).shards == 5  # explicit arg wins
+
+
+def test_no_fork_platform_falls_back(monkeypatch):
+    import repro.smt.icp_sharded as mod
+
+    monkeypatch.setattr(mod, "fork_available", lambda: False)
+    solver = ShardedIcpSolver(IcpConfig(delta=1e-3), shards=4)
+    constraints, region = CASES[0]
+    reference = BatchedIcpSolver(IcpConfig(delta=1e-3)).solve(
+        constraints, region, NAMES
+    )
+    _assert_identical(solver.solve(constraints, region, NAMES), reference)
+    assert solver.last_segment_names == ()
+
+
+def test_unbounded_region_raises_without_forking():
+    solver = ShardedIcpSolver(IcpConfig(delta=1e-3), shards=2)
+    region = Box([Interval.entire(), Interval(0, 1)])
+    with pytest.raises(SolverError):
+        solver.solve([ge(X, 0.0)], region, NAMES)
+    assert solver.last_segment_names == ()
+
+
+# ----------------------------------------------------------------------
+# Cancellation + shared-memory hygiene
+# ----------------------------------------------------------------------
+
+
+class _CapturingSolver(ShardedIcpSolver):
+    """Records the live worker processes so tests can assert they die."""
+
+    captured_procs = ()
+
+    @contextlib.contextmanager
+    def _team_scope(self, constraints, names):
+        with super()._team_scope(constraints, names) as team:
+            self.captured_procs = list(team.procs)
+            yield team
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_should_stop_observed_within_one_batch_round(shards):
+    config = IcpConfig(delta=1e-6, batch_size=64)
+    polls = {"n": 0}
+
+    def stop_after_first_round():
+        polls["n"] += 1
+        return polls["n"] > 1
+
+    solver = _CapturingSolver(
+        config, should_stop=stop_after_first_round, shards=shards
+    )
+    result = solver.solve(*CASES[1][:2], NAMES)
+    assert result.verdict is Verdict.UNKNOWN
+    # Stopped right after the first frontier batch: every worker did at
+    # most one round of row work before the team was torn down.
+    assert result.stats.boxes_processed <= config.batch_size
+    assert solver.captured_procs, "expected forked workers"
+    for proc in solver.captured_procs:
+        assert not proc.is_alive()
+    _assert_segments_unlinked(solver)
+
+
+def test_immediate_stop_returns_unknown_and_cleans_up():
+    solver = _CapturingSolver(
+        IcpConfig(delta=1e-3), should_stop=lambda: True, shards=2
+    )
+    result = solver.solve(*CASES[0][:2], NAMES)
+    assert result.verdict is Verdict.UNKNOWN
+    assert result.stats.boxes_processed == 0
+    for proc in solver.captured_procs:
+        assert not proc.is_alive()
+    _assert_segments_unlinked(solver)
+
+
+def test_keyboard_interrupt_unlinks_segments():
+    polls = {"n": 0}
+
+    def raise_on_second_poll():
+        polls["n"] += 1
+        if polls["n"] > 1:
+            raise KeyboardInterrupt
+        return False
+
+    solver = _CapturingSolver(
+        IcpConfig(delta=1e-6, batch_size=64),
+        should_stop=raise_on_second_poll,
+        shards=2,
+    )
+    with pytest.raises(KeyboardInterrupt):
+        solver.solve(*CASES[1][:2], NAMES)
+    for proc in solver.captured_procs:
+        assert not proc.is_alive()
+    _assert_segments_unlinked(solver)
+
+
+def test_solver_error_mid_solve_unlinks_segments():
+    class Boom(Exception):
+        pass
+
+    class ExplodingSolver(_CapturingSolver):
+        def _prune_masks(self, tapes, constraints, batch):
+            raise Boom
+
+    solver = ExplodingSolver(IcpConfig(delta=1e-3), shards=2)
+    with pytest.raises(Boom):
+        solver.solve(*CASES[0][:2], NAMES)
+    for proc in solver.captured_procs:
+        assert not proc.is_alive()
+    _assert_segments_unlinked(solver)
