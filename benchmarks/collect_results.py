@@ -65,6 +65,12 @@ def collect(results_dir: Path = RESULTS_DIR) -> dict:
         "cold_sweep_scenarios_per_minute": _dig(
             benchmarks, "synthesis", "cold_sweep", "scenarios_per_minute"
         ),
+        "corpus_fuzz_points_per_minute": _dig(
+            benchmarks, "corpus", "full", "points_per_minute"
+        ),
+        "corpus_twin_tier_share": _dig(
+            benchmarks, "corpus", "twin_tier_share"
+        ),
     }
     return {
         "schema": 1,

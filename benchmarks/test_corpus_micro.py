@@ -1,0 +1,83 @@
+"""Corpus benchmark: fuzz throughput and per-invariant cost split.
+
+Times one deterministic fuzz rotation across the fast (non-stress)
+corpus families on the full engine matrix, then isolates the cost of
+the twin tier by re-running without it.  The headline is points/min —
+the number that decides how many samples a CI smoke run can afford.
+
+Writes ``benchmarks/results/BENCH_corpus.json``.  Acceptance bars: the
+rotation holds every invariant, and throughput stays above
+``MIN_POINTS_PER_MINUTE``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.corpus import fuzz
+
+#: one point per fast family, full engine matrix
+FAMILIES = (
+    "linear",
+    "ackermann",
+    "unicycle",
+    "vanderpol",
+    "double-integrator",
+    "dubins-nn",
+)
+SEED = 0
+MIN_POINTS_PER_MINUTE = 4.0
+
+
+def test_fuzz_throughput(emit, results_dir):
+    t0 = time.perf_counter()
+    with_twins = fuzz(samples=len(FAMILIES), seed=SEED, families=FAMILIES)
+    twins_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    without_twins = fuzz(
+        samples=len(FAMILIES), seed=SEED, families=FAMILIES, twins=False
+    )
+    base_s = time.perf_counter() - t0
+
+    assert with_twins.ok, with_twins.format()
+    assert without_twins.ok, without_twins.format()
+
+    points = len(FAMILIES)
+    rate = points / twins_s * 60.0
+    twin_share = max(0.0, twins_s - base_s) / twins_s
+
+    payload = {
+        "benchmark": "corpus fuzz throughput + twin-tier cost",
+        "families": list(FAMILIES),
+        "points": points,
+        "seed": SEED,
+        "full": {
+            "wall_seconds": round(twins_s, 4),
+            "points_per_minute": round(rate, 2),
+        },
+        "no_twins": {
+            "wall_seconds": round(base_s, 4),
+            "points_per_minute": round(points / base_s * 60.0, 2),
+        },
+        "twin_tier_share": round(twin_share, 3),
+        "min_points_per_minute_bar": MIN_POINTS_PER_MINUTE,
+    }
+    (results_dir / "BENCH_corpus.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    lines = [
+        f"corpus fuzz, {points} points (one per fast family), full matrix:",
+        f"  with twins     {twins_s:8.2f}s   {rate:8.1f} points/min",
+        f"  without twins  {base_s:8.2f}s   "
+        f"{points / base_s * 60.0:8.1f} points/min",
+        f"  twin-tier share of wall clock: {twin_share:.0%}",
+    ]
+    emit("corpus_micro", "\n".join(lines))
+
+    assert rate >= MIN_POINTS_PER_MINUTE, (
+        f"fuzz throughput {rate:.1f} points/min under the "
+        f"{MIN_POINTS_PER_MINUTE} bar"
+    )

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import importlib
 import itertools
 import math
 from dataclasses import dataclass
@@ -110,44 +111,71 @@ class ParamSpec:
         if self.kind == "choice" and not self.choices:
             raise ReproError(f"choice parameter {self.name!r} needs choices")
 
+    def bounds_text(self) -> str:
+        """Human-readable admissible range of this parameter.
+
+        ``[low, high]`` when both bounds are set, half-open forms when
+        only one is, the choice list for choice parameters, and
+        ``"unbounded"`` otherwise — so every rejection message can name
+        what *would* have been accepted.
+        """
+        if self.kind == "choice":
+            return f"one of {', '.join(self.choices)}"
+        if self.low is not None and self.high is not None:
+            return f"valid range [{self.low:g}, {self.high:g}]"
+        if self.low is not None:
+            return f"valid range [{self.low:g}, inf)"
+        if self.high is not None:
+            return f"valid range (-inf, {self.high:g}]"
+        return "unbounded"
+
     def coerce(self, value: object) -> float | int | str:
         """Validate ``value`` against this spec and return it typed.
 
         Floats are accepted for ``"int"`` parameters only when integral
         (``8.0`` coerces to ``8``; ``8.5`` raises), so grid specs like
-        ``nn_width=8:16:3`` stay exact.
+        ``nn_width=8:16:3`` stay exact.  Every rejection names the
+        offending parameter, the offending value, and the admissible
+        bounds (:meth:`bounds_text`).
         """
         if self.kind == "choice":
             value = str(value)
             if value not in self.choices:
                 raise ReproError(
-                    f"parameter {self.name!r}: {value!r} is not one of "
-                    f"{', '.join(self.choices)}"
+                    f"parameter {self.name!r}={value!r} is not "
+                    f"{self.bounds_text()}"
                 )
             return value
         try:
             number = float(value)
         except (TypeError, ValueError):
             raise ReproError(
-                f"parameter {self.name!r}: expected a number, got {value!r}"
+                f"parameter {self.name!r}: expected a number, got {value!r} "
+                f"({self.bounds_text()})"
             ) from None
         if not math.isfinite(number):
-            raise ReproError(f"parameter {self.name!r} must be finite")
+            raise ReproError(
+                f"parameter {self.name!r}={value!r} must be finite "
+                f"({self.bounds_text()})"
+            )
         if self.kind == "int":
             if not float(number).is_integer():
                 raise ReproError(
-                    f"parameter {self.name!r} must be an integer, got {value!r}"
+                    f"parameter {self.name!r}={value!r} must be an integer "
+                    f"({self.bounds_text()})"
                 )
             result: float | int = int(number)
         else:
             result = number
         if self.low is not None and number < self.low:
             raise ReproError(
-                f"parameter {self.name!r}={value!r} below minimum {self.low}"
+                f"parameter {self.name!r}={value!r} is below the minimum "
+                f"{self.low:g} ({self.bounds_text()})"
             )
         if self.high is not None and number > self.high:
             raise ReproError(
-                f"parameter {self.name!r}={value!r} above maximum {self.high}"
+                f"parameter {self.name!r}={value!r} is above the maximum "
+                f"{self.high:g} ({self.bounds_text()})"
             )
         return result
 
@@ -443,6 +471,25 @@ class ScenarioFamily:
 # ----------------------------------------------------------------------
 _FAMILIES: dict[str, ScenarioFamily] = {}
 
+#: extension modules whose import registers additional families
+_EXTRA_FAMILY_MODULES = ("repro.corpus.families",)
+_extras_loaded = False
+
+
+def _load_extra_families() -> None:
+    """Import extension family modules once (they register on import).
+
+    Deferred to the first registry *read* — not done at module import —
+    because the extension modules import :class:`ScenarioFamily` and
+    :func:`register_family` from here, and an eager import would cycle.
+    """
+    global _extras_loaded
+    if _extras_loaded:
+        return
+    _extras_loaded = True
+    for module in _EXTRA_FAMILY_MODULES:
+        importlib.import_module(module)
+
 
 def register_family(
     family: ScenarioFamily, replace: bool = False
@@ -467,6 +514,7 @@ def unregister_family(name: str) -> None:
 
 def get_family(name: str) -> ScenarioFamily:
     """Look up a registered family by name."""
+    _load_extra_families()
     try:
         return _FAMILIES[name]
     except KeyError:
@@ -478,11 +526,13 @@ def get_family(name: str) -> ScenarioFamily:
 
 def family_names() -> tuple[str, ...]:
     """Registered family names, sorted."""
+    _load_extra_families()
     return tuple(sorted(_FAMILIES))
 
 
 def list_families() -> tuple[ScenarioFamily, ...]:
     """All registered families, sorted by name."""
+    _load_extra_families()
     return tuple(_FAMILIES[name] for name in sorted(_FAMILIES))
 
 

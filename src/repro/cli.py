@@ -26,6 +26,11 @@ falsify   simulation-based falsification baseline on the same problem
 table1    regenerate Table 1 (``--families`` appends family rows)
 figure4   regenerate Figure 4's training-evolution metrics
 figure5   regenerate Figure 5 (phase portrait, ASCII)
+fuzz      differential fuzz of the scenario-family corpus: sampled
+          parameter points checked for cross-engine verdict agreement,
+          cache-key stability, artifact JSON round-trips, and twin
+          expected-verdict conformance; failures shrink to minimal
+          reproducers under ``tests/corpus/regressions/``
 
 ``verify``, ``batch``, ``sweep``, and ``table1`` accept ``--engine`` to
 pick the solver stack (``repro engines`` lists them; default
@@ -392,6 +397,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig5 = sub.add_parser("figure5", help="regenerate Figure 5 (ASCII)")
     p_fig5.add_argument("--neurons", type=int, default=10)
     p_fig5.add_argument("--seed", type=int, default=0)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential fuzz of the scenario-family corpus"
+    )
+    p_fuzz.add_argument(
+        "--samples", type=int, default=50, help="parameter points to check"
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (reproducible)"
+    )
+    p_fuzz.add_argument(
+        "--families",
+        nargs="+",
+        default=None,
+        metavar="FAMILY",
+        help="restrict the rotation (default: every registered family)",
+    )
+    p_fuzz.add_argument(
+        "--engines",
+        nargs="+",
+        default=None,
+        metavar="ENGINE",
+        help="engines to cross-check (default: native batched-icp "
+        "sharded-icp portfolio)",
+    )
+    p_fuzz.add_argument(
+        "--no-twins",
+        action="store_true",
+        help="skip the twin expected-verdict invariant",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures at the sampled point without minimising",
+    )
+    p_fuzz.add_argument(
+        "--regressions",
+        default="tests/corpus/regressions",
+        help="directory reproducers are written to on failure "
+        "(default: %(default)s)",
+    )
+    p_fuzz.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    p_fuzz.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress"
+    )
     return parser
 
 
@@ -927,6 +979,29 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .corpus import DEFAULT_ENGINES, fuzz
+
+    progress = None if (args.quiet or args.json) else print
+    report = fuzz(
+        samples=args.samples,
+        seed=args.seed,
+        families=tuple(args.families) if args.families else None,
+        engines=tuple(args.engines) if args.engines else DEFAULT_ENGINES,
+        twins=not args.no_twins,
+        shrink=not args.no_shrink,
+        regressions_dir=args.regressions,
+        progress=progress,
+    )
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "families": _cmd_families,
@@ -946,6 +1021,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "figure4": _cmd_figure4,
     "figure5": _cmd_figure5,
+    "fuzz": _cmd_fuzz,
 }
 
 

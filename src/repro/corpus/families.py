@@ -1,0 +1,449 @@
+"""The corpus families: six parameterized workloads beyond the builtins.
+
+Registered alongside the five builtin families of
+:mod:`repro.api.family` (the family registry loads this module lazily,
+so ``repro families`` always sees them):
+
+``ackermann``          lane keeping with Ackermann steering geometry —
+                       the rational curvature correction exercises
+                       interval extended division
+``unicycle``           unicycle in a corridor with exponential
+                       obstacle fields at the walls
+``quadrotor``          near-hover planar quadrotor (stress: capped
+                       budget, expect ``no-candidate``)
+``dubins-nn``          the paper's Dubins workload across controller
+                       width *and hidden activation* (tansig/logsig)
+``vanderpol``          reversed Van der Pol across the nonlinearity
+                       strength ``mu``
+``double-integrator``  double integrator across linear feedback gains
+
+Every closed loop is built through :func:`repro.dynamics.compose`, so
+each system carries both scalar and batch numeric forms — all engines
+apply.  System builders are module-level (picklable into sweep/batch
+worker processes) and fingerprint distinctly in the artifact store.
+
+The ``dubins-nn`` logsig variant realizes the *identical* odd control
+law as its tansig twin via ``2·sigma(2x) - 1 = tanh(x)`` (input and
+output weights doubled, output bias ``-sum(w2)/2``) — same closed loop,
+different expression tree through the solvers.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from ..barrier import Rectangle, RectangleComplement, SynthesisConfig
+from ..dynamics import (
+    ContinuousSystem,
+    ackermann_plant,
+    compose,
+    error_dynamics_system,
+    linear_plant,
+    planar_quadrotor_plant,
+    unicycle_plant,
+    van_der_pol_system,
+)
+from ..nn import FeedforwardNetwork, Layer
+from ..smt import IcpConfig
+from ..api.family import (
+    ParamSpec,
+    ScenarioFamily,
+    format_param_value,
+    register_family,
+)
+from ..api.scenario import Scenario
+
+__all__ = [
+    "CORPUS_FAMILY_NAMES",
+    "register_corpus_families",
+]
+
+#: the family names this module registers
+CORPUS_FAMILY_NAMES = (
+    "ackermann",
+    "double-integrator",
+    "dubins-nn",
+    "quadrotor",
+    "unicycle",
+    "vanderpol",
+)
+
+
+# ----------------------------------------------------------------------
+# System builders (module-level: picklable)
+# ----------------------------------------------------------------------
+def _saturating_gain_network(
+    gains: "list[float]", limit: float
+) -> FeedforwardNetwork:
+    """``u = -limit * tanh((k . x) / limit)`` — the paper's saturating-
+    proportional construction for an arbitrary gain row."""
+    row = np.asarray([gains], dtype=float)
+    return FeedforwardNetwork(
+        [
+            Layer(row / limit, np.zeros(1), "tansig"),
+            Layer(np.array([[-limit]]), np.zeros(1), "linear"),
+        ]
+    )
+
+
+def _ackermann_system(
+    speed: float, wheelbase: float, track: float, max_steer: float = 0.4
+) -> ContinuousSystem:
+    """Ackermann-geometry lane keeping + saturating tansig steering NN."""
+    plant = ackermann_plant(speed=speed, wheelbase=wheelbase, track=track)
+    network = _saturating_gain_network([0.5, 1.2], max_steer)
+    return compose(plant, network, name="ackermann+lane-keep-nn")
+
+
+def _unicycle_system(
+    speed: float,
+    corridor: float,
+    field_gain: float,
+    field_sharpness: float,
+    max_rate: float = 1.0,
+) -> ContinuousSystem:
+    """Corridor unicycle + saturating tansig turn-rate NN."""
+    plant = unicycle_plant(
+        speed=speed,
+        corridor=corridor,
+        field_gain=field_gain,
+        field_sharpness=field_sharpness,
+    )
+    network = _saturating_gain_network([0.8, 1.6], max_rate)
+    return compose(plant, network, name="unicycle+corridor-nn")
+
+
+def _quadrotor_system(
+    inertia: float, max_torque: float, gravity: float = 9.81
+) -> ContinuousSystem:
+    """Planar quadrotor + saturating tansig attitude/translation NN.
+
+    Gains ``(k_v, k_theta, k_omega) = (-0.8, 6.0, 1.2)``: the torque
+    must drive roll *toward* the lateral velocity (``vy' = -g tan th``),
+    hence the negative velocity gain; the closed-loop linearization is
+    Hurwitz for every inertia in the family's range.
+    """
+    plant = planar_quadrotor_plant(inertia=inertia, gravity=gravity)
+    network = _saturating_gain_network([-0.8, 6.0, 1.2], max_torque)
+    return compose(plant, network, name="quadrotor+attitude-nn")
+
+
+def _dubins_nn_system(
+    nn_width: int,
+    activation: str,
+    speed: float,
+    squash: float = 0.25,
+    d_gain: float = 0.6,
+    theta_gain: float = 2.0,
+) -> ContinuousSystem:
+    """Dubins error dynamics under a width/activation-varied controller.
+
+    The first ``nn_width // 2`` hidden units read the cross-track error,
+    the rest the heading error; output weights normalize so the small-
+    signal law is ``u = -(d_gain * d + theta_gain * theta)`` regardless
+    of width.  ``logsig`` realizes the identical odd law through
+    ``2 sigma(2x) - 1 = tanh(x)``.
+    """
+    n_d = nn_width // 2
+    n_t = nn_width - n_d
+    w1 = np.zeros((nn_width, 2))
+    w2 = np.zeros((1, nn_width))
+    b2 = np.zeros(1)
+    w1[:n_d, 0] = squash
+    w1[n_d:, 1] = squash
+    w2[0, :n_d] = d_gain / (squash * n_d)
+    w2[0, n_d:] = theta_gain / (squash * n_t)
+    if activation == "logsig":
+        w1 = w1 * 2.0
+        w2 = w2 * 2.0
+        b2[0] = -float(w2.sum()) / 2.0
+    network = FeedforwardNetwork(
+        [
+            Layer(w1, np.zeros(nn_width), activation),
+            Layer(w2, b2, "linear"),
+        ]
+    )
+    return error_dynamics_system(network, speed=speed)
+
+
+def _double_integrator_system(k1: float, k2: float) -> ContinuousSystem:
+    """Double integrator closed with ``u = -k1 x0 - k2 x1``."""
+    plant = linear_plant(
+        np.array([[0.0, 1.0], [0.0, 0.0]]), np.array([[0.0], [1.0]])
+    )
+    network = FeedforwardNetwork(
+        [Layer(np.array([[-k1, -k2]]), np.zeros(1), "linear")]
+    )
+    return compose(plant, network, name="double-integrator+nn")
+
+
+# ----------------------------------------------------------------------
+# Scenario factories
+# ----------------------------------------------------------------------
+def _ackermann_family(speed: float, wheelbase: float, track: float) -> Scenario:
+    return Scenario(
+        name="ackermann",
+        description=(
+            f"Ackermann-geometry lane keeping, speed "
+            f"{format_param_value(speed)}, wheelbase "
+            f"{format_param_value(wheelbase)}, track "
+            f"{format_param_value(track)}"
+        ),
+        system_factory=functools.partial(
+            _ackermann_system, speed=speed, wheelbase=wheelbase, track=track
+        ),
+        initial_set=Rectangle([-0.2, -0.15], [0.2, 0.15]),
+        unsafe_set=RectangleComplement(Rectangle([-1.5, -0.8], [1.5, 0.8])),
+        tags=("family", "corpus"),
+    )
+
+
+def _unicycle_family(
+    speed: float, corridor: float, field_gain: float, field_sharpness: float
+) -> Scenario:
+    # The corridor walls *are* the unsafe boundary in ey.
+    return Scenario(
+        name="unicycle",
+        description=(
+            f"Corridor unicycle with wall obstacle fields, speed "
+            f"{format_param_value(speed)}, half-width "
+            f"{format_param_value(corridor)}, field gain "
+            f"{format_param_value(field_gain)}"
+        ),
+        system_factory=functools.partial(
+            _unicycle_system,
+            speed=speed,
+            corridor=corridor,
+            field_gain=field_gain,
+            field_sharpness=field_sharpness,
+        ),
+        initial_set=Rectangle([-0.2, -0.15], [0.2, 0.15]),
+        unsafe_set=RectangleComplement(
+            Rectangle([-corridor, -0.9], [corridor, 0.9])
+        ),
+        tags=("family", "corpus"),
+    )
+
+
+def _quadrotor_family(inertia: float, max_torque: float) -> Scenario:
+    return Scenario(
+        name="quadrotor",
+        description=(
+            f"Planar quadrotor near hover, inertia "
+            f"{format_param_value(inertia)}, torque cap "
+            f"{format_param_value(max_torque)} "
+            "(capped budget: expect no-candidate)"
+        ),
+        system_factory=functools.partial(
+            _quadrotor_system, inertia=inertia, max_torque=max_torque
+        ),
+        initial_set=Rectangle([-0.1, -0.02, -0.02], [0.1, 0.02, 0.02]),
+        unsafe_set=RectangleComplement(
+            Rectangle([-1.0, -0.25, -1.0], [1.0, 0.25, 1.0])
+        ),
+        # Like cartpole, the saturated gravity cascade defeats quadratic
+        # templates — cap the budget so the family fails *fast* and
+        # deterministically instead of grinding the ICP for minutes.
+        config=SynthesisConfig(
+            num_seed_traces=6,
+            icp=IcpConfig(delta=1e-2, max_boxes=10_000, time_limit=1.0),
+            max_candidate_iterations=1,
+            max_levelset_iterations=1,
+        ),
+        tags=("family", "corpus", "stress"),
+    )
+
+
+def _dubins_nn_family(nn_width: int, activation: str, speed: float) -> Scenario:
+    from ..api.scenario import GAMMA, paper_initial_set, paper_unsafe_set
+
+    return Scenario(
+        name="dubins-nn",
+        description=(
+            f"Dubins error dynamics, width-{nn_width} {activation} "
+            f"controller, speed {format_param_value(speed)}"
+        ),
+        system_factory=functools.partial(
+            _dubins_nn_system,
+            nn_width=nn_width,
+            activation=activation,
+            speed=speed,
+        ),
+        initial_set=paper_initial_set(),
+        unsafe_set=paper_unsafe_set(),
+        config=SynthesisConfig(gamma=GAMMA),
+        tags=("paper", "family", "corpus"),
+    )
+
+
+def _vanderpol_family(mu: float) -> Scenario:
+    return Scenario(
+        name="vanderpol",
+        description=(
+            f"Reversed Van der Pol oscillator, mu {format_param_value(mu)}"
+        ),
+        system_factory=functools.partial(
+            van_der_pol_system, mu=mu, reversed_time=True
+        ),
+        initial_set=Rectangle([-0.15, -0.15], [0.15, 0.15]),
+        unsafe_set=RectangleComplement(Rectangle([-0.9, -0.9], [0.9, 0.9])),
+        tags=("family", "corpus"),
+    )
+
+
+def _double_integrator_family(k1: float, k2: float) -> Scenario:
+    return Scenario(
+        name="double-integrator",
+        description=(
+            f"Double integrator under u = -{format_param_value(k1)} x0 "
+            f"- {format_param_value(k2)} x1"
+        ),
+        system_factory=functools.partial(_double_integrator_system, k1, k2),
+        initial_set=Rectangle([-0.2, -0.2], [0.2, 0.2]),
+        unsafe_set=RectangleComplement(Rectangle([-1.5, -1.5], [1.5, 1.5])),
+        tags=("family", "corpus"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+def register_corpus_families() -> None:
+    """Register the six corpus families (idempotent)."""
+    register_family(
+        ScenarioFamily(
+            name="ackermann",
+            description="Ackermann-geometry lane keeping across speed, "
+            "wheelbase, and track width (rational steering correction)",
+            factory=_ackermann_family,
+            parameters=(
+                ParamSpec(
+                    "speed", "float", default=1.0, low=0.25, high=3.0,
+                    description="longitudinal speed V",
+                ),
+                ParamSpec(
+                    "wheelbase", "float", default=1.0, low=0.5, high=3.0,
+                    description="wheelbase L",
+                ),
+                ParamSpec(
+                    "track", "float", default=0.8, low=0.4, high=1.0,
+                    description="track width (rational correction strength)",
+                ),
+            ),
+            tags=("corpus",),
+        ),
+        replace=True,
+    )
+    register_family(
+        ScenarioFamily(
+            name="unicycle",
+            description="Unicycle in an obstacle-field corridor across "
+            "speed, corridor half-width, and field gain/sharpness",
+            factory=_unicycle_family,
+            parameters=(
+                ParamSpec(
+                    "speed", "float", default=1.0, low=0.25, high=3.0,
+                    description="forward speed V",
+                ),
+                ParamSpec(
+                    "corridor", "float", default=1.5, low=1.0, high=2.5,
+                    description="corridor half-width (the unsafe ey bound)",
+                ),
+                ParamSpec(
+                    "field_gain", "float", default=0.5, low=0.0, high=1.5,
+                    description="obstacle-field repulsion gain",
+                ),
+                ParamSpec(
+                    "field_sharpness", "float", default=2.0, low=0.5, high=4.0,
+                    description="obstacle-field exponential sharpness",
+                ),
+            ),
+            tags=("corpus",),
+        ),
+        replace=True,
+    )
+    register_family(
+        ScenarioFamily(
+            name="quadrotor",
+            description="Planar quadrotor near-hover stress workload "
+            "across inertia and torque cap (capped budget)",
+            factory=_quadrotor_family,
+            parameters=(
+                ParamSpec(
+                    "inertia", "float", default=0.1, low=0.05, high=0.2,
+                    description="roll inertia J",
+                ),
+                ParamSpec(
+                    "max_torque", "float", default=1.0, low=0.5, high=2.0,
+                    description="differential-torque saturation",
+                ),
+            ),
+            tags=("corpus", "stress"),
+        ),
+        replace=True,
+    )
+    register_family(
+        ScenarioFamily(
+            name="dubins-nn",
+            description="Paper workload across controller width and "
+            "hidden activation (tansig/logsig realize the same odd law)",
+            factory=_dubins_nn_family,
+            parameters=(
+                ParamSpec(
+                    "nn_width", "int", default=8, low=2, high=64,
+                    description="hidden-layer width",
+                ),
+                ParamSpec(
+                    "activation", "choice", default="tansig",
+                    choices=("tansig", "logsig"),
+                    description="hidden activation",
+                ),
+                ParamSpec(
+                    "speed", "float", default=1.0, low=0.5, high=2.0,
+                    description="constant vehicle speed V",
+                ),
+            ),
+            tags=("paper", "corpus"),
+        ),
+        replace=True,
+    )
+    register_family(
+        ScenarioFamily(
+            name="vanderpol",
+            description="Reversed Van der Pol across the nonlinearity "
+            "strength mu",
+            factory=_vanderpol_family,
+            parameters=(
+                ParamSpec(
+                    "mu", "float", default=1.0, low=0.25, high=2.5,
+                    description="Van der Pol nonlinearity strength",
+                ),
+            ),
+            tags=("corpus",),
+        ),
+        replace=True,
+    )
+    register_family(
+        ScenarioFamily(
+            name="double-integrator",
+            description="Double integrator across linear feedback gains",
+            factory=_double_integrator_family,
+            parameters=(
+                ParamSpec(
+                    "k1", "float", default=1.0, low=0.25, high=3.0,
+                    description="position gain",
+                ),
+                ParamSpec(
+                    "k2", "float", default=1.6, low=0.5, high=3.0,
+                    description="velocity gain",
+                ),
+            ),
+            tags=("corpus",),
+        ),
+        replace=True,
+    )
+
+
+register_corpus_families()

@@ -1,0 +1,241 @@
+"""Twin generation: structured mutations with known expected verdicts.
+
+A *twin* is a perturbed variant of a scenario derived by one structured
+mutation, carrying the verdict the mutation's math guarantees — the
+metamorphic-testing oracle the fuzz harness checks engines against.
+
+Verdict-preserving mutations (a ``verified`` base must stay verified):
+
+``tighten-initial``   shrink the initial set about its center — fewer
+                      starting states, same certificate works.  The
+                      shrink is gentle (0.75): condition (5) is checked
+                      on ``D \\ X0``, so shrinking ``X0`` *exposes* a
+                      shell near the equilibrium where the field slows
+                      to zero; too aggressive a shrink pushes that
+                      shell inside the ICP's delta-weakening and every
+                      candidate gets a spurious counterexample
+``loosen-unsafe``     inflate the safe box while pinning the search
+                      domain to the *original* safe rectangle — the
+                      unsafe set shrinks, and the base certificate
+                      witnesses the twin verbatim: same domain for
+                      condition (5), same initial set, strictly smaller
+                      unsafe set.  (Without pinning, the domain would
+                      grow into territory the base never had to satisfy
+                      condition (5) on — e.g. toward the van der Pol
+                      unstable limit cycle — flipping the verdict.)
+``scale-dynamics``    ``f -> c f`` with ``c > 1`` — trajectories trace
+                      the same paths faster, and any barrier with
+                      ``dB/dt <= -gamma`` gives ``c dB/dt <= -c gamma
+                      <= -gamma``
+
+Verdict-flipping mutations (a ``verified`` base must NOT verify):
+
+``swap-sets``         the initial set inflates to (almost) fill the
+                      safe box — any quadratic sublevel set containing
+                      the filled box's corners must poke through a face
+                      of the safe box (in >= 2 dimensions), so no
+                      quadratic-template certificate can separate it
+                      from the unsafe set
+``reverse-field``     ``f -> -f`` — the attractor becomes a repeller;
+                      seed trajectories flow outward into the unsafe
+                      set
+
+Twins deliberately drop the base's ``(family, params)`` cache identity:
+their sets/dynamics differ from the base, so they fingerprint by
+name + sets + factory in the artifact store (never colliding with the
+base's cached runs).  Mutated system factories are ``functools.partial``
+over module-level functions, keeping twins picklable into worker
+processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from dataclasses import dataclass
+
+from ..barrier import Rectangle, RectangleComplement
+from ..dynamics import ContinuousSystem
+from ..errors import ReproError
+from ..api.scenario import Scenario
+
+__all__ = [
+    "FLIPPING_MUTATIONS",
+    "MUTATIONS",
+    "PRESERVING_MUTATIONS",
+    "Twin",
+    "conforms",
+    "generate_twins",
+    "mutate",
+]
+
+#: mutations that must keep a ``verified`` base verified
+PRESERVING_MUTATIONS = (
+    "tighten-initial",
+    "loosen-unsafe",
+    "scale-dynamics",
+)
+#: mutations that must flip a ``verified`` base to not-verified
+FLIPPING_MUTATIONS = ("swap-sets", "reverse-field")
+#: every mutation, preserving first
+MUTATIONS = PRESERVING_MUTATIONS + FLIPPING_MUTATIONS
+
+#: shrink factor of ``tighten-initial``
+TIGHTEN_FACTOR = 0.75
+#: inflation factor of ``loosen-unsafe``
+LOOSEN_FACTOR = 1.25
+#: time-scale factor of ``scale-dynamics``
+SCALE_FACTOR = 2.0
+#: fraction of the safe box the swapped initial set fills
+SWAP_FILL = 0.98
+
+
+@dataclass(frozen=True)
+class Twin:
+    """One derived scenario plus its expected-verdict metadata."""
+
+    #: twin scenario name (``base::twin[mutation]``)
+    name: str
+    #: the base scenario's name
+    base: str
+    #: mutation registry key (see :data:`MUTATIONS`)
+    mutation: str
+    #: ``"verified"`` or ``"not-verified"``
+    expected: str
+    scenario: Scenario
+
+    @property
+    def preserving(self) -> bool:
+        """True when the mutation is verdict-preserving."""
+        return self.mutation in PRESERVING_MUTATIONS
+
+
+def _scale_rectangle(rect: Rectangle, factor: float) -> Rectangle:
+    """Scale a rectangle about its center."""
+    lower = rect.lower
+    upper = rect.upper
+    center = [(lo + hi) / 2.0 for lo, hi in zip(lower, upper)]
+    half = [(hi - lo) / 2.0 * factor for lo, hi in zip(lower, upper)]
+    return Rectangle(
+        [c - h for c, h in zip(center, half)],
+        [c + h for c, h in zip(center, half)],
+    )
+
+
+def _scaled_system(base_factory, factor: float) -> ContinuousSystem:
+    """``x' = factor * f(x)`` over the base factory's system.
+
+    Module-level so twin factories (``functools.partial`` over this)
+    pickle and fingerprint deterministically; the numeric overrides wrap
+    the base system's own fast paths.
+    """
+    base = base_factory()
+
+    def numeric(x):
+        return factor * base.f(x)
+
+    def numeric_batch(states):
+        return factor * base.f_vectorized(states)
+
+    return ContinuousSystem(
+        state_names=base.state_names,
+        field_exprs=[factor * e for e in base.field_exprs],
+        numeric_override=numeric,
+        numeric_batch_override=numeric_batch,
+        name=f"{base.name}*{factor:g}",
+    )
+
+
+def mutate(scenario: Scenario, mutation: str) -> Scenario:
+    """Apply one named mutation to a scenario.
+
+    The result is renamed ``<base>::twin[<mutation>]`` and stripped of
+    the base's family identity so the artifact-store fingerprint falls
+    back to name + sets + factory (twins never alias their base's cache
+    entries).
+    """
+    safe = scenario.unsafe_set.safe_rectangle
+    if mutation == "tighten-initial":
+        changes: dict = {
+            "initial_set": _scale_rectangle(scenario.initial_set, TIGHTEN_FACTOR)
+        }
+    elif mutation == "loosen-unsafe":
+        changes = {
+            "unsafe_set": RectangleComplement(
+                _scale_rectangle(safe, LOOSEN_FACTOR)
+            ),
+            # pin condition (5)'s search region to the base domain; the
+            # enlarged complement would otherwise grow it into territory
+            # the base certificate never covered
+            "domain": scenario.domain if scenario.domain is not None else safe,
+        }
+    elif mutation == "scale-dynamics":
+        changes = {
+            "system_factory": functools.partial(
+                _scaled_system, scenario.system_factory, SCALE_FACTOR
+            )
+        }
+    elif mutation == "swap-sets":
+        changes = {
+            "initial_set": _scale_rectangle(safe, SWAP_FILL)
+        }
+    elif mutation == "reverse-field":
+        changes = {
+            "system_factory": functools.partial(
+                _scaled_system, scenario.system_factory, -1.0
+            )
+        }
+    else:
+        known = ", ".join(MUTATIONS)
+        raise ReproError(f"unknown mutation {mutation!r} (mutations: {known})")
+    return dataclasses.replace(
+        scenario,
+        name=f"{scenario.name}::twin[{mutation}]",
+        description=f"{mutation} twin of {scenario.name}",
+        family=None,
+        family_params=(),
+        **changes,
+    )
+
+
+def generate_twins(
+    scenario: Scenario, mutations: "tuple[str, ...] | None" = None
+) -> tuple[Twin, ...]:
+    """Derive the twin set of a scenario (all mutations by default).
+
+    Expected verdicts assume the *base* verifies — callers should only
+    check conformance of twins whose base run returned ``verified``
+    (:func:`repro.corpus.fuzz.check_point` does exactly that).
+    """
+    twins = []
+    for mutation in mutations or MUTATIONS:
+        derived = mutate(scenario, mutation)
+        expected = (
+            "verified" if mutation in PRESERVING_MUTATIONS else "not-verified"
+        )
+        twins.append(
+            Twin(
+                name=derived.name,
+                base=scenario.name,
+                mutation=mutation,
+                expected=expected,
+                scenario=derived,
+            )
+        )
+    return tuple(twins)
+
+
+def conforms(twin: Twin, status: str) -> "bool | None":
+    """Does an observed run status conform to the twin's expectation?
+
+    Returns ``None`` ("no verdict, skip") when a preserving twin came
+    back ``inconclusive`` — a budget ran out, which is machine-dependent
+    and neither confirms nor refutes the expectation.  Flipping twins
+    conform to *any* non-verified status: a sound procedure can never
+    verify them, budget or no budget.
+    """
+    if twin.expected == "verified":
+        if status == "inconclusive":
+            return None
+        return status == "verified"
+    return status != "verified"

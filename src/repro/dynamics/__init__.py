@@ -9,12 +9,15 @@ from .errors_dynamics import (
     numeric_error_field,
 )
 from .library import (
+    ackermann_plant,
     cartpole_plant,
     dubins_error_plant,
     inverted_pendulum_plant,
     kinematic_bicycle_plant,
     linear_plant,
+    planar_quadrotor_plant,
     stable_linear_system,
+    unicycle_plant,
     van_der_pol_system,
 )
 from .path import (
@@ -34,6 +37,7 @@ __all__ = [
     "Plant",
     "STATE_NAMES",
     "StraightLinePath",
+    "ackermann_plant",
     "cartpole_plant",
     "compose",
     "dubins_error_plant",
@@ -44,6 +48,8 @@ __all__ = [
     "kinematic_bicycle_plant",
     "linear_plant",
     "numeric_error_field",
+    "planar_quadrotor_plant",
     "stable_linear_system",
+    "unicycle_plant",
     "van_der_pol_system",
 ]

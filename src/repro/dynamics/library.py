@@ -14,18 +14,21 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import ReproError
-from ..expr import Expr, cos, sin, tan, var
+from ..expr import Expr, cos, exp, sin, tan, var
 from .closed_loop import Plant
 from .errors_dynamics import error_field_exprs
 from .system import ContinuousSystem
 
 __all__ = [
+    "ackermann_plant",
     "cartpole_plant",
     "dubins_error_plant",
     "inverted_pendulum_plant",
     "kinematic_bicycle_plant",
     "linear_plant",
+    "planar_quadrotor_plant",
     "stable_linear_system",
+    "unicycle_plant",
     "van_der_pol_system",
 ]
 
@@ -254,6 +257,112 @@ def cartpole_plant(
         input_names=["force"],
         field_exprs=exprs,
         name="cartpole",
+    )
+
+
+def ackermann_plant(
+    speed: float = 1.0, wheelbase: float = 1.0, track: float = 0.8
+) -> Plant:
+    """Lane-keeping error dynamics with Ackermann steering geometry.
+
+    The kinematic bicycle collapses both front wheels into one; Ackermann
+    geometry keeps the finite track width ``w``, so the effective path
+    curvature of the outer-wheel steering angle ``delta`` picks up a
+    rational correction:
+
+    ``ey'   = V sin(epsi)``,
+    ``epsi' = (V / L) tan(delta) / (1 + (w / 2L) tan(delta))``.
+
+    The quotient exercises interval extended division on the closed
+    loop.  A saturating NN controller keeps ``delta`` well inside
+    ``(-pi/2, pi/2)`` and far from the denominator's pole at
+    ``tan(delta) = -2L/w``.
+    """
+    if speed <= 0 or wheelbase <= 0:
+        raise ReproError("speed and wheelbase must be positive")
+    if track <= 0 or track >= 2.0 * wheelbase:
+        raise ReproError("track must satisfy 0 < track < 2*wheelbase")
+    epsi, delta = var("epsi"), var("delta")
+    ratio = track / (2.0 * wheelbase)
+    exprs = [
+        speed * sin(epsi),
+        (speed / wheelbase) * tan(delta) / (1.0 + ratio * tan(delta)),
+    ]
+    return Plant(
+        state_names=["ey", "epsi"],
+        input_names=["delta"],
+        field_exprs=exprs,
+        name="ackermann",
+    )
+
+
+def unicycle_plant(
+    speed: float = 1.0,
+    corridor: float = 1.5,
+    field_gain: float = 0.5,
+    field_sharpness: float = 2.0,
+) -> Plant:
+    """Unicycle heading-error dynamics inside an obstacle-lined corridor.
+
+    States are the lateral offset ``ey`` and heading error ``etheta``;
+    the turn rate ``u`` is the input.  Walls at ``ey = ±corridor`` exert
+    an exponential repulsive field on the heading —
+
+    ``ey'     = V sin(etheta)``,
+    ``etheta' = u - g (exp(-a (w - ey)) - exp(-a (w + ey)))``
+
+    with gain ``g``, sharpness ``a``, and half-width ``w`` — the field
+    steers the vehicle away from whichever wall is nearer and vanishes
+    on the centerline.  ``field_gain=0`` recovers the plain unicycle.
+    """
+    if speed <= 0 or corridor <= 0:
+        raise ReproError("speed and corridor must be positive")
+    if field_gain < 0 or field_sharpness <= 0:
+        raise ReproError("field_gain must be >= 0 and field_sharpness > 0")
+    ey, etheta, u = var("ey"), var("etheta"), var("u")
+    g, a, w = field_gain, field_sharpness, corridor
+    field = -g * (exp(-a * (w - ey)) - exp(-a * (w + ey)))
+    exprs = [speed * sin(etheta), u + field]
+    return Plant(
+        state_names=["ey", "etheta"],
+        input_names=["u"],
+        field_exprs=exprs,
+        name="unicycle",
+    )
+
+
+def planar_quadrotor_plant(
+    inertia: float = 0.1, gravity: float = 9.81
+) -> Plant:
+    """Near-hover planar quadrotor: lateral translation + attitude.
+
+    The standard planar (2-D) quadrotor reduced about hover with thrust
+    trimmed to weight: states are the lateral velocity ``vy``, roll
+    ``theta``, and roll rate ``omega``; the differential rotor torque
+    is the input.
+
+    ``vy'    = -g tan(theta)``,
+    ``theta' = omega``,
+    ``omega' = torque / J``.
+
+    Gravity makes the translational channel a destabilizing
+    double-integrator cascade through ``tan`` — like the cart-pole, a
+    quadratic template cannot certify the saturated closed loop, so
+    registered scenarios cap the solver budget (a stress workload).
+    """
+    if inertia <= 0:
+        raise ReproError("inertia must be positive")
+    theta, omega, torque = var("theta"), var("omega"), var("torque")
+    exprs = [
+        -gravity * tan(theta),
+        omega,
+        (1.0 / inertia) * torque,
+    ]
+    return Plant(
+        state_names=["vy", "theta", "omega"],
+        input_names=["torque"],
+        field_exprs=exprs,
+        name="planar-quadrotor",
     )
 
 

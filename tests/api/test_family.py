@@ -40,9 +40,9 @@ class TestParamSpec:
 
     def test_bounds_enforced(self):
         spec = ParamSpec("speed", "float", low=0.5, high=2.0)
-        with pytest.raises(ReproError, match="below minimum"):
+        with pytest.raises(ReproError, match="below the minimum"):
             spec.coerce(0.1)
-        with pytest.raises(ReproError, match="above maximum"):
+        with pytest.raises(ReproError, match="above the maximum"):
             spec.coerce(3.0)
 
     def test_choice_validation(self):

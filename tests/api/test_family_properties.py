@@ -1,0 +1,170 @@
+"""Property-based tests for ScenarioFamily grid/sample/mini-language.
+
+Hypothesis sweeps the parameter machinery the fuzz harness leans on:
+the ``lo:hi:count`` / comma-list grid mini-language, `grid`'s
+cartesian expansion, `sample`'s bounds discipline, and the canonical
+point-name scheme the artifact store keys off.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.api import get_family
+from repro.api.family import format_param_value, parse_grid_values
+from repro.errors import ReproError
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+# ----------------------------------------------------------------------
+# parse_grid_values — the grid mini-language
+# ----------------------------------------------------------------------
+class TestParseGridValues:
+    @given(
+        lo=finite_floats,
+        hi=finite_floats,
+        count=st.integers(min_value=1, max_value=25),
+    )
+    def test_range_spec_roundtrip(self, lo, hi, count):
+        values = parse_grid_values(f"{lo!r}:{hi!r}:{count}")
+        assert len(values) == count
+        assert values[0] == pytest.approx(lo)
+        if count > 1:
+            assert values[-1] == pytest.approx(hi)
+            steps = [b - a for a, b in zip(values, values[1:])]
+            assert all(
+                step == pytest.approx(steps[0], abs=1e-6) for step in steps
+            )
+
+    @given(st.lists(finite_floats, min_size=1, max_size=8))
+    def test_comma_list_roundtrip(self, values):
+        text = ",".join(repr(v) for v in values)
+        parsed = parse_grid_values(text)
+        assert parsed == pytest.approx(values)
+
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(
+                    whitelist_categories=("Ll",), whitelist_characters="_"
+                ),
+                min_size=1,
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_non_numeric_tokens_stay_strings(self, tokens):
+        parsed = parse_grid_values(",".join(tokens))
+        assert parsed == tokens
+
+    @pytest.mark.parametrize(
+        "bad", ["", "1:2", "1:2:3:4", "a:b:3", "1:2:0", "1,,2"]
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(ReproError):
+            parse_grid_values(bad)
+
+
+# ----------------------------------------------------------------------
+# grid — cartesian expansion
+# ----------------------------------------------------------------------
+class TestGrid:
+    @given(
+        n_damping=st.integers(min_value=1, max_value=5),
+        n_rotation=st.integers(min_value=1, max_value=5),
+    )
+    def test_grid_size_is_the_product(self, n_damping, n_rotation):
+        family = get_family("linear")
+        points = family.grid(
+            {
+                "damping": f"0.2:0.8:{n_damping}",
+                "rotation": f"0.5:1.5:{n_rotation}",
+            }
+        )
+        assert len(points) == n_damping * n_rotation
+        names = {family.scenario_name(p) for p in points}
+        assert len(names) == len(points)
+
+    @given(count=st.integers(min_value=1, max_value=6))
+    def test_point_names_stable_under_grid_growth(self, count):
+        """Growing an axis must not rename the points already in it.
+
+        Names depend only on the parameter values — a sweep that widens
+        its grid keeps every cache hit from the narrower one.
+        """
+        family = get_family("linear")
+        axis = [0.2 + 0.1 * i for i in range(count)]
+        small = family.grid({"damping": axis})
+        grown = family.grid({"damping": axis + [0.95]})
+        small_names = [family.scenario_name(p) for p in small]
+        grown_names = [family.scenario_name(p) for p in grown]
+        assert grown_names[: len(small_names)] == small_names
+
+    def test_grid_point_name_is_order_independent(self):
+        family = get_family("linear")
+        point = {"damping": 0.5, "rotation": 1.25}
+        reversed_point = dict(reversed(list(point.items())))
+        assert family.scenario_name(point) == family.scenario_name(
+            reversed_point
+        )
+
+
+# ----------------------------------------------------------------------
+# sample — bounds discipline + determinism
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "family_name",
+    ["linear", "ackermann", "unicycle", "dubins-nn", "vanderpol"],
+)
+class TestSample:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        count=st.integers(min_value=1, max_value=8),
+    )
+    def test_samples_respect_declared_bounds(self, family_name, seed, count):
+        family = get_family(family_name)
+        for point in family.sample(count, seed=seed):
+            for spec in family.parameters:
+                value = point[spec.name]
+                if spec.kind == "choice":
+                    assert value in spec.choices
+                    continue
+                assert spec.low <= value <= spec.high
+                if spec.kind == "int":
+                    assert isinstance(value, int)
+                else:
+                    assert math.isfinite(value)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_sampling_is_seed_deterministic(self, family_name, seed):
+        family = get_family(family_name)
+        assert family.sample(3, seed=seed) == family.sample(3, seed=seed)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_sampled_points_instantiate_and_name_canonically(
+        self, family_name, seed
+    ):
+        family = get_family(family_name)
+        point = family.sample(1, seed=seed)[0]
+        scenario = family.instantiate(**point)
+        assert scenario.family == family.name
+        assert scenario.name == family.scenario_name(
+            family.resolve_params(point)
+        )
+        assert scenario.name.startswith(f"{family.name}[")
+
+
+def test_format_param_value_roundtrips_compact_floats():
+    """Values expressible in %g's 6 significant digits round-trip; the
+    canonical name is a label, not a serialization format."""
+    for value in (0.1, 1.0, 1e-7, 123.456):
+        assert float(format_param_value(value)) == value

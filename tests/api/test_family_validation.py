@@ -1,0 +1,128 @@
+"""Every family-parameter rejection names the parameter and its bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.api import get_family
+from repro.api.family import ParamSpec
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def linear():
+    return get_family("linear")
+
+
+@pytest.fixture(scope="module")
+def dubins():
+    return get_family("dubins-nn")
+
+
+def test_unknown_parameter_names_itself_and_the_family(linear):
+    with pytest.raises(
+        ReproError,
+        match=r"family 'linear': unknown parameter\(s\) warp",
+    ):
+        linear.instantiate(warp=9)
+
+
+def test_unknown_parameter_lists_the_valid_ones(linear):
+    with pytest.raises(ReproError, match="damping"):
+        linear.instantiate(warp=9)
+
+
+def test_missing_parameter_without_default():
+    spec = ParamSpec(name="required", kind="float", default=None)
+    from repro.api.family import ScenarioFamily
+
+    family = ScenarioFamily(
+        name="needs-param",
+        description="test",
+        factory=lambda required: None,
+        parameters=(spec,),
+    )
+    with pytest.raises(
+        ReproError,
+        match="parameter 'required' has no default and was not given",
+    ):
+        family.resolve_params({})
+
+
+def test_non_number_names_parameter_and_bounds(linear):
+    with pytest.raises(
+        ReproError,
+        match=r"parameter 'damping': expected a number, got \[1\].*valid range",
+    ):
+        linear.instantiate(damping=[1])
+
+
+def test_non_finite_names_parameter_and_bounds(linear):
+    with pytest.raises(
+        ReproError,
+        match=r"parameter 'damping'=nan must be finite.*valid range",
+    ):
+        linear.instantiate(damping=math.nan)
+
+
+def test_non_integer_names_parameter_and_bounds(dubins):
+    with pytest.raises(
+        ReproError,
+        match=r"parameter 'nn_width'=8\.5 must be an integer.*valid range",
+    ):
+        dubins.instantiate(nn_width=8.5)
+
+
+def test_integral_float_coerces_cleanly(dubins):
+    scenario = dubins.instantiate(nn_width=8.0)
+    params = dict(scenario.family_params)
+    assert params["nn_width"] == 8
+    assert isinstance(params["nn_width"], int)
+
+
+def test_below_minimum_names_parameter_value_and_bounds(linear):
+    spec = linear.spec("damping")
+    with pytest.raises(ReproError) as excinfo:
+        linear.instantiate(damping=spec.low - 1)
+    message = str(excinfo.value)
+    assert "'damping'" in message
+    assert "below the minimum" in message
+    assert f"{spec.low:g}" in message
+    assert f"{spec.high:g}" in message
+
+
+def test_above_maximum_names_parameter_value_and_bounds(linear):
+    spec = linear.spec("damping")
+    with pytest.raises(ReproError) as excinfo:
+        linear.instantiate(damping=spec.high + 1)
+    message = str(excinfo.value)
+    assert "'damping'" in message
+    assert "above the maximum" in message
+    assert f"{spec.high:g}" in message
+
+
+def test_bad_choice_lists_the_choices(dubins):
+    with pytest.raises(
+        ReproError,
+        match=r"parameter 'activation'='relu' is not one of tansig, logsig",
+    ):
+        dubins.instantiate(activation="relu")
+
+
+@pytest.mark.parametrize(
+    "spec, expected",
+    [
+        (ParamSpec("p", "float", 1.0, low=0.5, high=2.0), "[0.5, 2]"),
+        (ParamSpec("p", "float", 1.0, low=0.5), "[0.5, inf)"),
+        (ParamSpec("p", "float", 1.0, high=2.0), "(-inf, 2]"),
+        (ParamSpec("p", "float", 1.0), "unbounded"),
+        (
+            ParamSpec("p", "choice", "a", choices=("a", "b")),
+            "one of a, b",
+        ),
+    ],
+)
+def test_bounds_text_covers_every_shape(spec, expected):
+    assert expected in spec.bounds_text()

@@ -1,0 +1,50 @@
+"""Replay every checked-in minimized fuzz reproducer, forever.
+
+``repro fuzz`` writes each shrunk failure under
+``tests/corpus/regressions/`` as a JSON reproducer.  Once a failure is
+fixed its reproducer stays checked in, and this module re-runs the
+exact falsified invariant as an ordinary pytest case — the corpus is
+the project's regression ratchet.  An empty corpus is a passing state,
+not an error.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.corpus import FuzzFailure, load_regressions, replay_failure
+
+REGRESSIONS = pathlib.Path(__file__).parent / "regressions"
+
+_CASES = load_regressions(REGRESSIONS)
+
+
+def test_corpus_directory_exists():
+    assert REGRESSIONS.is_dir()
+
+
+def test_empty_corpus_is_a_passing_state(tmp_path):
+    assert load_regressions(tmp_path) == []
+    assert load_regressions(tmp_path / "never-created") == []
+
+
+def test_reproducers_are_well_formed():
+    """Every checked-in file parses back into an equivalent failure."""
+    for path, failure in _CASES:
+        raw = json.loads(path.read_text())
+        assert FuzzFailure.from_dict(raw) == failure
+        assert failure.digest() == raw["digest"]
+
+
+@pytest.mark.parametrize(
+    "path, failure", _CASES, ids=[path.name for path, _ in _CASES]
+)
+def test_regression_no_longer_reproduces(path, failure):
+    """The invariant each reproducer captured must hold again."""
+    fresh = replay_failure(failure)
+    assert fresh is None, (
+        f"regression {path.name} reproduces again: {fresh.detail}"
+    )

@@ -1,0 +1,175 @@
+"""Twin generation: mutation structure, cache identity, conformance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.api import get_family
+from repro.corpus import (
+    FLIPPING_MUTATIONS,
+    MUTATIONS,
+    PRESERVING_MUTATIONS,
+    conforms,
+    generate_twins,
+    mutate,
+)
+from repro.corpus.twins import (
+    LOOSEN_FACTOR,
+    SWAP_FILL,
+    TIGHTEN_FACTOR,
+)
+from repro.errors import ReproError
+from repro.store import run_key
+
+
+@pytest.fixture(scope="module")
+def base():
+    return get_family("linear").instantiate()
+
+
+def test_mutation_registry_partitions():
+    assert MUTATIONS == PRESERVING_MUTATIONS + FLIPPING_MUTATIONS
+    assert not set(PRESERVING_MUTATIONS) & set(FLIPPING_MUTATIONS)
+    assert len(MUTATIONS) == 5
+
+
+def test_unknown_mutation_names_the_registry(base):
+    with pytest.raises(ReproError, match="unknown mutation 'bogus'"):
+        mutate(base, "bogus")
+
+
+@pytest.mark.parametrize("mutation", MUTATIONS)
+def test_mutate_renames_and_strips_family_identity(base, mutation):
+    twin = mutate(base, mutation)
+    assert twin.name == f"{base.name}::twin[{mutation}]"
+    assert twin.family is None
+    assert twin.family_params == ()
+
+
+@pytest.mark.parametrize("mutation", MUTATIONS)
+def test_every_twin_passes_the_geometry_gate(base, mutation):
+    """Mutated sets must still satisfy X0 ⊆ safe (problem() constructs)."""
+    problem = mutate(base, mutation).problem()
+    assert problem.initial_set.dimension == base.initial_set.dimension
+
+
+@pytest.mark.parametrize("mutation", MUTATIONS)
+def test_twin_store_keys_never_alias_the_base(base, mutation):
+    twin = mutate(base, mutation)
+    assert run_key(twin, twin.config, "batched-icp") != run_key(
+        base, base.config, "batched-icp"
+    )
+
+
+def test_twin_store_keys_pairwise_distinct(base):
+    keys = {
+        run_key(t.scenario, t.scenario.config, "batched-icp")
+        for t in generate_twins(base)
+    }
+    assert len(keys) == len(MUTATIONS)
+
+
+def test_tighten_initial_shrinks_about_center(base):
+    twin = mutate(base, "tighten-initial")
+    lower, upper = np.asarray(base.initial_set.lower), np.asarray(
+        base.initial_set.upper
+    )
+    center, half = (lower + upper) / 2, (upper - lower) / 2
+    np.testing.assert_allclose(
+        np.asarray(twin.initial_set.lower), center - TIGHTEN_FACTOR * half
+    )
+    np.testing.assert_allclose(
+        np.asarray(twin.initial_set.upper), center + TIGHTEN_FACTOR * half
+    )
+
+
+def test_loosen_unsafe_inflates_complement_but_pins_domain(base):
+    twin = mutate(base, "loosen-unsafe")
+    old_safe = base.unsafe_set.safe_rectangle
+    new_safe = twin.unsafe_set.safe_rectangle
+    np.testing.assert_allclose(
+        np.asarray(new_safe.upper),
+        LOOSEN_FACTOR * np.asarray(old_safe.upper),
+    )
+    assert twin.domain is not None
+    np.testing.assert_allclose(
+        np.asarray(twin.domain.lower), np.asarray(old_safe.lower)
+    )
+    np.testing.assert_allclose(
+        np.asarray(twin.domain.upper), np.asarray(old_safe.upper)
+    )
+
+
+def test_swap_sets_fills_the_safe_box(base):
+    twin = mutate(base, "swap-sets")
+    safe = base.unsafe_set.safe_rectangle
+    np.testing.assert_allclose(
+        np.asarray(twin.initial_set.upper),
+        SWAP_FILL * np.asarray(safe.upper),
+    )
+
+
+@pytest.mark.parametrize(
+    "mutation, factor", [("scale-dynamics", 2.0), ("reverse-field", -1.0)]
+)
+def test_dynamics_mutations_scale_the_field(base, mutation, factor):
+    twin = mutate(base, mutation)
+    system = twin.system_factory()
+    reference = base.system_factory()
+    points = np.array([[0.3, -0.2], [1.1, 0.7], [-0.5, 0.25]])
+    for x in points:
+        np.testing.assert_allclose(system.f(x), factor * reference.f(x))
+    np.testing.assert_allclose(
+        system.f_vectorized(points), factor * reference.f_vectorized(points)
+    )
+
+
+def test_generate_twins_expected_verdicts(base):
+    twins = generate_twins(base)
+    assert [t.mutation for t in twins] == list(MUTATIONS)
+    for twin in twins:
+        assert twin.base == base.name
+        if twin.mutation in PRESERVING_MUTATIONS:
+            assert twin.expected == "verified"
+            assert twin.preserving
+        else:
+            assert twin.expected == "not-verified"
+            assert not twin.preserving
+
+
+@pytest.mark.parametrize(
+    "expected, status, verdict",
+    [
+        ("verified", "verified", True),
+        ("verified", "inconclusive", None),
+        ("verified", "no-candidate", False),
+        ("verified", "no-level-set", False),
+        ("not-verified", "verified", False),
+        ("not-verified", "no-candidate", True),
+        ("not-verified", "inconclusive", True),
+        ("not-verified", "error", True),
+    ],
+)
+def test_conforms_semantics(base, expected, status, verdict):
+    mutation = (
+        PRESERVING_MUTATIONS[0]
+        if expected == "verified"
+        else FLIPPING_MUTATIONS[0]
+    )
+    twin = next(
+        t for t in generate_twins(base, (mutation,)) if t.expected == expected
+    )
+    assert conforms(twin, status) is verdict
+
+
+def test_linear_twins_conform_end_to_end(base):
+    """All five mutations round-trip through the batched engine."""
+    assert api.run(base, engine="batched-icp", cache=False).status == "verified"
+    for twin in generate_twins(base):
+        artifact = api.run(twin.scenario, engine="batched-icp", cache=False)
+        assert conforms(twin, artifact.status) is not False, (
+            f"{twin.mutation}: expected {twin.expected}, "
+            f"got {artifact.status}"
+        )

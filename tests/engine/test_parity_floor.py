@@ -1,0 +1,106 @@
+"""Fast tier-1 cross-engine parity floor over all builtin scenarios.
+
+A local, <2-minute subset of the CI shard-parity job: every builtin
+scenario runs under the full engine matrix — native, batched-icp,
+sharded-icp at 1 and 2 shards, portfolio (degraded, no binaries) — and
+
+* every engine returns the same **status**, and
+* the exact-degrade trio (batched / sharded / portfolio) returns the
+  same **artifact** field-for-field (minus timing).
+
+Cartpole uses the same deterministic trim as the sharded/portfolio
+parity suites; each (scenario, engine) pair runs exactly once via a
+module-level cache, so the whole floor costs one run per cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import api
+from repro.api import get_scenario, scenario_names
+from repro.corpus.fuzz import VOLATILE_FIELDS
+from repro.smt.icp_sharded import fork_available
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="sharded ICP needs fork"
+)
+
+#: (engine name, shard count or None) — the parity-floor matrix
+ENGINE_VARIANTS = (
+    ("native", None),
+    ("batched-icp", None),
+    ("sharded-icp", 1),
+    ("sharded-icp", 2),
+    ("portfolio", None),
+)
+
+_cache: dict = {}
+
+
+def _floor_config(name, shards=None):
+    """Deterministic-trim idiom shared with the sharded parity suite."""
+    config = get_scenario(name).config
+    if name == "cartpole":
+        config = dataclasses.replace(
+            config,
+            num_seed_traces=2,
+            trace_duration=1.0,
+            max_candidate_iterations=1,
+            max_levelset_iterations=1,
+            lp=dataclasses.replace(
+                config.lp, max_points=150, separation_samples=8
+            ),
+            icp=dataclasses.replace(
+                config.icp, time_limit=None, max_boxes=5000
+            ),
+        )
+    if shards is not None:
+        config = dataclasses.replace(
+            config, icp=dataclasses.replace(config.icp, shards=shards)
+        )
+    return config
+
+
+def _artifact_dict(name, engine, shards=None):
+    key = (name, engine, shards)
+    if key not in _cache:
+        artifact = api.run(
+            name,
+            config=_floor_config(name, shards),
+            engine=engine,
+            cache=False,
+        )
+        data = artifact.to_dict()
+        for volatile in VOLATILE_FIELDS:
+            data.pop(volatile, None)
+        data["config"].pop("engine", None)
+        _cache[key] = data
+    return _cache[key]
+
+
+@needs_fork
+@pytest.mark.parametrize("name", scenario_names())
+def test_statuses_agree_across_the_matrix(name):
+    statuses = {
+        f"{engine}@{shards}" if shards else engine: _artifact_dict(
+            name, engine, shards
+        )["status"]
+        for engine, shards in ENGINE_VARIANTS
+    }
+    assert len(set(statuses.values())) == 1, statuses
+
+
+@needs_fork
+@pytest.mark.parametrize("name", scenario_names())
+def test_exact_degrade_trio_matches_field_for_field(name):
+    batched = _artifact_dict(name, "batched-icp")
+    for engine, shards in ENGINE_VARIANTS:
+        if engine not in ("sharded-icp", "portfolio"):
+            continue
+        candidate = _artifact_dict(name, engine, shards)
+        assert candidate == batched, (
+            f"{engine}@{shards} diverged from batched-icp on {name}"
+        )
