@@ -71,6 +71,12 @@ def collect(results_dir: Path = RESULTS_DIR) -> dict:
         "corpus_twin_tier_share": _dig(
             benchmarks, "corpus", "twin_tier_share"
         ),
+        "seam_overhead_factor": _dig(
+            benchmarks, "resilience", "seam_overhead", "overhead_factor"
+        ),
+        "supervisor_recovery_latency_s": _dig(
+            benchmarks, "resilience", "recovery_latency", "recovery_latency_s"
+        ),
     }
     return {
         "schema": 1,

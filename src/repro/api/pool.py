@@ -23,11 +23,54 @@ a ``pool`` argument behaves exactly as before.
 from __future__ import annotations
 
 import atexit
+import os
+import signal
 import threading
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass
 
-__all__ = ["WarmupSpec", "WarmPool", "get_warm_pool", "shutdown_warm_pool"]
+__all__ = [
+    "WarmupSpec",
+    "WarmPool",
+    "executor_worker_pids",
+    "get_warm_pool",
+    "kill_executor_workers",
+    "shutdown_warm_pool",
+]
+
+
+def executor_worker_pids(executor: "Executor | None") -> tuple[int, ...]:
+    """PIDs of a ``ProcessPoolExecutor``'s live workers (best effort).
+
+    Reads CPython's private ``_processes`` map — the only handle the
+    executor exposes to its children.  Used by the chunk supervisor to
+    reap wedged workers and by fault injection to pick a victim; both
+    tolerate an empty answer on future CPython layouts.
+    """
+    procs = getattr(executor, "_processes", None)
+    if not procs:
+        return ()
+    return tuple(pid for pid in list(procs) if isinstance(pid, int))
+
+
+def kill_executor_workers(executor: "Executor | None") -> int:
+    """SIGKILL every worker of ``executor`` (best effort); returns count.
+
+    The recovery path for a *wedged* pool: ``Executor.shutdown`` only
+    asks workers to exit, which a stopped or spinning worker never will
+    — SIGKILL is the one signal that always lands.  Callers abandon the
+    executor right after, so half-finished tasks are resubmitted
+    elsewhere (chunk execution is idempotent: results are
+    content-addressed or recomputed).
+    """
+    killed = 0
+    for pid in executor_worker_pids(executor):
+        try:
+            os.kill(pid, signal.SIGKILL)
+            killed += 1
+        except OSError:  # already gone
+            pass
+    return killed
 
 
 @dataclass(frozen=True)

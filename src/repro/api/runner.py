@@ -24,12 +24,14 @@ import json
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..barrier import SynthesisConfig, SynthesisReport
 from ..engine import Engine, resolve_engine
+from ..errors import WorkerDied
 from ..expr import to_infix
 from .pipeline import ProgressCallback, VerificationPipeline
 from .pool import WarmPool
@@ -225,12 +227,44 @@ def run(
     machine with no solvers installed.  Lookups probe the fingerprinted
     key first, then the plain one.
     """
-    from ..store import resolve_store, run_key
-
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     effective = config or scenario.config
     engine_obj = _resolve_run_engine(scenario, effective, engine)
+    try:
+        return _run_once(scenario, effective, progress, engine_obj, cache)
+    except (WorkerDied, BrokenProcessPool) as exc:
+        # Degradation ladder: unrecoverable machinery loss re-runs the
+        # request one rung down (sharded-icp/portfolio -> batched-icp ->
+        # native).  Recursing with the fallback *name* makes the
+        # degraded artifact trivially byte-identical to having asked
+        # for that engine — no stitching, no artifact-visible trace;
+        # the step-down is recorded in the incident log only.
+        from ..resilience.ladder import fallback_engine
+        from ..resilience.supervisor import record_incident
+
+        nxt = fallback_engine(engine_obj.name)
+        if nxt is None:
+            raise
+        record_incident(
+            "engine.degrade",
+            f"{engine_obj.name} -> {nxt}: {type(exc).__name__}: {exc} "
+            f"({scenario.name})",
+        )
+        return run(scenario, config=config, progress=progress, engine=nxt,
+                   cache=cache)
+
+
+def _run_once(
+    scenario: Scenario,
+    effective: SynthesisConfig,
+    progress: "ProgressCallback | None",
+    engine_obj: Engine,
+    cache: "object | None",
+) -> RunArtifact:
+    """One cache-probe + solve attempt on a resolved engine (no ladder)."""
+    from ..store import resolve_store, run_key
+
     smt = engine_obj.smt
     fingerprint_fn = getattr(smt, "solver_fingerprint", None)
     fingerprint = fingerprint_fn() if callable(fingerprint_fn) else ""
@@ -443,40 +477,163 @@ def run_batch(
         chunksize = max(1, -(-len(remote) // (dispatch_workers * 4)))
 
     results: list[RunArtifact | None] = [None] * len(resolved)
-    executor = pool.executor if pool is not None else ProcessPoolExecutor(
-        max_workers=workers
-    )
     from ..perf import enabled as _kernels_enabled
 
     kernels = _kernels_enabled()
-    try:
-        chunks = []
-        for start in range(0, len(remote), chunksize):
-            indices = remote[start : start + chunksize]
-            payloads = [(resolved[i], configs[i], engines[i]) for i in indices]
-            chunks.append(
-                (indices, executor.submit(_execute_chunk, payloads, store, kernels))
+    for i, ok in enumerate(picklable):
+        if not ok:
+            results[i] = _execute(
+                resolved[i], configs[i], strip_report=False,
+                engine=engines[i], cache=store,
             )
-        for i, ok in enumerate(picklable):
-            if not ok:
-                results[i] = _execute(
-                    resolved[i], configs[i], strip_report=False,
-                    engine=engines[i], cache=store,
+    chunk_groups = [
+        remote[start : start + chunksize]
+        for start in range(0, len(remote), chunksize)
+    ]
+    _dispatch_supervised(
+        chunk_groups, resolved, configs, engines, store, kernels,
+        results, pool, workers,
+    )
+    return [artifact for artifact in results if artifact is not None]
+
+
+def resolve_chunk_timeout() -> "float | None":
+    """Per-chunk wall-clock deadline, from ``REPRO_CHUNK_TIMEOUT``.
+
+    ``None`` (unset, the production default) waits forever exactly as a
+    plain ``future.result()`` would; setting it lets the chunk
+    supervisor treat a wedged worker — alive but never answering — the
+    same as a dead one.
+    """
+    raw = os.environ.get("REPRO_CHUNK_TIMEOUT", "").strip()
+    if raw:
+        try:
+            value = float(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return None
+
+
+def resolve_pool_retries(default: int = 2) -> int:
+    """How many times a batch rebuilds a broken pool before giving up
+    (``REPRO_POOL_RETRIES``)."""
+    raw = os.environ.get("REPRO_POOL_RETRIES", "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return default
+
+
+def _inject_pool_fault(executor) -> None:
+    """Fire the ``pool.worker`` seam: signal a real worker of ``executor``.
+
+    Master-side (one deterministic counter, like the shard seam): a
+    ``kill`` SIGKILLs the lowest-pid worker mid-dispatch, a ``hang``
+    SIGSTOPs it — exercising respectively the ``BrokenProcessPool`` and
+    the chunk-deadline recovery paths below.
+    """
+    from ..resilience import faults
+
+    action = faults.fire("pool.worker")
+    if action is None:
+        return
+    from .pool import executor_worker_pids
+
+    pids = sorted(executor_worker_pids(executor))
+    if not pids:
+        return
+    import signal
+
+    sig = signal.SIGKILL if action.kind == "kill" else signal.SIGSTOP
+    try:
+        os.kill(pids[0], sig)
+    except OSError:  # pragma: no cover - victim already exited
+        pass
+
+
+def _dispatch_supervised(
+    chunk_groups: "list[list[int]]",
+    resolved: "list[Scenario]",
+    configs: "list[SynthesisConfig | None]",
+    engines: "list[Engine]",
+    store,
+    kernels: bool,
+    results: "list[RunArtifact | None]",
+    pool: "WarmPool | None",
+    workers: int,
+) -> None:
+    """Run every chunk to completion, healing the executor on worker loss.
+
+    A chunk whose worker dies (``BrokenProcessPool``) or wedges past the
+    chunk deadline is resubmitted on a rebuilt executor — only chunks
+    without results re-run, with capped backoff between rebuilds, up to
+    :func:`resolve_pool_retries` rebuilds.  Exhausting the budget
+    re-raises ``BrokenProcessPool`` exactly like the unsupervised path
+    always did (after shutting a supplied pool down so later callers
+    rebuild through public API).
+    """
+    from ..resilience.supervisor import Backoff, record_incident
+    from .pool import kill_executor_workers
+
+    chunk_timeout = resolve_chunk_timeout()
+    max_rebuilds = resolve_pool_retries()
+    backoff = Backoff(base=0.05, cap=1.0, seed=0)
+    done = [False] * len(chunk_groups)
+    rebuilds = 0
+    executor = pool.executor if pool is not None else ProcessPoolExecutor(
+        max_workers=workers
+    )
+    try:
+        while not all(done):
+            futures = []
+            for ci, indices in enumerate(chunk_groups):
+                if done[ci]:
+                    continue
+                payloads = [
+                    (resolved[i], configs[i], engines[i]) for i in indices
+                ]
+                futures.append(
+                    (ci, executor.submit(_execute_chunk, payloads, store, kernels))
                 )
-        for indices, future in chunks:
-            for i, artifact in zip(indices, future.result()):
-                results[i] = artifact
-    except BrokenProcessPool:
-        # A worker died mid-dispatch (e.g. OOM-killed).  This call
-        # fails either way, but a supplied pool must not stay poisoned
-        # for later callers — shut it down so its next use rebuilds the
-        # executor through public API (the pool also self-heals via the
-        # executor property, which probes CPython's private _broken
-        # flag; this path is the version-proof fallback).
-        if pool is not None:
-            pool.shutdown()
-        raise
+            _inject_pool_fault(executor)
+            try:
+                for ci, future in futures:
+                    for i, artifact in zip(chunk_groups[ci], future.result(
+                        timeout=chunk_timeout
+                    )):
+                        results[i] = artifact
+                    done[ci] = True
+            except (BrokenProcessPool, FuturesTimeoutError) as exc:
+                record_incident(
+                    "pool.worker_died", f"{type(exc).__name__}: chunk dispatch lost"
+                )
+                # Reap wedged workers first: shutdown() alone cannot
+                # dislodge a SIGSTOPped child, and an abandoned-but-
+                # alive worker is exactly the process leak the chaos
+                # gate audits for.
+                kill_executor_workers(executor)
+                if pool is not None:
+                    pool.shutdown()
+                else:
+                    executor.shutdown(wait=False, cancel_futures=True)
+                if rebuilds >= max_rebuilds:
+                    if isinstance(exc, BrokenProcessPool):
+                        raise
+                    raise BrokenProcessPool(
+                        f"chunk exceeded {chunk_timeout}s deadline "
+                        f"{max_rebuilds + 1} times"
+                    ) from exc
+                backoff.sleep(rebuilds)
+                rebuilds += 1
+                executor = (
+                    pool.executor if pool is not None
+                    else ProcessPoolExecutor(max_workers=workers)
+                )
+                record_incident("pool.respawn", f"executor rebuilt (#{rebuilds})")
     finally:
         if pool is None:
-            executor.shutdown()
-    return [artifact for artifact in results if artifact is not None]
+            executor.shutdown(wait=False, cancel_futures=True)

@@ -31,6 +31,10 @@ fuzz      differential fuzz of the scenario-family corpus: sampled
           cache-key stability, artifact JSON round-trips, and twin
           expected-verdict conformance; failures shrink to minimal
           reproducers under ``tests/corpus/regressions/``
+chaos     re-run corpus points under seeded fault injection (worker
+          kills/hangs, solver garbage, torn journal/store writes) and
+          assert every fault is recovered or cleanly degraded: no
+          hangs, no verdict flips, no leaked processes or shm segments
 
 ``verify``, ``batch``, ``sweep``, and ``table1`` accept ``--engine`` to
 pick the solver stack (``repro engines`` lists them; default
@@ -307,6 +311,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--priority", type=int, default=0,
         help="queue priority (higher dispatches first; default 0)",
     )
+    p_submit.add_argument(
+        "--max-retries", type=int, default=0,
+        help="re-run errored points this many times before the job "
+        "dead-letters (default 0: fail fast)",
+    )
     p_submit.add_argument("--url", type=str, default=None, help=_URL_HELP)
     p_submit.add_argument(
         "--wait", action="store_true",
@@ -443,6 +452,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fuzz.add_argument(
         "--quiet", action="store_true", help="suppress per-point progress"
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos", help="re-run the corpus under injected faults"
+    )
+    p_chaos.add_argument(
+        "--samples", type=int, default=25, help="fault scenarios to run"
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (reproducible)"
+    )
+    p_chaos.add_argument(
+        "--families",
+        nargs="+",
+        default=None,
+        metavar="FAMILY",
+        help="restrict the rotation (default: every non-stress family)",
+    )
+    p_chaos.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="SCENARIO",
+        help="restrict the fault rotation (default: all of them)",
+    )
+    p_chaos.add_argument(
+        "--hard-timeout",
+        type=float,
+        default=None,
+        help="per-sample wall-clock budget in seconds (default: 120)",
+    )
+    p_chaos.add_argument(
+        "--reproducers",
+        default="tests/resilience/reproducers",
+        help="directory failing samples are written to "
+        "(default: %(default)s)",
+    )
+    p_chaos.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    p_chaos.add_argument(
+        "--quiet", action="store_true", help="suppress per-sample progress"
     )
     return parser
 
@@ -606,6 +657,10 @@ def _print_job_status(status: dict) -> None:
     ]
     if status.get("coalesced"):
         bits.append(f"{status['coalesced']} coalesced")
+    if status.get("retries") or status.get("max_retries"):
+        bits.append(
+            f"{status.get('retries', 0)}/{status.get('max_retries', 0)} retries"
+        )
     if status.get("error"):
         bits.append(f"error: {status['error']}")
     print("  ".join(bits))
@@ -663,6 +718,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
         priority=args.priority,
+        max_retries=args.max_retries,
     )
     _print_job_status(status)
     if args.wait:
@@ -1002,6 +1058,32 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .resilience.chaos import DEFAULT_HARD_TIMEOUT, chaos
+
+    progress = None if (args.quiet or args.json) else print
+    report = chaos(
+        samples=args.samples,
+        seed=args.seed,
+        families=tuple(args.families) if args.families else None,
+        scenarios=tuple(args.scenarios) if args.scenarios else None,
+        hard_timeout=(
+            args.hard_timeout
+            if args.hard_timeout is not None
+            else DEFAULT_HARD_TIMEOUT
+        ),
+        reproducers_dir=args.reproducers,
+        progress=progress,
+    )
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "families": _cmd_families,
@@ -1022,6 +1104,7 @@ _COMMANDS = {
     "figure4": _cmd_figure4,
     "figure5": _cmd_figure5,
     "fuzz": _cmd_fuzz,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -19,6 +19,7 @@ from .fuzz import (
     fuzz,
     load_regressions,
     replay_failure,
+    sample_corpus_point,
     shrink_failure,
     write_regression,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "mutate",
     "register_corpus_families",
     "replay_failure",
+    "sample_corpus_point",
     "shrink_failure",
     "write_regression",
 ]

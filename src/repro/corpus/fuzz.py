@@ -61,6 +61,7 @@ __all__ = [
     "fuzz",
     "load_regressions",
     "replay_failure",
+    "sample_corpus_point",
     "shrink_failure",
     "write_regression",
 ]
@@ -524,6 +525,23 @@ def _clamped(family, point: dict) -> dict:
     return point
 
 
+def sample_corpus_point(
+    family_name: str, index: int, seed: int
+) -> "dict[str, float | int | str]":
+    """One clamped, reproducible corpus parameter point.
+
+    The sampling rule the fuzz campaign uses for point ``index`` of a
+    run with ``seed`` — exported so the chaos harness walks the exact
+    same corpus the differential fuzzer does.
+    """
+    from ..api import get_family
+    from ..api.runner import derive_scenario_seed
+
+    family = get_family(family_name)
+    point_seed = derive_scenario_seed(seed, f"{family.name}#{index}")
+    return _clamped(family, family.sample(1, seed=point_seed)[0])
+
+
 def fuzz(
     samples: int = 50,
     seed: int = 0,
@@ -550,12 +568,9 @@ def fuzz(
     names = tuple(families) if families else family_names()
     loaded = [get_family(name) for name in names]
     report = FuzzReport(seed=seed, samples=samples)
-    from ..api.runner import derive_scenario_seed
-
     for index in range(samples):
         family = loaded[index % len(loaded)]
-        point_seed = derive_scenario_seed(seed, f"{family.name}#{index}")
-        point = _clamped(family, family.sample(1, seed=point_seed)[0])
+        point = sample_corpus_point(family.name, index, seed)
         if progress is not None:
             params = ", ".join(f"{k}={v}" for k, v in sorted(point.items()))
             progress(f"[{index + 1}/{samples}] {family.name}[{params}]")

@@ -46,7 +46,7 @@ from .rounding import (
     trig_slack,
     widen,
 )
-from .shared import SharedFrontier, SharedPlane
+from .shared import SharedFrontier, SharedPlane, recent_segment_names
 
 __all__ = [
     "Box",
@@ -56,6 +56,7 @@ __all__ = [
     "PAD",
     "SharedFrontier",
     "SharedPlane",
+    "recent_segment_names",
     "TRIG_SLACK",
     "iabs",
     "iatan",

@@ -26,13 +26,40 @@ assert the segments are really gone.
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from .array import BoxArray
 
-__all__ = ["SharedPlane", "SharedFrontier"]
+__all__ = ["SharedPlane", "SharedFrontier", "recent_segment_names"]
+
+#: bounded log of segment names recently created in this process, so
+#: leak auditors (the chaos gate, resilience tests) can sweep every
+#: segment the run could have touched without threading names through
+#: each layer.  Registration is append-only; liveness is checked by
+#: attempting to attach (``SharedMemory(name=...)``), never stored.
+_RECENT_SEGMENTS: "deque[str]" = deque(maxlen=4096)
+_RECENT_LOCK = threading.Lock()
+
+
+def _register_segment(name: str) -> None:
+    with _RECENT_LOCK:
+        _RECENT_SEGMENTS.append(name)
+
+
+def recent_segment_names() -> tuple[str, ...]:
+    """Names of segments created by this process, oldest first.
+
+    A name appearing here says nothing about liveness — destroyed
+    segments stay listed.  Auditors probe each name with
+    ``SharedMemory(name=...)`` and expect ``FileNotFoundError`` once the
+    owning solver has cleaned up.
+    """
+    with _RECENT_LOCK:
+        return tuple(_RECENT_SEGMENTS)
 
 
 class SharedPlane:
@@ -42,6 +69,7 @@ class SharedPlane:
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
         self._shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
         self.array = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
+        _register_segment(self._shm.name)
 
     @property
     def name(self) -> str:

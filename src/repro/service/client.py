@@ -18,6 +18,7 @@ service from Python::
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
@@ -29,7 +30,26 @@ from .server import DEFAULT_PORT
 __all__ = ["ServiceClient", "ServiceError"]
 
 #: states after which a job will never change again
-_TERMINAL = frozenset(("DONE", "FAILED", "CANCELLED"))
+_TERMINAL = frozenset(("DONE", "FAILED", "CANCELLED", "DEAD"))
+
+#: connection-level failures worth retrying on idempotent requests
+_RETRYABLE = (ConnectionResetError, ConnectionRefusedError, BrokenPipeError)
+
+
+def _is_retryable(exc: BaseException) -> bool:
+    """Whether a transport failure is safe to retry (idempotent GETs).
+
+    ``urllib`` surfaces refused/reset connections either raw (from
+    ``http.client``) or wrapped in :class:`urllib.error.URLError`;
+    HTTP-level errors (a real response arrived) are never retried here.
+    """
+    if isinstance(exc, urllib.error.HTTPError):
+        return False
+    if isinstance(exc, _RETRYABLE):
+        return True
+    if isinstance(exc, urllib.error.URLError):
+        return isinstance(exc.reason, _RETRYABLE + (OSError,))
+    return False
 
 
 class ServiceError(ReproError):
@@ -47,43 +67,64 @@ class ServiceClient:
         self,
         url: str = f"http://127.0.0.1:{DEFAULT_PORT}",
         timeout: float = 60.0,
+        retries: int = 3,
+        retry_base: float = 0.1,
     ):
         self.url = url.rstrip("/")
         self.timeout = timeout
+        #: transport-retry budget for idempotent (GET) requests
+        self.retries = max(0, retries)
+        self.retry_base = retry_base
+
+    def _retry_sleep(self, attempt: int) -> None:
+        """Jittered capped-exponential pause between transport retries."""
+        delay = min(2.0, self.retry_base * (2.0 ** attempt))
+        time.sleep(delay * (0.5 + 0.5 * random.random()))
 
     def _request(
-        self, method: str, path: str, body: "Mapping[str, object] | None" = None
+        self,
+        method: str,
+        path: str,
+        body: "Mapping[str, object] | None" = None,
+        retries: int = 0,
     ) -> dict:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(dict(body)).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            self.url + path, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        attempt = 0
+        while True:
+            request = urllib.request.Request(
+                self.url + path, data=data, headers=headers, method=method
+            )
             try:
-                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
-            except Exception:  # noqa: BLE001 - error body is best effort
-                detail = exc.reason
-            raise ServiceError(
-                f"{method} {path} failed ({exc.code}): {detail}", exc.code
-            ) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach service at {self.url}: {exc.reason}"
-            ) from None
+                with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                    return json.loads(resp.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                try:
+                    detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+                except Exception:  # noqa: BLE001 - error body is best effort
+                    detail = exc.reason
+                raise ServiceError(
+                    f"{method} {path} failed ({exc.code}): {detail}", exc.code
+                ) from None
+            except _RETRYABLE + (urllib.error.URLError,) as exc:
+                if attempt < retries and _is_retryable(exc):
+                    attempt += 1
+                    self._retry_sleep(attempt - 1)
+                    continue
+                reason = getattr(exc, "reason", exc)
+                raise ServiceError(
+                    f"cannot reach service at {self.url}: {reason}"
+                ) from None
 
     # ------------------------------------------------------------------
     # API calls
     # ------------------------------------------------------------------
     def health(self) -> dict:
         """Liveness + queue/fleet stats."""
-        return self._request("GET", "/v1/healthz")
+        return self._request("GET", "/v1/healthz", retries=self.retries)
 
     def submit(
         self,
@@ -94,6 +135,7 @@ class ServiceClient:
         seed: int = 0,
         engine: "str | None" = None,
         priority: int = 0,
+        max_retries: int = 0,
     ) -> dict:
         """Submit a scenario/family job; returns its status dict."""
         body: dict[str, object] = {"target": target, "seed": seed}
@@ -107,19 +149,23 @@ class ServiceClient:
             body["engine"] = engine
         if priority:
             body["priority"] = priority
+        if max_retries:
+            body["max_retries"] = max_retries
         return self._request("POST", "/v1/jobs", body)
 
     def jobs(self) -> list[dict]:
         """All jobs' status dicts, newest first."""
-        return self._request("GET", "/v1/jobs")["jobs"]
+        return self._request("GET", "/v1/jobs", retries=self.retries)["jobs"]
 
     def job(self, job_id: str) -> dict:
         """One job's status dict."""
-        return self._request("GET", f"/v1/jobs/{job_id}")
+        return self._request("GET", f"/v1/jobs/{job_id}", retries=self.retries)
 
     def result(self, job_id: str) -> dict:
         """Job status + per-point runs (``artifact`` None = pending)."""
-        return self._request("GET", f"/v1/jobs/{job_id}/result")
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}/result", retries=self.retries
+        )
 
     def cancel(self, job_id: str) -> dict:
         """Cancel a job; returns the resulting status dict."""
@@ -146,10 +192,56 @@ class ServiceClient:
                 )
             time.sleep(poll)
 
-    def stream(self, job_id: str) -> Iterator[dict]:
-        """Yield the job's NDJSON progress events until it terminates."""
+    def stream(self, job_id: str, after: int = 0) -> Iterator[dict]:
+        """Yield the job's NDJSON progress events until it terminates.
+
+        A dropped connection (reset mid-read, or a clean EOF before the
+        job's terminal event) is resumed transparently: the client
+        reconnects with ``?after=<last seen seq>`` so the server replays
+        only the missed suffix — no duplicates, no gaps.  The retry
+        budget (``self.retries``) bounds consecutive failed reconnects.
+        """
+        last_seq = after
+        failures = 0
+        while True:
+            saw_final = False
+            try:
+                for event in self._stream_once(job_id, last_seq):
+                    seq = event.get("seq")
+                    if isinstance(seq, int):
+                        last_seq = max(last_seq, seq)
+                    failures = 0
+                    if event.get("type") == "job" and event.get("state") in _TERMINAL:
+                        saw_final = True
+                    yield event
+            except ServiceError:
+                raise
+            except _RETRYABLE + (urllib.error.URLError, OSError) as exc:
+                if failures >= self.retries or not (
+                    _is_retryable(exc) or isinstance(exc, OSError)
+                ):
+                    raise ServiceError(
+                        f"stream of {job_id} dropped: {exc}"
+                    ) from None
+                failures += 1
+                self._retry_sleep(failures - 1)
+                continue
+            if saw_final:
+                return
+            # Clean EOF without a terminal event: the server went away
+            # mid-job — resume from the last seq like any other drop.
+            if failures >= self.retries:
+                raise ServiceError(
+                    f"stream of {job_id} ended before a terminal state"
+                )
+            failures += 1
+            self._retry_sleep(failures - 1)
+
+    def _stream_once(self, job_id: str, after: int) -> Iterator[dict]:
+        """One streaming connection attempt (errors propagate raw)."""
+        suffix = f"?after={after}" if after else ""
         request = urllib.request.Request(
-            f"{self.url}/v1/jobs/{job_id}/events",
+            f"{self.url}/v1/jobs/{job_id}/events{suffix}",
             headers={"Accept": "application/x-ndjson"},
         )
         try:
@@ -165,8 +257,4 @@ class ServiceClient:
         except urllib.error.HTTPError as exc:
             raise ServiceError(
                 f"stream of {job_id} failed ({exc.code})", exc.code
-            ) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach service at {self.url}: {exc.reason}"
             ) from None

@@ -131,18 +131,26 @@ class EventBus:
         return stamped
 
     def subscribe(
-        self, job_id: "str | None" = None, replay: bool = True
+        self,
+        job_id: "str | None" = None,
+        replay: bool = True,
+        after: int = 0,
     ) -> Subscription:
         """Start receiving events (``job_id=None`` subscribes to all).
 
         With ``replay``, the job's retained history is queued first, so
         the subscriber observes a consistent prefix + live tail.
+        ``after`` skips replayed events with ``seq <= after`` — a client
+        resuming a dropped stream passes the last seq it saw and gets
+        only the suffix (live events always have larger seqs, so no
+        filtering is needed past the replay).
         """
         sub = Subscription(self, job_id)
         with self._lock:
             if replay and job_id is not None:
                 for event in self._history.get(job_id, ()):
-                    sub.push(event)
+                    if int(event.get("seq", 0) or 0) > after:
+                        sub.push(event)
             self._subscribers.append(sub)
         return sub
 

@@ -9,9 +9,14 @@ runner uses — so a service result is byte-identical to a direct
 
 Jobs move through a validated state machine::
 
-    QUEUED ──▶ RUNNING ──▶ DONE | FAILED | CANCELLED
+    QUEUED ──▶ RUNNING ──▶ DONE | FAILED | CANCELLED | DEAD
        │                      ▲
        └──────────────────────┘   (all-cache-hit jobs resolve instantly)
+
+``DEAD`` is the dead-letter terminal: a job whose spec allowed retries
+(``JobSpec.max_retries > 0``) exhausted its budget with points still
+erroring.  Specs with the default ``max_retries=0`` keep the historical
+behaviour and fail straight to ``FAILED``.
 
 and every transition, submission, and per-point completion is appended
 to a :class:`JobJournal` — a JSON-lines file under the artifact store
@@ -59,25 +64,39 @@ class JobState(str, enum.Enum):
     DONE = "DONE"
     FAILED = "FAILED"
     CANCELLED = "CANCELLED"
+    #: dead-letter: a retrying job that exhausted ``max_retries``
+    DEAD = "DEAD"
 
     @property
     def terminal(self) -> bool:
         """True once a job can never change state again."""
-        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+        return self in (
+            JobState.DONE,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.DEAD,
+        )
 
 
 #: the only legal state transitions (QUEUED may resolve directly when
 #: every point is a cache hit or the job is cancelled before dispatch)
 _TRANSITIONS: dict[JobState, frozenset[JobState]] = {
     JobState.QUEUED: frozenset(
-        (JobState.RUNNING, JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+        (
+            JobState.RUNNING,
+            JobState.DONE,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.DEAD,
+        )
     ),
     JobState.RUNNING: frozenset(
-        (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+        (JobState.DONE, JobState.FAILED, JobState.CANCELLED, JobState.DEAD)
     ),
     JobState.DONE: frozenset(),
     JobState.FAILED: frozenset(),
     JobState.CANCELLED: frozenset(),
+    JobState.DEAD: frozenset(),
 }
 
 
@@ -105,12 +124,19 @@ class JobSpec:
     overrides: Mapping[str, object] | None = None
     seed: int = 0
     engine: str | None = None
+    #: service-level retry budget for erroring points; 0 (the default)
+    #: preserves the historical fail-fast-to-FAILED behaviour
+    max_retries: int = 0
 
     def __post_init__(self) -> None:
         if not self.target:
             raise ReproError("job spec needs a target scenario or family")
         if self.grid is not None and self.samples is not None:
             raise ReproError("pass either grid or samples, not both")
+        if self.max_retries < 0:
+            raise ReproError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
 
     def to_dict(self) -> dict:
         """Plain-data view (JSON-ready; grids keep their raw specs)."""
@@ -124,6 +150,7 @@ class JobSpec:
             "overrides": None if self.overrides is None else dict(self.overrides),
             "seed": self.seed,
             "engine": self.engine,
+            "max_retries": self.max_retries,
         }
 
     @classmethod
@@ -136,6 +163,7 @@ class JobSpec:
             overrides=data.get("overrides"),  # type: ignore[arg-type]
             seed=int(data.get("seed", 0) or 0),
             engine=data.get("engine"),  # type: ignore[arg-type]
+            max_retries=int(data.get("max_retries", 0) or 0),
         )
 
 
@@ -172,6 +200,8 @@ class Job:
     coalesced: int = 0
     error: str | None = None
     cancel_requested: bool = False
+    #: service-level retry rounds consumed so far (see JobSpec.max_retries)
+    retries: int = 0
     #: journal-replayed per-point statuses (recovered jobs only; live
     #: jobs carry real artifacts instead)
     replayed_statuses: dict[int, str] = field(default_factory=dict)
@@ -235,6 +265,8 @@ class Job:
                 else self.replayed_statuses.get(i) == "verified"
                 for i, a in enumerate(self.artifacts)
             ),
+            "retries": self.retries,
+            "max_retries": self.spec.max_retries,
             "error": self.error,
         }
 
@@ -248,6 +280,7 @@ class JobJournal:
          "points": [...], "keys": [...], "created": <ts>}
         {"event": "point", "job": <id>, "index": N, "status": "...",
          "cached": bool}
+        {"event": "retry", "job": <id>, "attempt": N, "points": [...]}
         {"event": "state", "job": <id>, "state": "...", "error": ...}
 
     Appends are serialized under a lock and flushed per record, so the
@@ -256,21 +289,51 @@ class JobJournal:
     for a known job id (recovery re-queues unfinished jobs through the
     normal path) resets that job's replayed progress — later records
     then rebuild it, keeping replay idempotent.
+
+    A crash mid-append leaves a *torn* final line (no trailing newline).
+    :meth:`records` skips it on read, and :meth:`append` self-repairs on
+    the next write — it checks the file's last byte and starts a fresh
+    line first, so one torn record never corrupts its successor.  The
+    ``journal.append`` fault seam reproduces exactly this crash shape.
     """
 
     def __init__(self, path: "str | Path"):
         self.path = Path(path)
         self._lock = threading.Lock()
 
+    def _needs_newline(self) -> bool:
+        """True when the file ends in a torn (newline-less) record."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (OSError, ValueError):
+            return False  # missing or empty file: nothing to repair
+
     def append(self, record: Mapping[str, object]) -> None:
         """Write one record (thread-safe, flushed before returning)."""
+        from ..resilience import faults
+
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         with self._lock:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            repair = "\n" if self._needs_newline() else ""
+            action = faults.fire("journal.append", str(record.get("event", "")))
             with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+                if action is not None and action.kind == "torn":
+                    # Simulated crash mid-append: half the record, no
+                    # newline — the next append self-repairs.
+                    handle.write(repair + line[: max(1, len(line) // 2)])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    return
+                handle.write(repair + line + "\n")
                 handle.flush()
                 os.fsync(handle.fileno())
+            if action is not None and action.kind == "error":
+                raise faults.InjectedFault(
+                    f"injected journal append failure ({record.get('event')})"
+                )
 
     def record_submit(self, job: Job) -> None:
         """Journal a job submission (spec + expanded points/keys)."""
@@ -298,6 +361,20 @@ class JobJournal:
                 "index": index,
                 "status": status,
                 "cached": cached,
+            }
+        )
+
+    def record_retry(
+        self, job_id: str, attempt: int, points: Sequence[int]
+    ) -> None:
+        """Journal one retry round: the points whose error artifacts
+        were discarded for re-dispatch."""
+        self.append(
+            {
+                "event": "retry",
+                "job": job_id,
+                "attempt": attempt,
+                "points": list(points),
             }
         )
 
@@ -363,6 +440,12 @@ class JobJournal:
                     str(record.get("status", "")),
                     bool(record.get("cached", False)),
                 )
+            elif event == "retry" and job_id in jobs:
+                jobs[job_id].retries = int(record.get("attempt", 0) or 0)
+                # Retried points are back in flight: their previous
+                # (error) completions no longer count as resolved.
+                for index in record.get("points", []):
+                    statuses[job_id].pop(int(index), None)
             elif event == "state" and job_id in jobs:
                 job = jobs[job_id]
                 try:

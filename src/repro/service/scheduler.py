@@ -55,6 +55,7 @@ from ..api.scenario import (
 )
 from ..api.sweep import instantiate_points
 from ..errors import ReproError
+from ..resilience.supervisor import Backoff, incidents, record_incident
 from ..store import ArtifactStore, run_key
 from .events import EventBus, stage_event_dict
 from .jobs import Job, JobJournal, JobSpec, JobState, JOURNAL_NAME, new_job_id
@@ -178,6 +179,7 @@ class Scheduler:
         self._seq = itertools.count()
         self._inflight = 0
         self._stopped = False
+        self._retry_timers: "set[threading.Timer]" = set()
 
         self._events_queue = None
         self._events_stop = None
@@ -451,17 +453,35 @@ class Scheduler:
             )
 
     def _finalize_job(self, job: Job) -> None:
-        """Move a fully resolved job to its terminal state (lock held)."""
+        """Move a fully resolved job to its terminal state (lock held).
+
+        Jobs with a retry budget (``spec.max_retries > 0``) intercept
+        the failure path: erroring points that actually ran (cache-hit
+        errors are deterministic and not retried) are cleared and
+        re-queued after a jittered backoff, the job stays RUNNING, and
+        only an exhausted budget dead-letters it to ``DEAD``.
+        """
+        failed = [
+            i
+            for i, a in enumerate(job.artifacts)
+            if a is not None and a.status == "error"
+        ]
+        retryable = [
+            i for i in failed if not bool(getattr(job.artifacts[i], "cached", False))
+        ]
         if job.cancel_requested:
             state = JobState.CANCELLED
-        elif any(
-            a is not None and a.status == "error" for a in job.artifacts
-        ):
-            state = JobState.FAILED
+        elif failed:
+            if retryable and job.retries < job.spec.max_retries:
+                self._schedule_retry(job, retryable)
+                return
+            state = (
+                JobState.DEAD
+                if retryable and job.spec.max_retries > 0
+                else JobState.FAILED
+            )
             job.error = next(
-                a.error or a.status
-                for a in job.artifacts
-                if a is not None and a.status == "error"
+                job.artifacts[i].error or job.artifacts[i].status for i in failed
             )
         else:
             state = JobState.DONE
@@ -477,6 +497,78 @@ class Scheduler:
                     "error": job.error,
                 }
             )
+
+    def _schedule_retry(self, job: Job, indexes: "list[int]") -> None:
+        """Discard error artifacts and arm a backoff re-dispatch (lock held)."""
+        job.retries += 1
+        attempt = job.retries
+        for index in indexes:
+            job.artifacts[index] = None
+        if self.journal is not None:
+            self.journal.record_retry(job.id, attempt, indexes)
+        record_incident(
+            "job.retry",
+            f"{job.id} retry {attempt}/{job.spec.max_retries} "
+            f"({len(indexes)} points)",
+        )
+        if self.events is not None:
+            self.events.publish(
+                {
+                    "type": "retry",
+                    "job": job.id,
+                    "attempt": attempt,
+                    "points": list(indexes),
+                }
+            )
+        delay = Backoff(base=0.2, cap=5.0, seed=attempt).delay(attempt - 1)
+        timer = threading.Timer(
+            delay, self._requeue_points, args=(job.id, tuple(indexes))
+        )
+        timer.daemon = True
+        self._retry_timers = {t for t in self._retry_timers if t.is_alive()}
+        self._retry_timers.add(timer)
+        timer.start()
+
+    def _requeue_points(self, job_id: str, indexes: "tuple[int, ...]") -> None:
+        """Timer callback: push a retrying job's points back in the queue."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            return
+        try:
+            # Deterministic re-expansion: same spec, same seeds, same keys.
+            _, scenarios, configs, engines = self._expand_spec(job.spec)
+        except ReproError as exc:
+            with self._cond:
+                if not job.state.terminal:
+                    job.error = f"retry failed: {exc}"
+                    job.transition(JobState.DEAD)
+                    if self.journal is not None:
+                        self.journal.record_state(job.id, JobState.DEAD, job.error)
+                self._cond.notify_all()
+            return
+        with self._cond:
+            if self._stopped or job.state.terminal:
+                return
+            for index in indexes:
+                if index >= len(scenarios) or job.artifacts[index] is not None:
+                    continue
+                key = job.keys[index]
+                task = self._tasks_by_key.get(key)
+                if task is not None:
+                    if (job.id, index) not in task.waiters:
+                        task.waiters.append((job.id, index))
+                    continue
+                task = _PointTask(
+                    key, scenarios[index], configs[index], engines[index]
+                )
+                task.waiters.append((job.id, index))
+                self._tasks_by_key[key] = task
+                heapq.heappush(
+                    self._heap,
+                    (-job.priority, task.shard, next(self._seq), task),
+                )
+            self._cond.notify_all()
 
     # ------------------------------------------------------------------
     # Queries + control
@@ -547,6 +639,10 @@ class Scheduler:
 
     def stats(self) -> dict:
         """Queue/fleet telemetry for the health endpoint."""
+        incident_counts: dict[str, int] = {}
+        for entry in incidents():
+            kind = entry["kind"]
+            incident_counts[kind] = incident_counts.get(kind, 0) + 1
         with self._lock:
             states = {}
             for job in self._jobs.values():
@@ -557,6 +653,9 @@ class Scheduler:
                 "inflight_tasks": self._inflight,
                 "workers": self.workers,
                 "executor": "threads" if self._thread_executor else "processes",
+                "retries": sum(j.retries for j in self._jobs.values()),
+                "dead_jobs": states.get(JobState.DEAD.value, 0),
+                "incidents": incident_counts,
             }
 
     def recover(self) -> list[Job]:
@@ -597,7 +696,10 @@ class Scheduler:
             if self._stopped:
                 return
             self._stopped = True
+            timers, self._retry_timers = self._retry_timers, set()
             self._cond.notify_all()
+        for timer in timers:
+            timer.cancel()
         self._dispatcher.join(timeout=5.0)
         if wait:
             with self._cond:

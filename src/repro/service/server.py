@@ -12,7 +12,8 @@ GET    ``/v1/jobs/{id}``            one job's status
 GET    ``/v1/jobs/{id}/result``     per-point artifacts (null = pending)
 POST   ``/v1/jobs/{id}/cancel``     cancel; returns the final status
 GET    ``/v1/jobs/{id}/events``     NDJSON progress stream (stage/point/
-                                    job events; ends at a terminal state)
+                                    job events; ends at a terminal state;
+                                    ``?after=N`` resumes past seq ``N``)
 GET    ``/v1/healthz``              liveness + queue/store stats
 ====== ============================ =======================================
 
@@ -29,6 +30,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import urllib.parse
 from typing import TYPE_CHECKING
 
 from ..errors import ReproError
@@ -144,8 +146,8 @@ class ServiceServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            method, path, body = await self._read_request(reader)
-            await self._dispatch(method, path, body, writer)
+            method, path, query, body = await self._read_request(reader)
+            await self._dispatch(method, path, query, body, writer)
         except _HttpError as exc:
             await self._write_json(
                 writer, exc.status, {"error": str(exc)}
@@ -168,7 +170,7 @@ class ServiceServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, dict]:
+    ) -> tuple[str, str, dict, dict]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
             raise _HttpError(400, "empty request")
@@ -195,8 +197,12 @@ class ServiceServer:
                 raise _HttpError(400, "request body is not valid JSON") from None
             if not isinstance(body, dict):
                 raise _HttpError(400, "request body must be a JSON object")
-        path = target.split("?", 1)[0]
-        return method.upper(), path, body
+        path, _, raw_query = target.partition("?")
+        query = {
+            name: values[-1]
+            for name, values in urllib.parse.parse_qs(raw_query).items()
+        }
+        return method.upper(), path, query, body
 
     async def _write_json(
         self, writer: asyncio.StreamWriter, status: int, payload: object
@@ -219,6 +225,7 @@ class ServiceServer:
         self,
         method: str,
         path: str,
+        query: dict,
         body: dict,
         writer: asyncio.StreamWriter,
     ) -> None:
@@ -286,7 +293,13 @@ class ServiceServer:
                 and rest[2] == "events"
                 and method == "GET"
             ):
-                await self._stream_events(writer, rest[1])
+                try:
+                    after = int(query.get("after", 0) or 0)
+                except ValueError:
+                    raise _HttpError(
+                        400, f"after must be an integer, got {query['after']!r}"
+                    ) from None
+                await self._stream_events(writer, rest[1], after)
             else:
                 raise _HttpError(
                     405 if rest and rest[0] in ("jobs", "healthz") else 404,
@@ -300,7 +313,7 @@ class ServiceServer:
     # NDJSON streaming
     # ------------------------------------------------------------------
     async def _stream_events(
-        self, writer: asyncio.StreamWriter, job_id: str
+        self, writer: asyncio.StreamWriter, job_id: str, after: int = 0
     ) -> None:
         job = self.scheduler.job(job_id)  # 404s before headers go out
         if self.scheduler.events is None:
@@ -318,7 +331,9 @@ class ServiceServer:
                 str(event.get("state"))
             ).terminal
 
-        with self.scheduler.events.subscribe(job_id, replay=True) as sub:
+        with self.scheduler.events.subscribe(
+            job_id, replay=True, after=after
+        ) as sub:
             # Replay delivered a prefix; if the job is already terminal
             # and its terminal event predates our subscription history,
             # synthesize one so the stream always terminates.

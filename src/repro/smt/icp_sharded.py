@@ -51,9 +51,11 @@ from __future__ import annotations
 import contextlib
 import multiprocessing as mp
 import os
+import signal
+import time
 from typing import Callable, Iterator, Sequence
 
-from ..errors import SolverError
+from ..errors import SolverError, WorkerDied
 from ..intervals import Box, BoxArray, SharedFrontier
 from .constraint import Constraint
 from .hc4 import FrontierContractor, contract_frontier
@@ -71,10 +73,42 @@ __all__ = [
 #: worker commands (pipe messages are ``(cmd, start, stop, rounds)``)
 _EVAL, _CONTRACT, _EXIT = 0, 1, 2
 
+#: sentinel: the supervised round gave up on workers; run it serially
+_DEGRADED = object()
+
 #: don't dispatch a batch narrower than this many rows per worker — the
 #: pipe round-trip would cost more than the row work it parallelizes.
 #: Purely a latency knob: the parity gate holds for every split choice.
 _MIN_ROWS_PER_SHARD = 2
+
+
+def resolve_round_timeout(default: float = 30.0) -> float:
+    """Per-round worker deadline: ``REPRO_SHARD_TIMEOUT`` seconds, else
+    ``default``.  A worker that has not answered its pipe within this
+    window is declared dead (:class:`~repro.errors.WorkerDied`) — rounds
+    are row-elementwise and finish in milliseconds, so the default is
+    pure headroom for loaded CI machines."""
+    raw = os.environ.get("REPRO_SHARD_TIMEOUT", "").strip()
+    if raw:
+        try:
+            value = float(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return default
+
+
+def resolve_respawn_limit(default: int = 2) -> int:
+    """How many times a solve re-warms a dead worker team before
+    degrading its rounds to the serial path (``REPRO_SHARD_RETRIES``)."""
+    raw = os.environ.get("REPRO_SHARD_RETRIES", "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return default
 
 
 def fork_available() -> bool:
@@ -230,36 +264,110 @@ class _ShardTeam:
             self.close()
             raise
 
-    def run(self, cmd: int, m: int, rounds: int = 0) -> None:
-        """Dispatch rows ``[0, m)`` to the team and wait for every shard."""
+    def _inject_worker_fault(self) -> None:
+        """Fire the ``shard.worker`` seam (master-side, once per round).
+
+        Kill/hang faults are delivered as real signals to a live victim
+        worker, so the supervision under test is exactly the production
+        path: a SIGKILLed worker EOFs its pipe, a SIGSTOPped one goes
+        silent until the round deadline.  Counting in the master keeps
+        the schedule deterministic across respawns — a re-warmed team
+        does not replay the fault.
+        """
+        from ..resilience import faults
+
+        action = faults.fire("shard.worker")
+        if action is None or not self.procs:
+            return
+        victim = self.procs[0]
+        if not victim.is_alive() or victim.pid is None:
+            return
+        if action.kind == "kill":
+            os.kill(victim.pid, signal.SIGKILL)
+        elif action.kind == "hang":
+            os.kill(victim.pid, signal.SIGSTOP)
+
+    def run(self, cmd: int, m: int, rounds: int = 0, timeout: float = 30.0) -> None:
+        """Dispatch rows ``[0, m)`` to the team and wait for every shard.
+
+        Replies are read with a shared deadline (``timeout`` seconds for
+        the whole round): each pipe is polled, interleaved with the
+        worker's process sentinel, so a worker that died (pipe EOF,
+        sentinel down) or wedged (no reply by the deadline) raises a
+        typed :class:`~repro.errors.WorkerDied` instead of blocking
+        ``recv()`` forever.  The caller owns recovery — this object is
+        left as-is for a force :meth:`close`.
+        """
+        self._inject_worker_fault()
         live = []
-        for conn, (a, b) in zip(self.conns, shard_bounds(m, self.n_workers)):
-            if b > a:
-                conn.send((cmd, a, b, rounds))
-                live.append(conn)
-        errors = []
-        for conn in live:
+        for conn, proc, (a, b) in zip(
+            self.conns, self.procs, shard_bounds(m, self.n_workers)
+        ):
             try:
-                status, detail = conn.recv()
-            except (EOFError, OSError):
-                raise SolverError("sharded ICP worker died mid-round")
-            if status != "ok":
-                errors.append(detail)
+                if b > a:
+                    conn.send((cmd, a, b, rounds))
+                    live.append((conn, proc))
+            except (BrokenPipeError, OSError):
+                raise WorkerDied(
+                    f"sharded ICP worker pid={proc.pid} died before dispatch"
+                )
+        deadline = time.monotonic() + timeout
+        errors = []
+        for conn, proc in live:
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise WorkerDied(
+                        f"sharded ICP worker pid={proc.pid} missed the "
+                        f"{timeout:.1f}s round deadline"
+                    )
+                if conn.poll(min(0.05, remaining)):
+                    try:
+                        status, detail = conn.recv()
+                    except (EOFError, OSError):
+                        raise WorkerDied(
+                            f"sharded ICP worker pid={proc.pid} died mid-round"
+                        )
+                    if status != "ok":
+                        errors.append(detail)
+                    break
+                if not proc.is_alive():
+                    # Sentinel down and nothing buffered: the worker is
+                    # gone.  (A worker that replied *then* died still
+                    # counts — poll() above drains the buffered reply.)
+                    raise WorkerDied(
+                        f"sharded ICP worker pid={proc.pid} died mid-round "
+                        f"(exitcode={proc.exitcode})"
+                    )
         if errors:
             raise SolverError(
                 "sharded ICP worker failed: " + "; ".join(errors)
             )
 
-    def close(self) -> None:
-        """Stop workers and unlink every shared segment (idempotent)."""
-        for conn in self.conns:
-            with contextlib.suppress(OSError, ValueError):
-                conn.send((_EXIT, 0, 0, 0))
-        for proc in self.procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - stuck-worker backstop
-                proc.terminate()
-                proc.join(timeout=1.0)
+    def close(self, force: bool = False) -> None:
+        """Stop workers and unlink every shared segment (idempotent).
+
+        ``force`` skips the cooperative ``_EXIT`` handshake and SIGKILLs
+        the team — the recovery path after :class:`WorkerDied`, where a
+        sibling may be wedged (even SIGSTOPped, which only SIGKILL
+        penetrates) and waiting 5s per worker would stall the retry.
+        """
+        if force:
+            for proc in self.procs:
+                if proc.is_alive() and proc.pid is not None:
+                    with contextlib.suppress(OSError):
+                        os.kill(proc.pid, signal.SIGKILL)
+            for proc in self.procs:
+                proc.join(timeout=2.0)
+        else:
+            for conn in self.conns:
+                with contextlib.suppress(OSError, ValueError):
+                    conn.send((_EXIT, 0, 0, 0))
+            for proc in self.procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - stuck-worker backstop
+                    proc.terminate()
+                    proc.join(timeout=1.0)
         for conn in self.conns:
             with contextlib.suppress(OSError):
                 conn.close()
@@ -287,14 +395,31 @@ class ShardedIcpSolver(BatchedIcpSolver):
         config: IcpConfig | None = None,
         should_stop: "Callable[[], bool] | None" = None,
         shards: int | None = None,
+        round_timeout: float | None = None,
+        max_respawns: int | None = None,
     ):
         super().__init__(config, should_stop)
         self.shards = (
             resolve_shards(self.config) if shards is None
             else max(1, int(shards))
         )
+        #: per-round worker reply deadline (seconds); env-tunable so the
+        #: knob never touches IcpConfig (whose serialized dict feeds the
+        #: artifact/cache-key contract)
+        self.round_timeout = (
+            resolve_round_timeout() if round_timeout is None
+            else float(round_timeout)
+        )
+        #: team re-warm budget per solve before degrading to serial rounds
+        self.max_respawns = (
+            resolve_respawn_limit() if max_respawns is None
+            else max(0, int(max_respawns))
+        )
         self._team: "_ShardTeam | None" = None
-        #: segment names of the last team, so tests can assert unlink
+        self._team_args: "tuple | None" = None
+        self._respawns_used = 0
+        #: segment names of every team this solver created (respawns
+        #: accumulate), so tests and the chaos gate can assert unlink
         self.last_segment_names: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
@@ -332,11 +457,18 @@ class ShardedIcpSolver(BatchedIcpSolver):
         m = len(batch)
         if team is None or m < _MIN_ROWS_PER_SHARD * team.n_workers:
             return super()._prune_masks(tapes, constraints, batch)
-        shared = team.shared
-        shared.in_lo[:m] = batch.lo
-        shared.in_hi[:m] = batch.hi
-        team.run(_EVAL, m)
-        return shared.alive[:m].copy(), shared.all_true[:m].copy()
+
+        def round_on(active: _ShardTeam):
+            shared = active.shared
+            shared.in_lo[:m] = batch.lo
+            shared.in_hi[:m] = batch.hi
+            active.run(_EVAL, m, timeout=self.round_timeout)
+            return shared.alive[:m].copy(), shared.all_true[:m].copy()
+
+        result = self._supervised_round(round_on)
+        if result is _DEGRADED:
+            return super()._prune_masks(tapes, constraints, batch)
+        return result
 
     def _contract_rows(self, contractors, boxes, max_rounds):
         team = self._team
@@ -347,14 +479,66 @@ class ShardedIcpSolver(BatchedIcpSolver):
             or m < _MIN_ROWS_PER_SHARD * team.n_workers
         ):
             return super()._contract_rows(contractors, boxes, max_rounds)
-        shared = team.shared
-        shared.in_lo[:m] = boxes.lo
-        shared.in_hi[:m] = boxes.hi
-        team.run(_CONTRACT, m, rounds=max_rounds)
-        contracted = BoxArray(
-            shared.out_lo[:m].copy(), shared.out_hi[:m].copy()
-        )
-        return contracted, shared.c_alive[:m].copy()
+
+        def round_on(active: _ShardTeam):
+            shared = active.shared
+            shared.in_lo[:m] = boxes.lo
+            shared.in_hi[:m] = boxes.hi
+            active.run(_CONTRACT, m, rounds=max_rounds, timeout=self.round_timeout)
+            contracted = BoxArray(
+                shared.out_lo[:m].copy(), shared.out_hi[:m].copy()
+            )
+            return contracted, shared.c_alive[:m].copy()
+
+        result = self._supervised_round(round_on)
+        if result is _DEGRADED:
+            return super()._contract_rows(contractors, boxes, max_rounds)
+        return result
+
+    def _supervised_round(self, round_on):
+        """Run one round on the team, healing dead workers.
+
+        Rounds are idempotent: inputs are master-owned arrays copied
+        into the shared planes, so a round that died half-written can
+        simply be replayed.  On :class:`WorkerDied` the team is
+        force-closed (shm unlinked), re-warmed with capped backoff, and
+        the round retried; once the solve's respawn budget is spent the
+        sentinel ``_DEGRADED`` tells the caller to run this round — and,
+        since ``self._team`` is now ``None``, every later round — on the
+        serial path, which is bit-identical by the parity contract.
+        """
+        from ..resilience.supervisor import Backoff, record_incident
+
+        backoff = Backoff(base=0.02, cap=0.5, seed=self._respawns_used)
+        while True:
+            team = self._team
+            if team is None:
+                return _DEGRADED
+            try:
+                return round_on(team)
+            except WorkerDied as exc:
+                team.close(force=True)
+                self._team = None
+                record_incident("shard.worker_died", str(exc))
+                if self._respawns_used >= self.max_respawns or self._team_args is None:
+                    record_incident(
+                        "shard.degrade",
+                        f"respawn budget ({self.max_respawns}) spent; "
+                        "remaining rounds run serially",
+                    )
+                    return _DEGRADED
+                backoff.sleep(self._respawns_used)
+                self._respawns_used += 1
+                constraints, names = self._team_args
+                fresh = _ShardTeam(constraints, names, self.config, self.shards)
+                self.last_segment_names = (
+                    self.last_segment_names + fresh.shared.segment_names()
+                )
+                self._team = fresh
+                record_incident(
+                    "shard.respawn",
+                    f"worker team re-warmed (attempt {self._respawns_used})",
+                )
 
     # ------------------------------------------------------------------
     # Team lifecycle
@@ -376,10 +560,17 @@ class ShardedIcpSolver(BatchedIcpSolver):
         team = _ShardTeam(
             list(constraints), list(names), self.config, self.shards
         )
-        self.last_segment_names = team.shared.segment_names()
+        self.last_segment_names = tuple(team.shared.segment_names())
+        self._team_args = (list(constraints), list(names))
+        self._respawns_used = 0
         self._team = team
         try:
             yield team
         finally:
-            self._team = None
-            team.close()
+            # The supervisor may have replaced (or dropped) the team
+            # mid-solve — close whichever one is current, not the
+            # original local.
+            current, self._team = self._team, None
+            self._team_args = None
+            if current is not None:
+                current.close()

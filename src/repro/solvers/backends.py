@@ -47,15 +47,53 @@ __all__ = [
     "parse_dreal_output",
     "result_from_model",
     "register_solver",
+    "unregister_solver",
     "get_solver",
     "solver_names",
     "external_solvers",
     "probe_all",
+    "solver_breaker",
+    "transcript_recognized",
 ]
 
 #: Wall-clock budget (seconds) per external solve when the config sets
 #: neither ``solver_timeout`` nor ``time_limit``.
 DEFAULT_TIMEOUT = 30.0
+
+#: verdict tokens a healthy solver transcript must contain one of
+_VERDICT_TOKENS = ("unsat", "delta-sat", "sat", "unknown", "timeout")
+
+
+def transcript_recognized(text: str) -> bool:
+    """Whether ``text`` contains any verdict line a solver can emit.
+
+    The circuit breaker's parse-failure signal: a transcript with no
+    ``sat``/``unsat``/``delta-sat``/``unknown``/``timeout`` line at all
+    is crash chatter or corruption — the *solver* is broken, as opposed
+    to a legitimate UNKNOWN, which is the solver working and declining.
+    """
+    lowered = text.lower()
+    for line in lowered.splitlines():
+        stripped = line.strip()
+        if stripped in ("unsat", "sat", "unknown", "timeout"):
+            return True
+        if stripped.startswith("delta-sat"):
+            return True
+    return False
+
+
+def solver_breaker(name: str):
+    """The circuit breaker guarding external solver ``name``.
+
+    Opens after :class:`~repro.resilience.CircuitBreaker.threshold`
+    consecutive spawn failures or unrecognizable transcripts; the
+    portfolio skips open solvers instead of re-racing a flapping binary
+    on every check.  Timeouts never count — a slow solver losing races
+    is healthy.
+    """
+    from ..resilience.supervisor import breaker_for
+
+    return breaker_for(f"solver.{name}")
 
 #: A model maps variable names to exact values or (lo, hi) intervals.
 ModelValue = "float | tuple[float, float]"
@@ -443,12 +481,27 @@ class _SubprocessSolver:
 
         Timeout/cancel/garbage all collapse to UNKNOWN — an external
         solver can never make the pipeline worse than inconclusive.
+        Outcomes feed the per-solver circuit breaker
+        (:func:`solver_breaker`): spawn failures and unrecognizable
+        transcripts count against it, recognized transcripts reset it,
+        and timeouts are neutral.
         """
+        from ..resilience import faults
+
         info = self.probe()
         if not info.available:
             raise SolverError(f"{self.name} is not available: {info.reason}")
         if timeout <= 0.0:
             raise SolverError(f"timeout must be positive, got {timeout}")
+        breaker = solver_breaker(self.name)
+        if faults.fire("solver.spawn", self.name) is not None:
+            # Injected spawn loss takes the exact shape of the real one
+            # (`failed to launch`, below) so recovery under test *is*
+            # the production path: breaker counts it, portfolio skips.
+            breaker.record_failure()
+            raise SolverError(
+                f"failed to launch {info.command!r}: injected spawn fault"
+            )
         descriptor, path = tempfile.mkstemp(
             suffix=".smt2", prefix=f"repro-{self.name}-"
         )
@@ -458,6 +511,9 @@ class _SubprocessSolver:
                 handle.write(self._script(query))
             command = self._command(info.command, path, query, timeout)
             stdout, timed_out = _run_with_deadline(command, timeout, cancel)
+        except SolverError:
+            breaker.record_failure()
+            raise
         finally:
             try:
                 os.unlink(path)
@@ -466,6 +522,20 @@ class _SubprocessSolver:
         stats = SolverStats(elapsed_seconds=time.perf_counter() - start)
         if timed_out or stdout is None:
             return SmtResult(Verdict.UNKNOWN, query.delta, stats=stats)
+        action = faults.fire("solver.output", self.name)
+        if action is not None:
+            if action.kind == "hang":
+                # A wedged solver holding its pipe open: wait out the
+                # budget (cancel-aware, so a lost race still dies
+                # promptly) and report the timeout-shaped UNKNOWN.
+                waiter = cancel if cancel is not None else threading.Event()
+                waiter.wait(min(timeout, faults.HANG_SECONDS))
+                return SmtResult(Verdict.UNKNOWN, query.delta, stats=stats)
+            stdout = action.payload or "Segmentation fault (core dumped)\n<<?>>"
+        if not transcript_recognized(stdout):
+            breaker.record_failure()
+            return SmtResult(Verdict.UNKNOWN, query.delta, stats=stats)
+        breaker.record_success()
         verdict, model = self._parse(stdout, query.names)
         return result_from_model(verdict, model, query, stats)
 
@@ -549,6 +619,12 @@ def register_solver(solver: ExternalSolver, replace: bool = False) -> None:
                 f"solver {solver.name!r} already registered (replace=True to override)"
             )
         _REGISTRY[solver.name] = solver
+
+
+def unregister_solver(name: str) -> None:
+    """Remove an adapter from the pool (tests and the chaos harness)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(name, None)
 
 
 def get_solver(name: str) -> ExternalSolver:

@@ -39,7 +39,12 @@ from typing import Sequence
 from ..errors import SolverError
 from ..smt import IcpConfig, SmtResult, Subproblem
 from ..smt.result import Verdict
-from .backends import DEFAULT_TIMEOUT, ExternalSolver, external_solvers
+from .backends import (
+    DEFAULT_TIMEOUT,
+    ExternalSolver,
+    external_solvers,
+    solver_breaker,
+)
 from .smtlib import SmtLibQuery, emit_query
 
 __all__ = ["PortfolioSmtBackend", "effective_timeout", "solver_fingerprint"]
@@ -72,8 +77,21 @@ def solver_fingerprint(
     run actually used an external verdict.
     """
     pool = external_solvers() if solvers is None else solvers
-    infos = [solver.probe() for solver in pool]
-    return ";".join(sorted(f"{i.name}-{i.version}" for i in infos if i.available))
+    entries = []
+    for solver in pool:
+        info = solver.probe()
+        if not info.available:
+            continue
+        # An open circuit is part of the portfolio's effective identity:
+        # a verdict decided while a flapping solver was being skipped
+        # must not share a cache key with one decided by the full pool.
+        suffix = (
+            "!open"
+            if solver_breaker(info.name).state == "open"
+            else ""
+        )
+        entries.append(f"{info.name}-{info.version}{suffix}")
+    return ";".join(sorted(entries))
 
 
 class PortfolioSmtBackend:
@@ -188,6 +206,21 @@ class PortfolioSmtBackend:
                 runnable = []
             else:
                 runnable = [s for s in runnable if s.supports(query.ops)]
+                # Circuit-breaker gate, last so allow()'s half-open
+                # probe slot is only claimed by a solver that will
+                # actually race (and therefore report an outcome).
+                admitted = []
+                for solver in runnable:
+                    if solver_breaker(solver.name).allow():
+                        admitted.append(solver)
+                    else:
+                        from ..resilience.supervisor import record_incident
+
+                        record_incident(
+                            "breaker.skip",
+                            f"portfolio skipped {solver.name} (circuit open)",
+                        )
+                runnable = admitted
         if not runnable or query is None:
             return native.check(subproblems, names, config)
         return self._race(native, runnable, query, subproblems, names, config)

@@ -50,6 +50,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
@@ -77,6 +78,12 @@ CACHE_ENV = "REPRO_CACHE"
 
 #: fingerprint schema version (bump on incompatible key changes)
 FINGERPRINT_VERSION = 1
+
+#: ``.tmp`` leftovers older than this are treated as crashed writers'
+#: debris and swept by :meth:`ArtifactStore.collect_garbage` (and by
+#: ``put`` on the shard it touches); young tmp files may belong to a
+#: live concurrent writer and are left alone.
+TMP_GC_SECONDS = 3600.0
 
 
 def default_store_root() -> Path:
@@ -292,12 +299,18 @@ class ArtifactStore:
         forever; unreadable entries (I/O errors) are plain misses.
         """
         from ..api.runner import RunArtifact
+        from ..resilience import faults
 
         path = self.path_for(key)
         try:
             text = path.read_text(encoding="utf-8")
         except OSError:
             return None
+        action = faults.fire("store.read", key[:8])
+        if action is not None:
+            if action.kind == "error":
+                raise faults.InjectedFault(f"injected store read failure ({key[:8]})")
+            text = action.payload or text[: len(text) // 2]
         try:
             return RunArtifact.from_json(text)
         except (ValueError, TypeError, KeyError):
@@ -315,22 +328,72 @@ class ArtifactStore:
             os.replace(path, path.with_suffix(".corrupt"))
 
     def put(self, key: str, artifact: "RunArtifact") -> Path:
-        """Write an artifact under ``key`` (atomic; returns the path)."""
+        """Write an artifact under ``key`` (atomic; returns the path).
+
+        A writer that dies between the tmp write and the rename leaves a
+        ``.tmp`` file and *no* entry — readers can never observe a
+        partial artifact.  The leftover is swept by
+        :meth:`collect_garbage`, which ``put`` runs (stale files only)
+        on the shard it is about to write.
+        """
+        from ..resilience import faults
+
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        self._sweep_tmp(path.parent, time.time() - TMP_GC_SECONDS)
         payload = artifact.to_json(indent=2)
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
         )
+        action = faults.fire("store.write", key[:8])
+        torn = action is not None and action.kind == "torn"
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(payload)
+                handle.write(payload[: len(payload) // 2] if torn else payload)
+            if action is not None:
+                # Simulated crash between tmp-write and rename: the torn
+                # kind leaves its half-written tmp behind exactly as a
+                # SIGKILLed writer would (skipping the unlink below).
+                raise faults.InjectedFault(
+                    f"injected store write crash ({key[:8]})"
+                )
             os.replace(tmp, path)
         except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp)
+            if not torn:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
             raise
         return path
+
+    def _sweep_tmp(self, shard: Path, cutoff: float) -> int:
+        """Unlink ``.tmp`` leftovers in ``shard`` older than ``cutoff``."""
+        removed = 0
+        with contextlib.suppress(OSError):
+            for stray in shard.glob(".*.tmp"):
+                try:
+                    if stray.stat().st_mtime <= cutoff:
+                        stray.unlink()
+                        removed += 1
+                except OSError:
+                    continue
+        return removed
+
+    def collect_garbage(self, max_age_seconds: "float | None" = None) -> int:
+        """Sweep ``.tmp`` files left by crashed mid-write processes.
+
+        Only files older than ``max_age_seconds`` (default
+        :data:`TMP_GC_SECONDS`) go — an in-flight concurrent writer's
+        fresh tmp file is never touched.  Returns the number removed.
+        """
+        ttl = TMP_GC_SECONDS if max_age_seconds is None else max_age_seconds
+        cutoff = time.time() - ttl
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for shard in self.root.iterdir():
+            if shard.is_dir():
+                removed += self._sweep_tmp(shard, cutoff)
+        return removed
 
     def keys(self) -> Iterator[str]:
         """Iterate over every stored key."""

@@ -1,0 +1,126 @@
+"""The fault-injection registry: plans, counters, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InjectedFault, ReproError
+from repro.resilience import faults
+from repro.resilience.faults import SEAM_KINDS, SEAMS, FaultAction, FaultPlan
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+class TestFaultAction:
+    def test_rejects_unknown_seam(self):
+        with pytest.raises(ReproError, match="unknown fault seam"):
+            FaultAction("nope.worker", "kill")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            FaultAction("pool.worker", "explode")
+
+    def test_rejects_bad_schedule(self):
+        with pytest.raises(ReproError):
+            FaultAction("pool.worker", "kill", at=-1)
+        with pytest.raises(ReproError):
+            FaultAction("pool.worker", "kill", count=0)
+
+    def test_round_trips_through_dict(self):
+        action = FaultAction("solver.output", "garbage", at=2, count=3, payload="x")
+        assert FaultAction.from_dict(action.to_dict()) == action
+
+
+class TestFire:
+    def test_no_plan_is_inert(self):
+        assert faults.fire("pool.worker") is None
+        assert faults.fired_faults() == []
+
+    def test_fires_at_scheduled_hit_only(self):
+        plan = FaultPlan((FaultAction("shard.worker", "kill", at=2),))
+        faults.install_plan(plan)
+        assert faults.fire("shard.worker") is None
+        assert faults.fire("shard.worker") is None
+        action = faults.fire("shard.worker")
+        assert action is not None and action.kind == "kill"
+        assert faults.fire("shard.worker") is None
+
+    def test_count_covers_consecutive_hits(self):
+        plan = FaultPlan((FaultAction("solver.spawn", "error", at=1, count=2),))
+        faults.install_plan(plan)
+        hits = [faults.fire("solver.spawn") for _ in range(4)]
+        assert [a is not None for a in hits] == [False, True, True, False]
+
+    def test_counters_are_per_seam(self):
+        plan = FaultPlan((FaultAction("store.read", "error", at=0),))
+        faults.install_plan(plan)
+        # Other seams advance their own counters without firing.
+        assert faults.fire("store.write") is None
+        assert faults.fire("store.read") is not None
+
+    def test_install_resets_counters_and_log(self):
+        plan = FaultPlan((FaultAction("journal.append", "torn", at=0),))
+        faults.install_plan(plan)
+        assert faults.fire("journal.append") is not None
+        assert len(faults.fired_faults()) == 1
+        faults.install_plan(plan)
+        assert faults.fired_faults() == []
+        assert faults.fire("journal.append") is not None
+
+    def test_fired_log_records_seam_kind_hit(self):
+        plan = FaultPlan((FaultAction("store.write", "torn", at=1),))
+        faults.install_plan(plan)
+        faults.fire("store.write", "aaaa")
+        faults.fire("store.write", "bbbb")
+        log = faults.fired_faults()
+        assert log == [
+            {"seam": "store.write", "kind": "torn", "hit": 1, "detail": "bbbb"}
+        ]
+
+    def test_injected_context_always_clears(self):
+        plan = FaultPlan((FaultAction("store.read", "error", at=0),))
+        with pytest.raises(RuntimeError):
+            with faults.injected(plan):
+                assert faults.active_plan() is plan
+                raise RuntimeError("escape")
+        assert faults.active_plan() is None
+
+    def test_raise_if_raises_injected_fault(self):
+        plan = FaultPlan((FaultAction("store.read", "error", at=0),))
+        with faults.injected(plan):
+            with pytest.raises(InjectedFault):
+                faults.raise_if("store.read", "k")
+
+
+class TestFaultPlan:
+    def test_random_is_deterministic(self):
+        assert FaultPlan.random(7) == FaultPlan.random(7)
+        assert FaultPlan.random(7) != FaultPlan.random(8)
+
+    def test_random_draws_only_valid_kinds(self):
+        for seed in range(50):
+            for action in FaultPlan.random(seed).actions:
+                assert action.seam in SEAMS
+                assert action.kind in SEAM_KINDS[action.seam]
+
+    def test_random_rejects_unknown_seam(self):
+        with pytest.raises(ReproError):
+            FaultPlan.random(0, seams=("bogus",))
+
+    def test_round_trips_through_dict(self):
+        plan = FaultPlan.random(3)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_for_seam_filters(self):
+        plan = FaultPlan(
+            (
+                FaultAction("pool.worker", "kill"),
+                FaultAction("store.read", "error"),
+            )
+        )
+        assert [a.seam for a in plan.for_seam("store.read")] == ["store.read"]

@@ -1,0 +1,117 @@
+"""The engine degradation ladder: paths, stepping, parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError, WorkerDied
+from repro.resilience.ladder import (
+    degradation_path,
+    fallback_engine,
+    run_with_degradation,
+)
+from repro.resilience.supervisor import clear_incidents, incidents
+
+
+@pytest.fixture(autouse=True)
+def _clean_incidents():
+    clear_incidents()
+    yield
+    clear_incidents()
+
+
+class TestPaths:
+    def test_sharded_walks_to_native(self):
+        assert degradation_path("sharded-icp") == (
+            "sharded-icp",
+            "batched-icp",
+            "native",
+        )
+
+    def test_portfolio_degrades_to_batched(self):
+        assert fallback_engine("portfolio") == "batched-icp"
+
+    def test_native_is_the_bottom(self):
+        assert fallback_engine("native") is None
+        assert degradation_path("native") == ("native",)
+
+
+class TestRunWithDegradation:
+    def test_no_failure_no_degradation(self):
+        calls = []
+        result = run_with_degradation(lambda e: calls.append(e) or e, "sharded-icp")
+        assert result == "sharded-icp"
+        assert calls == ["sharded-icp"]
+        assert incidents("engine.degrade") == []
+
+    def test_machinery_loss_steps_down_and_records(self):
+        def fn(engine):
+            if engine == "sharded-icp":
+                raise WorkerDied("shard 1 died")
+            return engine
+
+        assert run_with_degradation(fn, "sharded-icp") == "batched-icp"
+        log = incidents("engine.degrade")
+        assert len(log) == 1
+        assert "sharded-icp -> batched-icp" in log[0]["detail"]
+
+    def test_walks_all_the_way_down(self):
+        def fn(engine):
+            if engine != "native":
+                raise WorkerDied(engine)
+            return engine
+
+        assert run_with_degradation(fn, "sharded-icp") == "native"
+        assert len(incidents("engine.degrade")) == 2
+
+    def test_bottom_rung_loss_propagates(self):
+        def fn(engine):
+            raise WorkerDied("nothing left")
+
+        with pytest.raises(WorkerDied):
+            run_with_degradation(fn, "native")
+
+    def test_non_machinery_errors_propagate_unchanged(self):
+        def fn(engine):
+            raise ReproError("the problem itself is bad")
+
+        with pytest.raises(ReproError, match="the problem itself"):
+            run_with_degradation(fn, "sharded-icp")
+        assert incidents("engine.degrade") == []
+
+
+class TestEndToEndParity:
+    def test_degraded_artifact_identical_to_fallback_run(self):
+        """A run that loses its engine machinery re-executes on the next
+        rung and matches that engine's direct output exactly (modulo the
+        wall-clock timing fields, which vary between any two runs)."""
+        import dataclasses
+
+        from repro import api
+        from repro.api.family import get_family
+        from repro.api.runner import derive_scenario_seed
+        from repro.corpus.fuzz import VOLATILE_FIELDS
+
+        def stripped(artifact):
+            data = artifact.to_dict()
+            for volatile in VOLATILE_FIELDS:
+                data.pop(volatile, None)
+            return data
+
+        scenario = get_family("linear").instantiate()
+        config = dataclasses.replace(
+            scenario.config, seed=derive_scenario_seed(0, scenario.name)
+        )
+        direct = api.run(scenario, config=config, engine="batched-icp", cache=False)
+
+        attempts = []
+
+        def fn(engine):
+            attempts.append(engine)
+            if engine == "sharded-icp":
+                raise WorkerDied("injected machinery loss")
+            return api.run(scenario, config=config, engine=engine, cache=False)
+
+        degraded = run_with_degradation(fn, "sharded-icp")
+        assert attempts == ["sharded-icp", "batched-icp"]
+        assert stripped(degraded) == stripped(direct)

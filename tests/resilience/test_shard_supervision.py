@@ -1,0 +1,98 @@
+"""Sharded-ICP supervision under injected worker faults.
+
+End-to-end through ``api.run``: a killed or wedged shard worker is
+detected by the round deadline as a typed ``WorkerDied``, the team is
+respawned (or the round degrades to the serial path once the budget is
+spent), the artifact is unchanged, and every shared-memory segment the
+run created is unlinked afterwards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import FaultAction, FaultPlan
+from repro.resilience.supervisor import clear_incidents, incidents
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="sharded engine needs fork"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    faults.clear_plan()
+    clear_incidents()
+    yield
+    faults.clear_plan()
+    clear_incidents()
+
+
+@pytest.fixture
+def shard_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARDS", "2")
+    monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "10")
+
+
+def _segment_exists(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return False
+    segment.close()
+    return True
+
+
+def _run_linear(engine="sharded-icp"):
+    from repro import api
+    from repro.api.family import get_family
+    from repro.api.runner import derive_scenario_seed
+
+    scenario = get_family("linear").instantiate()
+    config = dataclasses.replace(
+        scenario.config, seed=derive_scenario_seed(0, scenario.name)
+    )
+    return api.run(scenario, config=config, engine=engine, cache=False)
+
+
+def test_killed_worker_respawns_and_artifact_is_unchanged(shard_env):
+    baseline = _run_linear()
+    plan = FaultPlan((FaultAction("shard.worker", "kill", at=0),), label="kill")
+    with faults.injected(plan):
+        faulted = _run_linear()
+        assert faults.fired_faults(), "the kill never fired"
+    kinds = {e["kind"] for e in incidents()}
+    assert "shard.worker_died" in kinds
+    assert "shard.respawn" in kinds or "shard.degrade" in kinds
+    assert faulted.verified == baseline.verified
+    assert faulted.status == baseline.status
+    assert faulted.level == baseline.level
+
+
+def test_hung_worker_hits_the_round_deadline(shard_env, monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "2")
+    plan = FaultPlan((FaultAction("shard.worker", "hang", at=0),), label="hang")
+    baseline = _run_linear()
+    with faults.injected(plan):
+        faulted = _run_linear()
+        assert faults.fired_faults()
+    assert incidents("shard.worker_died")
+    assert faulted.level == baseline.level
+
+
+def test_no_shared_memory_segment_survives(shard_env):
+    from repro.intervals import recent_segment_names
+
+    plan = FaultPlan((FaultAction("shard.worker", "kill", at=0),), label="kill")
+    with faults.injected(plan):
+        _run_linear()
+    names = recent_segment_names()
+    assert names, "the sharded run created no segments (did it fork?)"
+    leaked = [name for name in names if _segment_exists(name)]
+    assert leaked == []

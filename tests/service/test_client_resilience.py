@@ -1,0 +1,159 @@
+"""Client-side resilience: GET retries, stream resume, ``?after=``."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.service import (
+    EventBus,
+    Scheduler,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+)
+from repro.store import ArtifactStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+@pytest.fixture
+def service(store):
+    scheduler = Scheduler(
+        store, pool=False, workers=2, events=EventBus(), journal=False
+    )
+    server = ServiceServer(scheduler, port=0)
+    server.run_in_thread()
+    client = ServiceClient(
+        f"http://127.0.0.1:{server.port}", timeout=30.0, retry_base=0.01
+    )
+    yield client, scheduler, server
+    server.stop_thread()
+    scheduler.shutdown(wait=True)
+
+
+class TestEventBusAfter:
+    def test_after_filters_the_replayed_history(self):
+        bus = EventBus()
+        for i in range(5):
+            bus.publish({"type": "stage", "job": "j", "n": i})
+        with bus.subscribe("j", replay=True) as sub:
+            seqs = [e["seq"] for e in sub.drain()]
+        assert len(seqs) == 5
+        cut = seqs[2]
+        with bus.subscribe("j", replay=True, after=cut) as sub:
+            resumed = [e["seq"] for e in sub.drain()]
+        assert resumed == seqs[3:]
+
+    def test_after_beyond_history_replays_nothing(self):
+        bus = EventBus()
+        bus.publish({"type": "stage", "job": "j"})
+        with bus.subscribe("j", replay=True, after=10**9) as sub:
+            assert sub.drain() == []
+
+
+class TestGetRetries:
+    def test_refused_connection_exhausts_budget(self):
+        client = ServiceClient(
+            "http://127.0.0.1:1", timeout=2.0, retries=2, retry_base=0.01
+        )
+        start = time.monotonic()
+        with pytest.raises(ServiceError, match="cannot reach service"):
+            client.health()
+        # Two retries happened (two backoff sleeps), then it gave up.
+        assert time.monotonic() - start < 5.0
+
+    def test_post_is_never_transport_retried(self):
+        client = ServiceClient(
+            "http://127.0.0.1:1", timeout=2.0, retries=3, retry_base=0.01
+        )
+        sleeps = []
+        client._retry_sleep = lambda attempt: sleeps.append(attempt)
+        with pytest.raises(ServiceError):
+            client.submit("linear")
+        assert sleeps == []  # non-idempotent: fail immediately
+
+    def test_get_succeeds_after_transient_refusal(self, service, monkeypatch):
+        client, _, _ = service
+        import urllib.request
+
+        real_open = urllib.request.urlopen
+        attempts = {"n": 0}
+
+        def flaky_open(request, timeout=None):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise ConnectionResetError("injected reset")
+            return real_open(request, timeout=timeout)
+
+        monkeypatch.setattr(urllib.request, "urlopen", flaky_open)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert attempts["n"] == 2
+
+
+class TestStreamResume:
+    def test_stream_resumes_after_mid_stream_drop(self, service, monkeypatch):
+        """A connection that dies mid-stream is resumed with ``?after=``
+        and the concatenation has no gaps and no duplicates."""
+        client, scheduler, _ = service
+        job = scheduler.submit({"target": "linear", "grid": {"damping": "0.4:0.8:3"}})
+
+        real_once = client._stream_once
+        dropped = {"done": False}
+        after_values = []
+
+        def dropping(job_id, after):
+            after_values.append(after)
+            inner = real_once(job_id, after)
+            count = 0
+            for event in inner:
+                yield event
+                count += 1
+                if not dropped["done"] and count >= 2:
+                    dropped["done"] = True
+                    raise ConnectionResetError("injected mid-stream drop")
+
+        monkeypatch.setattr(client, "_stream_once", dropping)
+        events = list(client.stream(job.id))
+        assert dropped["done"], "the injected drop never happened"
+        assert len(after_values) >= 2 and after_values[1] > 0
+        seqs = [e["seq"] for e in events if "seq" in e]
+        assert len(seqs) == len(set(seqs)), "duplicated events after resume"
+        assert sorted(seqs) == seqs
+        final = [e for e in events if e.get("type") == "job"][-1]
+        assert final["state"] == "DONE"
+
+    def test_stream_budget_exhaustion_raises(self, service, monkeypatch):
+        client, scheduler, _ = service
+        client.retries = 1
+        job = scheduler.submit({"target": "linear"})
+
+        def always_drop(job_id, after):
+            raise ConnectionResetError("injected drop")
+            yield  # pragma: no cover
+
+        monkeypatch.setattr(client, "_stream_once", always_drop)
+        with pytest.raises(ServiceError, match="dropped"):
+            list(client.stream(job.id))
+
+    def test_after_query_rejects_garbage(self, service):
+        import urllib.error
+        import urllib.request
+
+        client, scheduler, _ = service
+        job = scheduler.submit({"target": "linear"})
+        deadline = time.monotonic() + 60
+        while not scheduler.job(job.id).state.terminal:
+            if time.monotonic() > deadline:
+                raise AssertionError("job did not finish")
+            time.sleep(0.02)
+        with pytest.raises(urllib.error.HTTPError) as http_err:
+            urllib.request.urlopen(
+                f"{client.url}/v1/jobs/{job.id}/events?after=xyz", timeout=10
+            )
+        assert http_err.value.code == 400

@@ -1,0 +1,222 @@
+"""Service-level retry: backoff re-enqueue, dead-letter, journal replay."""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import pytest
+
+from repro.api.family import get_family
+from repro.api.scenario import register_scenario, unregister_scenario
+from repro.errors import ReproError
+from repro.resilience import faults
+from repro.resilience.faults import FaultAction, FaultPlan
+from repro.service import JobState, Scheduler
+from repro.service.jobs import JobJournal, JobSpec
+from repro.store import ArtifactStore
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+def make_scheduler(store, **kwargs):
+    kwargs.setdefault("pool", False)
+    kwargs.setdefault("workers", 2)
+    return Scheduler(store, **kwargs)
+
+
+def wait_terminal(scheduler, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = scheduler.job(job_id)
+        if job.state.terminal:
+            return job
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} still {scheduler.job(job_id).state}")
+
+
+@pytest.fixture
+def flaky_scenario():
+    """Fails its first ``fail_first`` factory calls, then succeeds."""
+    base = get_family("linear").instantiate()
+    import dataclasses
+
+    counter = itertools.count()
+    real_factory = base.system_factory
+
+    def flaky():
+        if next(counter) < flaky.fail_first:
+            raise RuntimeError("transient factory failure")
+        return real_factory()
+
+    flaky.fail_first = 1
+    scenario = dataclasses.replace(
+        base, name="svc-test-flaky", system_factory=flaky
+    )
+    register_scenario(scenario, replace=True)
+    yield flaky
+    unregister_scenario("svc-test-flaky")
+
+
+@pytest.fixture
+def always_failing_scenario():
+    base = get_family("linear").instantiate()
+    import dataclasses
+
+    def explode():
+        raise RuntimeError("permanent factory failure")
+
+    scenario = dataclasses.replace(
+        base, name="svc-test-permafail", system_factory=explode
+    )
+    register_scenario(scenario, replace=True)
+    yield scenario
+    unregister_scenario("svc-test-permafail")
+
+
+class TestSpec:
+    def test_max_retries_round_trips(self):
+        spec = JobSpec(target="linear", max_retries=2)
+        assert JobSpec.from_dict(spec.to_dict()).max_retries == 2
+
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(ReproError):
+            JobSpec(target="linear", max_retries=-1)
+
+    def test_status_dict_surfaces_retry_counters(self, store):
+        scheduler = make_scheduler(store)
+        try:
+            job = scheduler.submit({"target": "linear", "max_retries": 2})
+            status = job.status_dict()
+            assert status["max_retries"] == 2
+            assert status["retries"] == 0
+        finally:
+            scheduler.shutdown(wait=True)
+
+
+class TestRetry:
+    def test_transient_failure_retried_to_done(self, store, flaky_scenario):
+        flaky_scenario.fail_first = 1
+        scheduler = make_scheduler(store)
+        try:
+            job = scheduler.submit(
+                {"target": "svc-test-flaky", "max_retries": 2}
+            )
+            job = wait_terminal(scheduler, job.id)
+            assert job.state is JobState.DONE
+            assert job.retries == 1
+            assert all(a is not None and a.verified for a in job.artifacts)
+        finally:
+            scheduler.shutdown(wait=True)
+
+    def test_exhausted_budget_dead_letters(self, store, always_failing_scenario):
+        scheduler = make_scheduler(store)
+        try:
+            job = scheduler.submit(
+                {"target": "svc-test-permafail", "max_retries": 1}
+            )
+            job = wait_terminal(scheduler, job.id)
+            assert job.state is JobState.DEAD
+            assert job.retries == 1
+            assert "permanent factory failure" in (job.error or "")
+        finally:
+            scheduler.shutdown(wait=True)
+
+    def test_zero_budget_fails_fast(self, store, always_failing_scenario):
+        scheduler = make_scheduler(store)
+        try:
+            job = scheduler.submit({"target": "svc-test-permafail"})
+            job = wait_terminal(scheduler, job.id)
+            assert job.state is JobState.FAILED
+            assert job.retries == 0
+        finally:
+            scheduler.shutdown(wait=True)
+
+    def test_retry_is_an_incident_and_a_stat(self, store, flaky_scenario):
+        from repro.resilience.supervisor import clear_incidents
+
+        clear_incidents()
+        flaky_scenario.fail_first = 1
+        scheduler = make_scheduler(store)
+        try:
+            job = scheduler.submit(
+                {"target": "svc-test-flaky", "max_retries": 1}
+            )
+            wait_terminal(scheduler, job.id)
+            stats = scheduler.stats()
+            assert stats["retries"] >= 1
+            assert stats["incidents"].get("job.retry", 0) >= 1
+        finally:
+            scheduler.shutdown(wait=True)
+
+
+class TestJournalReplay:
+    def test_retry_events_replay_counters_and_state(
+        self, tmp_path, store, flaky_scenario
+    ):
+        flaky_scenario.fail_first = 1
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        scheduler = make_scheduler(store, journal=journal)
+        try:
+            job = scheduler.submit(
+                {"target": "svc-test-flaky", "max_retries": 2}
+            )
+            job = wait_terminal(scheduler, job.id)
+            assert job.state is JobState.DONE
+        finally:
+            scheduler.shutdown(wait=True)
+
+        replayed = JobJournal(tmp_path / "journal.jsonl").replay()[job.id]
+        assert replayed.retries == 1
+        assert replayed.spec.max_retries == 2
+        # The retry wiped the errored attempt; the success survived.
+        assert replayed.replayed_statuses == {0: "verified"}
+
+    def test_dead_state_replays(self, tmp_path, store, always_failing_scenario):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        scheduler = make_scheduler(store, journal=journal)
+        try:
+            job = scheduler.submit(
+                {"target": "svc-test-permafail", "max_retries": 1}
+            )
+            job = wait_terminal(scheduler, job.id)
+            assert job.state is JobState.DEAD
+        finally:
+            scheduler.shutdown(wait=True)
+        jobs = JobJournal(tmp_path / "journal.jsonl").replay()
+        assert jobs[job.id].state is JobState.DEAD
+
+
+class TestTornJournal:
+    def test_torn_append_is_skipped_and_self_repaired(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        plan = FaultPlan((FaultAction("journal.append", "torn", at=1),))
+        with faults.injected(plan):
+            journal.record_state("job-a", JobState.QUEUED)
+            journal.record_state("job-a", JobState.RUNNING)  # torn mid-write
+            journal.record_state("job-a", JobState.DONE)
+        events = [r["event"] for r in journal.records()]
+        # The torn record is gone; the repaired append after it parses.
+        assert events[0] == "state"
+        assert len(events) == 2
+        raw = (tmp_path / "journal.jsonl").read_text()
+        assert raw.endswith("\n")
+
+    def test_torn_final_line_does_not_break_replay(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        plan = FaultPlan((FaultAction("journal.append", "torn", at=1),))
+        with faults.injected(plan):
+            journal.record_state("job-a", JobState.QUEUED)
+            journal.record_state("job-a", JobState.RUNNING)  # torn final line
+        journal.replay()  # must not raise
+        assert [r["event"] for r in journal.records()] == ["state"]

@@ -1,0 +1,115 @@
+"""Mid-write crash semantics: tmp-write → rename must be atomic.
+
+The satellite contract: a writer killed between the tmp write and the
+rename leaves *no* partial entry (readers never observe torn bytes),
+the orphaned ``.tmp`` file is swept by garbage collection, and a re-put
+of the same key succeeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import api
+from repro.api.family import get_family
+from repro.api.runner import derive_scenario_seed
+from repro.errors import InjectedFault
+from repro.resilience import faults
+from repro.resilience.faults import FaultAction, FaultPlan
+from repro.store import ArtifactStore, run_key
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+
+
+@pytest.fixture(scope="module")
+def artifact_and_key():
+    scenario = get_family("linear").instantiate()
+    config = dataclasses.replace(
+        scenario.config, seed=derive_scenario_seed(0, scenario.name)
+    )
+    artifact = api.run(scenario, config=config, cache=False)
+    return artifact, run_key(scenario, config, artifact.engine)
+
+
+def _tmp_files(root):
+    return sorted(root.rglob(".*.tmp"))
+
+
+class TestTornWrite:
+    def test_crash_between_tmp_and_rename(self, tmp_path, artifact_and_key):
+        artifact, key = artifact_and_key
+        store = ArtifactStore(tmp_path)
+        plan = FaultPlan((FaultAction("store.write", "torn", at=0),))
+        with faults.injected(plan):
+            with pytest.raises(InjectedFault):
+                store.put(key, artifact)
+
+        # No partial entry is ever visible to readers.
+        assert store.get(key) is None
+        assert store.stats().artifacts == 0
+        # The crashed writer's tmp debris is still on disk...
+        assert len(_tmp_files(tmp_path)) == 1
+
+        # ...until garbage collection sweeps it.
+        assert store.collect_garbage(max_age_seconds=0.0) == 1
+        assert _tmp_files(tmp_path) == []
+
+    def test_re_put_after_crash_succeeds(self, tmp_path, artifact_and_key):
+        artifact, key = artifact_and_key
+        store = ArtifactStore(tmp_path)
+        plan = FaultPlan((FaultAction("store.write", "torn", at=0),))
+        with faults.injected(plan):
+            with pytest.raises(InjectedFault):
+                store.put(key, artifact)
+        store.put(key, artifact)
+        revived = store.get(key)
+        assert revived is not None
+        assert revived.level == artifact.level
+        assert revived.verified == artifact.verified
+        # The successful put swept no young-enough debris by itself, but
+        # an explicit GC must find nothing left to do either way.
+        store.collect_garbage(max_age_seconds=0.0)
+        assert _tmp_files(tmp_path) == []
+
+    def test_fresh_tmp_of_concurrent_writer_is_spared(self, tmp_path, artifact_and_key):
+        artifact, key = artifact_and_key
+        store = ArtifactStore(tmp_path)
+        plan = FaultPlan((FaultAction("store.write", "torn", at=0),))
+        with faults.injected(plan):
+            with pytest.raises(InjectedFault):
+                store.put(key, artifact)
+        # Default TTL: a young tmp file may be a live writer's — spared.
+        assert store.collect_garbage() == 0
+        assert len(_tmp_files(tmp_path)) == 1
+
+    def test_error_kind_cleans_its_tmp(self, tmp_path, artifact_and_key):
+        """The ``error`` kind models a failed write, not a crash: the
+        writer is still alive to clean up, so no debris is left."""
+        artifact, key = artifact_and_key
+        store = ArtifactStore(tmp_path)
+        plan = FaultPlan((FaultAction("store.write", "error", at=0),))
+        with faults.injected(plan):
+            with pytest.raises(InjectedFault):
+                store.put(key, artifact)
+        assert store.get(key) is None
+        assert _tmp_files(tmp_path) == []
+
+
+class TestTornRead:
+    def test_garbage_read_surfaces_as_typed_error(self, tmp_path, artifact_and_key):
+        artifact, key = artifact_and_key
+        store = ArtifactStore(tmp_path)
+        store.put(key, artifact)
+        plan = FaultPlan((FaultAction("store.read", "error", at=0),))
+        with faults.injected(plan):
+            with pytest.raises(InjectedFault):
+                store.get(key)
+        # Fault cleared: the entry is intact.
+        assert store.get(key) is not None
